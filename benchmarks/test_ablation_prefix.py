@@ -1,0 +1,79 @@
+"""Ablation: prefix-length sensitivity (Theorem 4's |P|).
+
+The paper proves |P| = max forward moves is sufficient and shows (Obs. 2-4)
+that 0 is not.  This ablation sweeps prefix lengths 0, required, required+2
+on the Fig. 5 pair and on a benchmark circuit with a forward stem move,
+confirming:
+
+* length 0 loses the forward-affected faults;
+* the required length recovers them;
+* extra arbitrary vectors never hurt.
+"""
+
+import pytest
+
+from repro.atpg import run_atpg
+from repro.core import build_pair
+from repro.core.experiments import CircuitSpec
+from repro.faults import collapse_faults
+from repro.faultsim import fault_simulate
+from repro.papercircuits import EXAMPLE4_TEST, fig5_pair, n2_g1_q12_fault
+from repro.retiming import arbitrary_prefix
+from repro.testset import TestSet
+
+
+def _coverage_with_prefix(circuit, test_set, length):
+    prefixed = (
+        test_set
+        if length == 0
+        else test_set.with_prefix(arbitrary_prefix(test_set.num_inputs, length))
+    )
+    faults = collapse_faults(circuit).representatives
+    return fault_simulate(circuit, prefixed.as_lists(), faults)
+
+
+def test_prefix_sweep_fig5(benchmark):
+    _, n2, retiming = fig5_pair()
+    required = retiming.max_forward_moves()
+    assert required == 1
+    test_set = TestSet.from_lists("n1", 3, [EXAMPLE4_TEST])
+    target = n2_g1_q12_fault(n2)
+
+    def sweep():
+        results = {}
+        for length in (0, required, required + 2):
+            prefixed = (
+                test_set
+                if length == 0
+                else test_set.with_prefix(arbitrary_prefix(3, length))
+            )
+            sim = fault_simulate(n2, prefixed.as_lists(), [target])
+            results[length] = sim.num_detected
+        return results
+
+    results = benchmark(sweep)
+    assert results[0] == 0           # no prefix: the fault escapes
+    assert results[required] == 1    # the theorem's length recovers it
+    assert results[required + 2] == 1  # longer prefixes stay sufficient
+
+
+def test_prefix_sweep_benchmark_circuit(benchmark, budget):
+    """On pma.jo.sd (one forward stem move), coverage with the required
+    prefix never drops below the unprefixed coverage."""
+    pair = build_pair(CircuitSpec("pma", "jo", "delay", 1))
+    assert pair.prefix_length == 1
+    atpg = run_atpg(pair.original, budget=budget)
+    test_set = atpg.test_set
+
+    def sweep():
+        return {
+            length: _coverage_with_prefix(pair.retimed, test_set, length)
+            for length in (0, 1, 3)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for length, sim in sorted(results.items()):
+        print(f"  prefix {length}: {sim.fault_coverage:.2f}% FC on {pair.retimed.name}")
+    assert results[1].fault_coverage >= results[0].fault_coverage - 1e-9
+    assert results[3].fault_coverage >= results[1].fault_coverage - 1.0

@@ -1,0 +1,51 @@
+"""Fig. 1: the atomic retiming moves and their state-space effects.
+
+Regenerates the figure's four situations (forward/backward across a
+single-output gate and across a fanout stem) and checks the properties the
+paper derives from them: register-count changes, reversibility, Lemma 1
+for gate moves, and the containment asymmetry for stem moves.
+"""
+
+from repro.equivalence import extract_stg, space_contains, space_equivalent
+from repro.papercircuits import fig1_gate_pair, fig1_stem_pair
+from repro.retiming.moves import AtomicMove, apply_move
+
+
+def test_fig1_gate_move(benchmark):
+    def run():
+        k1, k2, retiming = fig1_gate_pair()
+        return k1, k2, retiming
+
+    k1, k2, retiming = benchmark(run)
+    assert k1.num_registers() == 2
+    assert k2.num_registers() == 1
+    assert retiming.inverse(k2).apply().weights() == k1.weights()
+    # Lemma 1 on the atomic move.
+    assert space_equivalent(extract_stg(k1), extract_stg(k2))
+
+
+def test_fig1_stem_move(benchmark):
+    def run():
+        k1, k2, retiming = fig1_stem_pair()
+        return k1, k2, retiming
+
+    k1, k2, retiming = benchmark(run)
+    assert k1.num_registers() == 1
+    assert k2.num_registers() == 2
+    stg1, stg2 = extract_stg(k1), extract_stg(k2)
+    # Forward stem moves create inconsistent states: K' superset_s K but
+    # not the converse.
+    assert space_contains(stg2, stg1)
+    assert not space_contains(stg1, stg2)
+
+
+def test_fig1_move_sequences_compose(benchmark):
+    def run():
+        k1, _, _ = fig1_stem_pair()
+        stem = k1.fanout_stems()[0].name
+        forward = apply_move(k1, AtomicMove(stem, "forward"))
+        back = apply_move(forward, AtomicMove(stem, "backward"))
+        return k1, back
+
+    k1, back = benchmark(run)
+    assert back.weights() == k1.weights()

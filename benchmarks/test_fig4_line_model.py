@@ -1,0 +1,45 @@
+"""Fig. 4: the line model of a weighted edge and fault correspondence.
+
+An edge of weight n consists of n+1 lines; retiming changes edge weights,
+growing/shrinking the fault universe, with every retimed fault owning at
+least one corresponding original fault (Section IV-B).  Regenerated over
+the whole benchmark circuit family.
+"""
+
+import pytest
+
+from benchmarks.conftest import table2_specs
+from repro.core import build_pair
+from repro.faults import FaultCorrespondence, full_fault_universe
+
+
+@pytest.mark.parametrize("spec", table2_specs()[:3], ids=lambda s: s.name)
+def test_fig4_line_arithmetic(benchmark, spec):
+    pair = build_pair(spec)
+
+    def analyse():
+        universe_original = full_fault_universe(pair.original)
+        universe_retimed = full_fault_universe(pair.retimed)
+        correspondence = FaultCorrespondence(pair.original, pair.retimed)
+        return universe_original, universe_retimed, correspondence
+
+    universe_original, universe_retimed, correspondence = benchmark(analyse)
+
+    # #lines = #edges + #registers; two faults per line.
+    for circuit, universe in [
+        (pair.original, universe_original),
+        (pair.retimed, universe_retimed),
+    ]:
+        assert len(universe) == 2 * (len(circuit.edges) + circuit.num_registers())
+
+    # The retimed circuit gained registers => gained faults.
+    gained_registers = pair.retimed.num_registers() - pair.original.num_registers()
+    assert len(universe_retimed) - len(universe_original) == 2 * gained_registers
+
+    # Every retimed fault has at least one corresponding original fault,
+    # and unchanged edges map one-to-one.
+    for fault in universe_retimed[:: max(1, len(universe_retimed) // 200)]:
+        corresponding = correspondence.originals_of(fault)
+        assert corresponding
+        if correspondence.is_one_to_one(fault):
+            assert corresponding == [fault]

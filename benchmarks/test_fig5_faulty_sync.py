@@ -1,0 +1,73 @@
+"""Fig. 5: faulty-circuit synchronization under a forward gate move.
+
+Regenerates Example 2 (the <001,000> sequence synchronizes faulty N1 to
+{001} but leaves faulty N2 at {1x}), Lemma 4 / Theorem 3 (any one-vector
+prefix repairs it) and Example 4 / Observation 4 (the structural test T
+detects G1-G2 s-a-1 in N1, misses the corresponding G1-Q12 fault in N2,
+and the prefixed P+T recovers it).
+"""
+
+import itertools
+
+from repro.faultsim import fault_simulate
+from repro.logic.three_valued import X
+from repro.papercircuits import (
+    EXAMPLE2_SEQUENCE,
+    EXAMPLE4_TEST,
+    fig5_pair,
+    n1_g1_g2_fault,
+    n2_g1_q12_fault,
+    n2_q12_g2_fault,
+)
+from repro.simulation import SequentialSimulator
+
+
+def test_fig5_example2(benchmark):
+    n1, n2, _ = fig5_pair()
+
+    def simulate():
+        sim1 = SequentialSimulator(n1, fault=n1_g1_g2_fault(n1))
+        sim2 = SequentialSimulator(n2, fault=n2_g1_q12_fault(n2))
+        return (
+            sim1.run(EXAMPLE2_SEQUENCE).final_state,
+            sim2.run(EXAMPLE2_SEQUENCE).final_state,
+        )
+
+    final1, final2 = benchmark(simulate)
+    assert final1 == (0, 0, 1)   # the paper's {001}
+    assert final2 == (1, X)      # the paper's {1x}
+
+
+def test_fig5_theorem3_any_prefix(benchmark):
+    _, n2, retiming = fig5_pair()
+    assert retiming.max_forward_moves() == 1
+    sim = SequentialSimulator(n2, fault=n2_g1_q12_fault(n2))
+
+    def check_all():
+        return [
+            sim.is_synchronizing([prefix] + EXAMPLE2_SEQUENCE)
+            for prefix in itertools.product((0, 1), repeat=3)
+        ]
+
+    results = benchmark(check_all)
+    assert all(results)
+
+
+def test_fig5_example4(benchmark):
+    n1, n2, _ = fig5_pair()
+
+    def simulate():
+        return (
+            fault_simulate(n1, [EXAMPLE4_TEST], [n1_g1_g2_fault(n1)]).num_detected,
+            fault_simulate(n2, [EXAMPLE4_TEST], [n2_g1_q12_fault(n2)]).num_detected,
+            fault_simulate(n2, [EXAMPLE4_TEST], [n2_q12_g2_fault(n2)]).num_detected,
+            fault_simulate(
+                n2, [[(0, 0, 0)] + EXAMPLE4_TEST], [n2_g1_q12_fault(n2)]
+            ).num_detected,
+        )
+
+    in_n1, in_n2, other_segment, prefixed = benchmark(simulate)
+    assert in_n1 == 1          # T detects G1-G2 s-a-1 in N1
+    assert in_n2 == 0          # ... but not the corresponding N2 fault
+    assert other_segment == 1  # while Q12-G2 s-a-1 is detected
+    assert prefixed == 1       # Theorem 4 recovers the miss

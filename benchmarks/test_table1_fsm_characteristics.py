@@ -1,0 +1,37 @@
+"""Table I: characteristics of the finite-state machines.
+
+Regenerates the paper's Table I (PI / PO / state counts of the six MCNC
+benchmark machines) from the benchmark generator and checks the numbers
+match the paper exactly.
+"""
+
+from repro.core import format_table
+from repro.fsm import TABLE1_PROFILES, mcnc_fsm, table1
+
+PAPER_TABLE1 = {
+    "dk16": (3, 3, 27),
+    "pma": (9, 8, 24),
+    "s510": (20, 7, 47),
+    "s820": (18, 19, 25),
+    "s832": (18, 19, 25),
+    "scf": (27, 54, 121),
+}
+
+
+def test_table1_regeneration(benchmark):
+    rows = benchmark(table1)
+    print()
+    print(format_table(rows, ["FSM", "PI", "PO", "States"]))
+    for row in rows:
+        expected = PAPER_TABLE1[row["FSM"]]
+        assert (row["PI"], row["PO"], row["States"]) == expected
+
+
+def test_machines_are_well_formed(benchmark):
+    def build_all():
+        return [mcnc_fsm(name) for name in TABLE1_PROFILES]
+
+    machines = benchmark(build_all)
+    for fsm in machines:
+        assert fsm.is_deterministic()
+        assert fsm.reachable_states() == set(fsm.states)

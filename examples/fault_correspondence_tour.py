@@ -1,0 +1,57 @@
+"""A tour of the line/fault model and the corresponding-fault relation.
+
+Builds the Fig. 1(a) pair, enumerates lines and faults on both sides of
+the retiming, prints the correspondence classes the paper defines in
+Section IV-B, and demonstrates the register split/merge effect behind the
+Table III discrepancies.
+
+Run:  python examples/fault_correspondence_tour.py
+"""
+
+from repro.faults import (
+    FaultCorrespondence,
+    collapse_faults,
+    full_fault_universe,
+)
+from repro.papercircuits import fig1_gate_pair
+
+
+def main() -> None:
+    k1, k2, retiming = fig1_gate_pair()
+    print(f"K1: {k1}")
+    print(f"K2: {k2}  (forward move across gate G: Q0/Q1 merge into one DFF)")
+    print()
+
+    for circuit in (k1, k2):
+        universe = full_fault_universe(circuit)
+        collapsed = collapse_faults(circuit)
+        print(
+            f"{circuit.name}: {circuit.num_lines()} lines, "
+            f"{len(universe)} faults, {collapsed.num_collapsed} collapsed"
+        )
+    print()
+
+    correspondence = FaultCorrespondence(k1, k2)
+    print("corresponding faults (K2 -> K1):")
+    for fault in full_fault_universe(k2):
+        corresponding = correspondence.originals_of(fault)
+        names = ", ".join(c.describe(k1) for c in corresponding)
+        marker = " (1:1)" if correspondence.is_one_to_one(fault) else ""
+        print(f"  {fault.describe(k2):32s} -> {names}{marker}")
+    print()
+
+    print(
+        "modified edges (the retiming moved registers on these):",
+        correspondence.modified_edges(),
+    )
+    print()
+    print(
+        "The split/merge effect: the K1 faults on the two segments of each\n"
+        "input edge (e.g. I1-Q0 and Q0-G) merge onto a single K2 line, so a\n"
+        "test set that misses one of them in K1 misses the merged fault in\n"
+        "K2 -- exactly the discrepancy mechanism of Table III."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro -- reproduction of "On Test Set Preservation of Retimed Circuits".
+
+A. El-Maleh, T. Marchok, J. Rajski, W. Maly, 32nd Design Automation
+Conference (DAC), 1995.
+
+The library implements, from scratch, every system the paper's results rest
+on: a gate-level sequential circuit model with the paper's line/fault-site
+semantics, three-valued and bit-parallel logic simulation, stuck-at fault
+machinery with retiming-aware fault correspondence, a PROOFS-style fault
+simulator, a Leiserson--Saxe retiming engine (min-period and min-register),
+an FSM synthesis substrate standing in for SIS/jedi, explicit state-space
+analysis of the paper's equivalence/containment relations, a HITEC-style
+sequential ATPG, and the paper's headline contribution: test-set
+preservation under retiming via arbitrary-vector prefixing (Theorems 1-4)
+and the retime-for-testability ATPG flow of Fig. 6.
+
+Quick start::
+
+    from repro import CircuitBuilder, GateType
+    from repro.retiming import min_period_retiming
+    from repro.core import derive_retimed_test_set
+
+See ``examples/quickstart.py`` for a complete tour.
+"""
+
+from repro.circuit import Circuit, CircuitBuilder, GateType, NodeKind
+
+__version__ = "1.0.0"
+
+__all__ = ["Circuit", "CircuitBuilder", "GateType", "NodeKind", "__version__"]

@@ -1,0 +1,96 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``table1`` — print the Table I machine characteristics;
+* ``synth <fsm> <style> <script>`` — synthesize a benchmark circuit and
+  print its BENCH netlist (e.g. ``synth s820 jc rugged``);
+* ``retime <fsm> <style> <script>`` — synthesize, performance-retime, and
+  report the pair's statistics and prefix length;
+* ``atpg <fsm> <style> <script> [seconds]`` — run the ATPG engine on a
+  benchmark circuit and print the test set (``testset`` text format);
+* ``flow <fsm> <style> <script> [seconds]`` — run the Fig. 6
+  retime-for-testability flow on the retimed circuit.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.atpg import AtpgBudget, run_atpg
+from repro.circuit import write_bench
+from repro.core import build_pair, format_table, retime_for_testability_flow
+from repro.core.experiments import TABLE2_CIRCUITS, CircuitSpec
+from repro.fsm import table1
+
+
+def _spec(fsm: str, style: str, script: str) -> CircuitSpec:
+    script = {"sd": "delay", "sr": "rugged"}.get(script, script)
+    forward = next(
+        (
+            s.forward_stem_moves
+            for s in TABLE2_CIRCUITS
+            if (s.fsm, s.style, s.script) == (fsm, style, script)
+        ),
+        0,
+    )
+    return CircuitSpec(fsm, style, script, forward)
+
+
+def _budget(argv, position) -> AtpgBudget:
+    seconds = float(argv[position]) if len(argv) > position else 30.0
+    return AtpgBudget(total_seconds=seconds)
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print(__doc__)
+        return 2
+    command, rest = argv[0], argv[1:]
+
+    if command == "table1":
+        print(format_table(table1(), ["FSM", "PI", "PO", "States"]))
+        return 0
+
+    if command in ("synth", "retime", "atpg", "flow"):
+        if len(rest) < 3:
+            print(f"usage: python -m repro {command} <fsm> <style> <script>")
+            return 2
+        spec = _spec(rest[0], rest[1], rest[2])
+        pair = build_pair(spec)
+        if command == "synth":
+            sys.stdout.write(write_bench(pair.original))
+            return 0
+        if command == "retime":
+            rows = [
+                {
+                    "circuit": circuit.name,
+                    "gates": circuit.num_gates(),
+                    "dffs": circuit.num_registers(),
+                    "period": circuit.clock_period(),
+                }
+                for circuit in (pair.original, pair.retimed)
+            ]
+            print(format_table(rows, ["circuit", "gates", "dffs", "period"]))
+            print(f"prefix |P| = {pair.prefix_length} (Theorem 4)")
+            return 0
+        if command == "atpg":
+            result = run_atpg(pair.original, budget=_budget(rest, 3))
+            print(result.summary(), file=sys.stderr)
+            sys.stdout.write(result.test_set.to_text())
+            return 0
+        if command == "flow":
+            flow = retime_for_testability_flow(
+                pair.retimed, budget=_budget(rest, 3)
+            )
+            print(flow.summary())
+            return 0
+
+    print(f"unknown command {command!r}", file=sys.stderr)
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

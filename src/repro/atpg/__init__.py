@@ -1,0 +1,19 @@
+"""Structural sequential ATPG (the HITEC stand-in).
+
+Random-phase test generation with fault-simulation feedback, followed by
+deterministic PODEM over time-frame expansion with backtrack/time budgets.
+"""
+
+from repro.atpg.budget import AtpgBudget, EffortMeter
+from repro.atpg.engine import AtpgResult, run_atpg, structurally_untestable
+from repro.atpg.podem import PodemEngine, PodemResult
+
+__all__ = [
+    "AtpgBudget",
+    "EffortMeter",
+    "run_atpg",
+    "AtpgResult",
+    "structurally_untestable",
+    "PodemEngine",
+    "PodemResult",
+]

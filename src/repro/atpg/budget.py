@@ -1,0 +1,67 @@
+"""Effort budgets and statistics for the ATPG engine.
+
+The paper measures ATPG cost in DECstation 3100 CPU seconds with HITEC's
+abort limits.  Here cost is wall-clock seconds plus backtrack counts; the
+budget caps both, and Table II's *CPU ratio* column is reproduced as the
+ratio of effort spent under identical budgets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class AtpgBudget:
+    """Caps for one ATPG run."""
+
+    total_seconds: float = 30.0
+    seconds_per_fault: float = 0.25
+    backtracks_per_fault: int = 400
+    max_frames: int = 12
+    random_sequences: int = 64
+    random_length: int = 24
+    random_stale_limit: int = 12
+    sync_samples: int = 8
+    seed: int = 1995
+
+    def scaled(self, factor: float) -> "AtpgBudget":
+        """A proportionally larger/smaller budget."""
+        return AtpgBudget(
+            total_seconds=self.total_seconds * factor,
+            seconds_per_fault=self.seconds_per_fault * factor,
+            backtracks_per_fault=max(1, int(self.backtracks_per_fault * factor)),
+            max_frames=self.max_frames,
+            random_sequences=max(1, int(self.random_sequences * factor)),
+            random_length=self.random_length,
+            random_stale_limit=self.random_stale_limit,
+            sync_samples=self.sync_samples,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class EffortMeter:
+    """Tracks spent effort against a budget."""
+
+    budget: AtpgBudget
+    started: float = field(default_factory=time.perf_counter)
+    backtracks: int = 0
+    simulations: int = 0
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started
+
+    def out_of_time(self) -> bool:
+        return self.elapsed() >= self.budget.total_seconds
+
+    def note_backtrack(self) -> None:
+        self.backtracks += 1
+
+    def note_simulation(self) -> None:
+        self.simulations += 1
+
+
+__all__ = ["AtpgBudget", "EffortMeter"]

@@ -1,0 +1,459 @@
+"""Deterministic sequential test generation: PODEM over time frames.
+
+The classic structural approach of HITEC-family ATPGs, in simplified form:
+
+* the circuit is expanded over ``T`` time frames with the all-X initial
+  state in frame 0 (no global reset);
+* decisions are binary assignments to primary inputs of specific frames,
+  found by *backtracing* an objective through gates and across registers
+  (crossing a register moves the objective one frame earlier);
+* after every decision both the fault-free and the faulty machine are
+  re-simulated in three-valued logic; a fault is detected when some
+  primary output in some frame carries complementary binary values;
+* conflicts trigger chronological backtracking with a per-fault backtrack
+  limit (aborted faults count against fault efficiency, as in HITEC);
+* frame counts increase iteratively (1, 2, ..., max_frames) so short tests
+  are found quickly and deep state justification is attempted only when
+  needed.
+
+Objectives follow PODEM's two-phase scheme: first *excite* the fault
+(drive the faulted line, in the good machine, to the complement of the
+stuck value at a frame from which the effect can still reach frame T-1),
+then *propagate* by picking a D-frontier gate -- a gate with a provable
+good/faulty difference on an input and an undetermined output -- and
+setting one of its unknown inputs to the gate's non-controlling value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.circuit.netlist import Circuit, LineRef
+from repro.circuit.types import GateType, NodeKind
+from repro.faults.model import StuckAtFault
+from repro.logic.three_valued import ONE, Trit, X, ZERO, t_not
+from repro.atpg.budget import EffortMeter
+from repro.simulation.codegen import FastStepper
+from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.sequential import SequentialSimulator  # noqa: F401 (re-exported for callers)
+
+
+@dataclass
+class PodemResult:
+    """Outcome for one targeted fault."""
+
+    detected: bool
+    sequence: Optional[List[Tuple[Trit, ...]]]
+    backtracks: int
+    aborted: bool
+    frames_used: int
+
+
+class PodemEngine:
+    """Targets single faults on one circuit."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.compiled = CompiledCircuit(circuit)
+        self.good_step = FastStepper(circuit, compiled=self.compiled).step
+        self.num_inputs = len(circuit.input_names)
+        self.num_registers = self.compiled.num_registers
+        self._pi_index = {name: i for i, name in enumerate(circuit.input_names)}
+        self._depth = self._static_depths()
+        self._control_cost = self._static_controllability()
+
+    def _static_depths(self) -> Dict[str, int]:
+        """Static distance-to-output estimate used to rank D-frontier gates."""
+        depth: Dict[str, int] = {}
+        for name in reversed(self.circuit.topo_order()):
+            out_edges = self.circuit.out_edges(name)
+            if not out_edges:
+                depth[name] = 0 if self.circuit.node(name).kind is NodeKind.OUTPUT else 999
+                continue
+            depth[name] = min(depth.get(e.sink, 999) + 1 for e in out_edges)
+        return depth
+
+    def _static_controllability(self) -> Dict[str, int]:
+        """SCOAP-flavoured cost of setting a node from the primary inputs.
+
+        Registers are expensive (they push the objective a frame earlier),
+        so backtrace prefers purely combinational paths to PIs and never
+        cycles around state feedback loops.  Computed as a shortest-path
+        fixpoint over the cyclic graph.
+        """
+        BIG = 10 ** 6
+        cost: Dict[str, int] = {}
+        for name, node in self.circuit.nodes.items():
+            cost[name] = 0 if node.kind is NodeKind.INPUT else BIG
+        for _ in range(len(self.circuit.nodes)):
+            changed = False
+            for name in self.circuit.topo_order():
+                node = self.circuit.node(name)
+                if node.kind is NodeKind.INPUT:
+                    continue
+                in_edges = self.circuit.in_edges(name)
+                if not in_edges:
+                    continue  # constants stay expensive
+                best = min(
+                    cost[e.source] + 1 + 100 * e.weight for e in in_edges
+                )
+                if best < cost[name]:
+                    cost[name] = best
+                    changed = True
+            if not changed:
+                break
+        return cost
+
+    # -- public API ----------------------------------------------------------
+
+    def generate(
+        self,
+        fault: StuckAtFault,
+        meter: EffortMeter,
+        max_frames: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> PodemResult:
+        """Try to find a test sequence for ``fault``.
+
+        ``deadline`` (a ``time.perf_counter`` timestamp) caps the effort
+        spent on this single fault, on top of the global budget.
+        """
+        import time as _time
+
+        limit = max_frames or meter.budget.max_frames
+        faulty_step = FastStepper(
+            self.circuit, fault=fault, compiled=self.compiled
+        ).step
+        total_backtracks = 0
+        # Geometric time-frame escalation with a *fresh* backtrack budget
+        # per depth level.  Total effort per aborted fault therefore scales
+        # with the unrolling depth -- which scales with the flip-flop
+        # count.  This is the cost model of iterative-deepening sequential
+        # ATPG: circuits retimed to several times more registers cost
+        # several times more per fault, the paper's Table II effect.
+        levels = []
+        frames = 1
+        while frames < limit:
+            levels.append(frames)
+            frames *= 2
+        levels.append(limit)
+        aborted_any = False
+        for frames in levels:
+            if meter.out_of_time() or (
+                deadline is not None and _time.perf_counter() >= deadline
+            ):
+                return PodemResult(False, None, total_backtracks, True, frames)
+            found, used, aborted = self._search(
+                fault,
+                faulty_step,
+                frames,
+                meter.budget.backtracks_per_fault,
+                meter,
+                deadline,
+            )
+            total_backtracks += used
+            if found is not None:
+                return PodemResult(True, found, total_backtracks, False, frames)
+            aborted_any = aborted_any or aborted
+        return PodemResult(False, None, total_backtracks, aborted_any, levels[-1])
+
+    # -- search over one frame count -------------------------------------------
+
+    def _search(
+        self,
+        fault: StuckAtFault,
+        faulty_step,
+        frames: int,
+        backtrack_limit: int,
+        meter: EffortMeter,
+        deadline: Optional[float] = None,
+    ):
+        import time as _time
+
+        inputs: List[List[Trit]] = [
+            [X] * self.num_inputs for _ in range(frames)
+        ]
+        decisions: List[Tuple[int, int, Trit, bool]] = []  # (frame, pi, value, flipped)
+        backtracks = 0
+        # Frame caches: frame records are (outputs, next_state, values).
+        good: List[Tuple] = []
+        bad: List[Tuple] = []
+        self._resim(inputs, 0, good, bad, faulty_step, meter)
+
+        while True:
+            if meter.out_of_time() or (
+                deadline is not None and _time.perf_counter() >= deadline
+            ):
+                return None, backtracks, True
+            if self._detected(good, bad):
+                return [tuple(v if v != X else ZERO for v in frame) for frame in inputs], backtracks, False
+            prune = self._prune(good, bad)
+            assignment = None
+            if not prune:
+                for objective in self._objective_candidates(
+                    fault, good, bad, frames
+                ):
+                    assignment = self._backtrace(objective, good, inputs)
+                    if assignment is not None:
+                        break
+            if assignment is None:
+                # Conflict or no way forward: chronological backtracking.
+                # Track the earliest frame touched by the pops so the frame
+                # cache is resimulated from the right point.
+                earliest = frames
+                while decisions:
+                    frame, pi, value, flipped = decisions.pop()
+                    inputs[frame][pi] = X
+                    earliest = min(earliest, frame)
+                    if not flipped:
+                        backtracks += 1
+                        meter.note_backtrack()
+                        if backtracks >= backtrack_limit:
+                            return None, backtracks, True
+                        inputs[frame][pi] = t_not(value)
+                        decisions.append((frame, pi, t_not(value), True))
+                        self._resim(inputs, earliest, good, bad, faulty_step, meter)
+                        break
+                else:
+                    return None, backtracks, False  # search space exhausted
+                continue
+            frame, pi, value = assignment
+            inputs[frame][pi] = value
+            decisions.append((frame, pi, value, False))
+            self._resim(inputs, frame, good, bad, faulty_step, meter)
+
+    # -- simulation -------------------------------------------------------------
+
+    def _resim(self, inputs, from_frame, good, bad, faulty_step, meter):
+        """Recompute frames ``from_frame ..`` in place (earlier frames are
+        unaffected by an input change at ``from_frame``)."""
+        meter.note_simulation()
+        del good[from_frame:]
+        del bad[from_frame:]
+        unknown = (X,) * self.num_registers
+        good_state = good[-1][1] if good else unknown
+        bad_state = bad[-1][1] if bad else unknown
+        good_step = self.good_step
+        for vector in inputs[from_frame:]:
+            vector = tuple(vector)
+            record = good_step(good_state, vector)
+            good.append(record)
+            good_state = record[1]
+            record = faulty_step(bad_state, vector)
+            bad.append(record)
+            bad_state = record[1]
+
+    def _detected(self, good, bad) -> bool:
+        for record_good, record_bad in zip(good, bad):
+            for g, b in zip(record_good[0], record_bad[0]):
+                if g != X and b != X and g != b:
+                    return True
+        return False
+
+    def _prune(self, good, bad) -> bool:
+        """Heuristic prune: identical, fully binary machine states at the
+        window's end mean no *stored* fault effect survives; the branch is
+        abandoned.  (This can sacrifice tests that would detect purely
+        combinationally in an earlier frame after further refinement --
+        a completeness/efficiency trade-off, counted against coverage like
+        any abort.)"""
+        final_good = good[-1][1]
+        final_bad = bad[-1][1]
+        if final_good != final_bad:
+            return False
+        if any(v == X for v in final_good):
+            return False
+        return True
+
+    # -- objectives ---------------------------------------------------------------
+
+    def _line_source(self, line: LineRef, frame: int):
+        """(node, frame) whose output drives this line, or None pre-window."""
+        edge = self.circuit.edge(line.edge_index)
+        source_frame = frame - (line.segment - 1)
+        if source_frame < 0:
+            return None
+        return edge.source, source_frame
+
+    def _excited_frames(self, fault: StuckAtFault, good) -> List[int]:
+        """Frames where the good machine provably drives the faulted line to
+        the complement of the stuck value (the faulty line is forced, so an
+        effect exists at the line in those frames)."""
+        desired = t_not(fault.value)
+        edge = self.circuit.edge(fault.line.edge_index)
+        slot = self.compiled.slot_of[edge.source]
+        frames = []
+        offset = fault.line.segment - 1
+        for frame in range(len(good)):
+            source_frame = frame - offset
+            if source_frame < 0:
+                continue
+            if good[source_frame][2][slot] == desired:
+                frames.append(frame)
+        return frames
+
+    def _objective_candidates(self, fault, good, bad, frames):
+        """Objectives to try, in preference order.
+
+        Excitation candidates target the *earliest* frames first: an
+        effect created early has the rest of the window to propagate
+        (exciting only in the last frame leaves no room to observe faults
+        whose effect must first traverse registers).
+        """
+        excited = self._excited_frames(fault, good)
+        candidates = []
+        if not excited and not self._effect_exists(good, bad):
+            edge = self.circuit.edge(fault.line.edge_index)
+            desired = t_not(fault.value)
+            slot = self.compiled.slot_of[edge.source]
+            latest = frames - 1 - (fault.line.segment - 1)
+            for target_frame in range(0, latest + 1):
+                if good[target_frame][2][slot] == X:
+                    candidates.append((edge.source, desired, target_frame))
+            return candidates
+        # Propagation: D-frontier gates closest to an output first; within
+        # a gate, the cheapest-to-control unknown side inputs first.
+        frontier = self._d_frontier(fault, good, bad, excited)
+        frontier.sort(key=lambda item: self._depth.get(item[0], 999))
+        for gate_name, frame in frontier:
+            node = self.circuit.node(gate_name)
+            controlling = node.gate_type.controlling_value if node.gate_type else None
+            non_controlling = (
+                t_not(controlling) if controlling is not None else ONE
+            )
+            gate_candidates = []
+            for edge in self.circuit.in_edges(gate_name):
+                located = self._line_source(
+                    LineRef(edge.index, edge.num_lines), frame
+                )
+                if located is None:
+                    continue
+                source, source_frame = located
+                value = good[source_frame][2][
+                    self.compiled.slot_of[source]
+                ]
+                if value != X:
+                    continue
+                gate_candidates.append(
+                    (
+                        self._control_cost.get(source, 10 ** 6),
+                        (source, non_controlling, source_frame),
+                    )
+                )
+            gate_candidates.sort(key=lambda item: item[0])
+            candidates.extend(objective for _, objective in gate_candidates)
+        return candidates
+
+    def _effect_exists(self, good, bad) -> bool:
+        for record_good, record_bad in zip(good, bad):
+            for g, b in zip(record_good[2], record_bad[2]):
+                if g != X and b != X and g != b:
+                    return True
+            for g, b in zip(record_good[1], record_bad[1]):
+                if g != X and b != X and g != b:
+                    return True
+        return False
+
+    def _d_frontier(self, fault, good, bad, excited_frames) -> List[Tuple[str, int]]:
+        """Gates with a provable input difference and undecided output.
+
+        The faulted line's own consumer is added explicitly for the frames
+        where the line is excited: the injection happens at the consumer's
+        read, so node values alone would miss it.
+        """
+        frontier: List[Tuple[str, int]] = []
+        names = self.circuit.topo_order()
+        for frame, (record_good, record_bad) in enumerate(zip(good, bad)):
+            for op in self.compiled.ops:
+                if op.kind is not NodeKind.GATE:
+                    continue
+                out_good = record_good[2][op.slot]
+                out_bad = record_bad[2][op.slot]
+                if out_good != X and out_bad != X and out_good != out_bad:
+                    continue  # effect already through this gate
+                if out_good != X and out_good == out_bad:
+                    continue  # blocked
+                for read in op.reads:
+                    if read.from_register:
+                        g_val = self._register_value(good, frame, read.index)
+                        b_val = self._register_value(bad, frame, read.index)
+                    else:
+                        g_val = record_good[2][read.index]
+                        b_val = record_bad[2][read.index]
+                    if g_val != X and b_val != X and g_val != b_val:
+                        frontier.append((names[op.slot], frame))
+                        break
+        fault_edge = self.circuit.edge(fault.line.edge_index)
+        if fault.line.segment == fault_edge.num_lines:
+            sink = self.circuit.node(fault_edge.sink)
+            if sink.kind is NodeKind.GATE:
+                for frame in excited_frames:
+                    frontier.append((fault_edge.sink, frame))
+        return frontier
+
+    def _register_value(self, steps, frame: int, register_slot: int):
+        """Value of a register (its content *entering* ``frame``)."""
+        if frame == 0:
+            return X
+        return steps[frame - 1][1][register_slot]
+
+    # -- backtrace -------------------------------------------------------------------
+
+    def _backtrace(self, objective, good, inputs):
+        """Walk an objective back to an unassigned primary input."""
+        node_name, value, frame = objective
+        for _ in range(10_000):
+            if frame < 0:
+                return None
+            node = self.circuit.node(node_name)
+            if node.kind is NodeKind.INPUT:
+                pi = self._pi_index[node_name]
+                if inputs[frame][pi] != X:
+                    return None  # already pinned: objective unreachable
+                return (frame, pi, value)
+            if node.kind in (NodeKind.CONST0, NodeKind.CONST1):
+                return None
+            if node.kind in (NodeKind.FANOUT, NodeKind.OUTPUT):
+                edge = self.circuit.in_edges(node_name)[0]
+                node_name = edge.source
+                frame -= edge.weight
+                continue
+            # GATE: translate the desired output into an input objective.
+            gate_type = node.gate_type
+            desired = value
+            if gate_type in (GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR):
+                desired = t_not(desired)
+            # For AND/NAND base: output 1 needs all inputs 1, output 0 needs
+            # one input 0; dually for OR/NOR.  For XOR pick any X input.
+            base_and = gate_type in (GateType.AND, GateType.NAND)
+            base_or = gate_type in (GateType.OR, GateType.NOR)
+            chosen = None
+            chosen_cost = None
+            for edge in self.circuit.in_edges(node_name):
+                source_frame = frame - edge.weight
+                if source_frame < 0:
+                    continue
+                slot = self.compiled.slot_of[edge.source]
+                current = good[source_frame][2][slot]
+                if current != X:
+                    continue
+                source_cost = self._control_cost.get(edge.source, 10 ** 6)
+                if chosen_cost is None or source_cost < chosen_cost:
+                    chosen = (edge.source, source_frame)
+                    chosen_cost = source_cost
+            if chosen is None:
+                return None
+            node_name, frame = chosen
+            if base_and:
+                value = ONE if desired == ONE else ZERO
+            elif base_or:
+                value = ZERO if desired == ZERO else ONE
+            elif gate_type in (GateType.NOT, GateType.BUF):
+                value = desired
+            else:  # XOR family: heuristic choice
+                value = desired
+        return None
+
+
+__all__ = ["PodemEngine", "PodemResult"]

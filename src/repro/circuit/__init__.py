@@ -1,0 +1,43 @@
+"""Gate-level sequential circuit substrate.
+
+Implements the paper's circuit model (Sections II-III): synchronous
+sequential circuits of combinational gates and edge-triggered D flip-flops,
+represented as edge-weighted directed graphs whose weights count the
+flip-flops on each interconnection and whose edges decompose into *lines*
+(the stuck-at fault sites of Fig. 4).
+"""
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.bench_io import parse_bench, read_bench, write_bench
+from repro.circuit.netlist import (
+    Circuit,
+    CircuitError,
+    Edge,
+    LineRef,
+    Node,
+    RegisterRef,
+)
+from repro.circuit.types import GateType, NodeKind, eval_gate, eval_gate_vector
+from repro.circuit.verilog_io import write_verilog
+from repro.circuit.validate import check, is_valid, validate
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "CircuitError",
+    "Edge",
+    "Node",
+    "LineRef",
+    "RegisterRef",
+    "GateType",
+    "NodeKind",
+    "eval_gate",
+    "eval_gate_vector",
+    "parse_bench",
+    "read_bench",
+    "write_bench",
+    "write_verilog",
+    "validate",
+    "check",
+    "is_valid",
+]

@@ -1,0 +1,279 @@
+"""Signal-level construction of circuit graphs.
+
+Users describe circuits the way netlists are written -- named signals,
+gates over signals, D flip-flops between signals -- and the builder compiles
+that description into the paper's graph model:
+
+* every D flip-flop becomes one unit of weight on the appropriate edge;
+* every signal consumed by more than one sink gets an explicit fanout stem
+  vertex, with registers distributed onto the correct side of each branch
+  point (a register *before* a fanout point is shared; registers *after* it
+  are per-branch).
+
+Example::
+
+    builder = CircuitBuilder("c1")
+    builder.input("a")
+    builder.input("b")
+    builder.gate("g1", GateType.AND, ["a", "q"])
+    builder.dff("q", "g1")          # q is the flip-flop output
+    builder.output("z", "g1")
+    circuit = builder.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit, CircuitError, Edge, Node
+from repro.circuit.types import GateType, NodeKind
+
+
+@dataclass
+class _SignalDef:
+    """How a signal is produced."""
+
+    name: str
+    kind: str  # "input" | "gate" | "dff" | "const0" | "const1"
+    gate_type: Optional[GateType] = None
+    operands: List[str] = field(default_factory=list)
+
+
+@dataclass
+class _Forest:
+    """Consumers of one signal: direct terminals plus register subtrees.
+
+    Each child is ``(dff_name, subforest)``: the flip-flop whose output
+    feeds the subforest's consumers.
+    """
+
+    terminals: List[Tuple[str, int]] = field(default_factory=list)
+    children: List[Tuple[str, "_Forest"]] = field(default_factory=list)
+
+    def sink_count(self) -> int:
+        return len(self.terminals) + sum(c.sink_count() for _, c in self.children)
+
+
+class CircuitBuilder:
+    """Accumulates a signal-level description and compiles a :class:`Circuit`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._signals: Dict[str, _SignalDef] = {}
+        self._outputs: List[Tuple[str, str]] = []  # (po name, signal)
+        self._order: List[str] = []
+
+    # -- declaration API ----------------------------------------------------
+
+    def input(self, name: str) -> str:
+        """Declare a primary input signal."""
+        self._define(_SignalDef(name, "input"))
+        return name
+
+    def gate(self, name: str, gate_type: GateType, operands: Sequence[str]) -> str:
+        """Declare a gate whose output signal is ``name``."""
+        operands = list(operands)
+        if not gate_type.min_arity <= len(operands) <= gate_type.max_arity:
+            raise CircuitError(
+                f"gate {name!r}: {gate_type.value} cannot take {len(operands)} inputs"
+            )
+        self._define(_SignalDef(name, "gate", gate_type, operands))
+        return name
+
+    def dff(self, name: str, data: str) -> str:
+        """Declare a D flip-flop: signal ``name`` is ``data`` delayed one cycle."""
+        self._define(_SignalDef(name, "dff", operands=[data]))
+        return name
+
+    def const0(self, name: str) -> str:
+        """Declare a constant-0 signal."""
+        self._define(_SignalDef(name, "const0"))
+        return name
+
+    def const1(self, name: str) -> str:
+        """Declare a constant-1 signal."""
+        self._define(_SignalDef(name, "const1"))
+        return name
+
+    def output(self, name: str, signal: str) -> None:
+        """Declare a primary output observing ``signal``."""
+        if name in self._signals or any(name == po for po, _ in self._outputs):
+            raise CircuitError(f"duplicate name {name!r}")
+        self._outputs.append((name, signal))
+
+    # convenience single-gate wrappers -------------------------------------
+
+    def and_(self, name: str, *operands: str) -> str:
+        return self.gate(name, GateType.AND, operands)
+
+    def or_(self, name: str, *operands: str) -> str:
+        return self.gate(name, GateType.OR, operands)
+
+    def nand(self, name: str, *operands: str) -> str:
+        return self.gate(name, GateType.NAND, operands)
+
+    def nor(self, name: str, *operands: str) -> str:
+        return self.gate(name, GateType.NOR, operands)
+
+    def xor(self, name: str, *operands: str) -> str:
+        return self.gate(name, GateType.XOR, operands)
+
+    def xnor(self, name: str, *operands: str) -> str:
+        return self.gate(name, GateType.XNOR, operands)
+
+    def not_(self, name: str, operand: str) -> str:
+        return self.gate(name, GateType.NOT, [operand])
+
+    def buf(self, name: str, operand: str) -> str:
+        return self.gate(name, GateType.BUF, [operand])
+
+    # -- compilation ----------------------------------------------------------
+
+    def build(self, allow_dangling: bool = False) -> Circuit:
+        """Compile the accumulated description into a :class:`Circuit`.
+
+        Raises :class:`CircuitError` for undefined signals, dangling logic
+        (unless ``allow_dangling``), or structural violations.
+        """
+        self._check_references()
+        nodes: Dict[str, Node] = {}
+        consumers: Dict[str, List[Tuple[str, int]]] = {s: [] for s in self._signals}
+        dff_readers: Dict[str, List[str]] = {s: [] for s in self._signals}
+
+        for signal in self._order:
+            definition = self._signals[signal]
+            if definition.kind == "input":
+                nodes[signal] = Node(signal, NodeKind.INPUT)
+            elif definition.kind == "gate":
+                nodes[signal] = Node(signal, NodeKind.GATE, definition.gate_type)
+                for pin, operand in enumerate(definition.operands):
+                    consumers[operand].append((signal, pin))
+            elif definition.kind == "dff":
+                dff_readers[definition.operands[0]].append(signal)
+            elif definition.kind == "const0":
+                nodes[signal] = Node(signal, NodeKind.CONST0)
+            elif definition.kind == "const1":
+                nodes[signal] = Node(signal, NodeKind.CONST1)
+
+        for po_name, signal in self._outputs:
+            nodes[po_name] = Node(po_name, NodeKind.OUTPUT)
+            consumers[signal].append((po_name, 0))
+
+        edges: List[Edge] = []
+        stem_counter = [0]
+        register_names: Dict[Tuple[int, int], str] = {}
+
+        def forest_of(signal: str) -> _Forest:
+            forest = _Forest(terminals=list(consumers[signal]))
+            for dff_out in dff_readers[signal]:
+                forest.children.append((dff_out, forest_of(dff_out)))
+            return forest
+
+        def new_stem(base: str) -> str:
+            stem_counter[0] += 1
+            name = f"{base}#fo{stem_counter[0]}"
+            while name in nodes:
+                stem_counter[0] += 1
+                name = f"{base}#fo{stem_counter[0]}"
+            nodes[name] = Node(name, NodeKind.FANOUT)
+            return name
+
+        def note_registers(edge_index: int, chain: List[str]) -> None:
+            for position, dff_name in enumerate(chain, start=1):
+                register_names[(edge_index, position)] = dff_name
+
+        def emit(source: str, forest: _Forest, chain: List[str]) -> None:
+            sinks = forest.sink_count()
+            if sinks == 0:
+                return
+            if sinks == 1:
+                if forest.terminals:
+                    sink, pin = forest.terminals[0]
+                    edges.append(Edge(len(edges), source, sink, pin, len(chain)))
+                    note_registers(edges[-1].index, chain)
+                else:
+                    dff_name, only_child = next(
+                        (n, c) for n, c in forest.children if c.sink_count()
+                    )
+                    emit(source, only_child, chain + [dff_name])
+                return
+            # Collapse pure register chains before the first real branch point.
+            if not forest.terminals:
+                live = [(n, c) for n, c in forest.children if c.sink_count()]
+                if len(live) == 1:
+                    emit(source, live[0][1], chain + [live[0][0]])
+                    return
+            stem = new_stem(source)
+            edges.append(Edge(len(edges), source, stem, 0, len(chain)))
+            note_registers(edges[-1].index, chain)
+            for sink, pin in forest.terminals:
+                edges.append(Edge(len(edges), stem, sink, pin, 0))
+            for dff_name, child in forest.children:
+                if child.sink_count():
+                    emit(stem, child, [dff_name])
+
+        for signal in self._order:
+            if self._signals[signal].kind == "dff":
+                continue  # covered by its driver's forest
+            forest = forest_of(signal)
+            if forest.sink_count() == 0:
+                # Unused primary inputs are tolerated (benchmark netlists
+                # contain them); dangling logic is an error unless allowed.
+                if self._signals[signal].kind == "input" or allow_dangling:
+                    continue
+                raise CircuitError(f"signal {signal!r} drives nothing")
+            emit(signal, forest, [])
+
+        if not allow_dangling:
+            self._check_dangling_dffs()
+        circuit = Circuit(self.name, nodes, edges)
+        circuit.topo_order()  # fail fast on combinational cycles
+        # Record which declared flip-flop each register instance realizes:
+        # RegisterRef(edge, position) -> dff signal name.  Exposed both on
+        # the builder and (as plain metadata) on the circuit.
+        from repro.circuit.netlist import RegisterRef
+
+        self.register_names = {
+            RegisterRef(edge_index, position): name
+            for (edge_index, position), name in register_names.items()
+        }
+        circuit.register_names = dict(self.register_names)
+        return circuit
+
+    # -- internal -------------------------------------------------------------
+
+    def _define(self, definition: _SignalDef) -> None:
+        if definition.name in self._signals:
+            raise CircuitError(f"duplicate signal {definition.name!r}")
+        if "#" in definition.name:
+            raise CircuitError(f"signal names may not contain '#': {definition.name!r}")
+        self._signals[definition.name] = definition
+        self._order.append(definition.name)
+
+    def _check_references(self) -> None:
+        for definition in self._signals.values():
+            for operand in definition.operands:
+                if operand not in self._signals:
+                    raise CircuitError(
+                        f"{definition.name!r} references undefined signal {operand!r}"
+                    )
+        for po_name, signal in self._outputs:
+            if signal not in self._signals:
+                raise CircuitError(
+                    f"output {po_name!r} references undefined signal {signal!r}"
+                )
+        if not self._outputs:
+            raise CircuitError("circuit has no primary outputs")
+
+    def _check_dangling_dffs(self) -> None:
+        used = set()
+        for definition in self._signals.values():
+            used.update(definition.operands)
+        used.update(signal for _, signal in self._outputs)
+        for definition in self._signals.values():
+            if definition.kind == "dff" and definition.name not in used:
+                raise CircuitError(f"flip-flop {definition.name!r} drives nothing")
+
+
+__all__ = ["CircuitBuilder"]

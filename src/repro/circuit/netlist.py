@@ -1,0 +1,309 @@
+"""The circuit graph model: vertices, weighted edges, registers and lines.
+
+A :class:`Circuit` is the paper's ``G = (V, E, W)``:
+
+* vertices (:class:`Node`) are primary inputs, primary outputs, single-output
+  combinational gates, fanout stems and constants;
+* edges (:class:`Edge`) are interconnections, each carrying a non-negative
+  integer weight = the number of D flip-flops in series on that
+  interconnection;
+* an edge of weight ``w`` consists of ``w + 1`` *lines* (paper Fig. 4),
+  numbered ``1 .. w+1`` from the source side; line ``i`` (``i >= 2``) is
+  driven by register ``i-1`` on the edge.  Lines are the stuck-at fault
+  sites.
+
+Retiming never changes the vertex/edge structure -- only the weights -- so a
+circuit and all of its retimed versions share node names and edge indices.
+That shared identity is what makes the paper's *corresponding fault* relation
+(Section IV-B) directly computable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuit.types import GateType, NodeKind, gate_delay
+
+
+@dataclass(frozen=True)
+class Node:
+    """A vertex of the circuit graph."""
+
+    name: str
+    kind: NodeKind
+    gate_type: Optional[GateType] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is NodeKind.GATE and self.gate_type is None:
+            raise ValueError(f"gate node {self.name!r} requires a gate_type")
+        if self.kind is not NodeKind.GATE and self.gate_type is not None:
+            raise ValueError(f"non-gate node {self.name!r} cannot have a gate_type")
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A weighted interconnection from ``source`` to pin ``sink_pin`` of ``sink``."""
+
+    index: int
+    source: str
+    sink: str
+    sink_pin: int
+    weight: int
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"edge {self.index} has negative weight {self.weight}")
+
+    @property
+    def num_lines(self) -> int:
+        """An edge of weight ``w`` is divided into ``w + 1`` lines (Fig. 4)."""
+        return self.weight + 1
+
+
+@dataclass(frozen=True, order=True)
+class RegisterRef:
+    """Register ``position`` (1-based, counted from the source) on an edge."""
+
+    edge_index: int
+    position: int
+
+
+@dataclass(frozen=True, order=True)
+class LineRef:
+    """Line ``segment`` (1-based, counted from the source) of an edge.
+
+    Segment 1 is driven by the edge's source vertex; segment ``i >= 2`` is
+    driven by register ``i - 1``; segment ``weight + 1`` feeds the sink.
+    """
+
+    edge_index: int
+    segment: int
+
+
+class CircuitError(ValueError):
+    """Raised for structural violations of the circuit model."""
+
+
+@dataclass
+class Circuit:
+    """An immutable-by-convention synchronous sequential circuit.
+
+    Instances are normally produced by :class:`repro.circuit.builder.
+    CircuitBuilder` or by the retiming engine.  After construction the
+    structure must not be mutated; retiming produces new instances via
+    :meth:`with_weights`.
+    """
+
+    name: str
+    nodes: Dict[str, Node] = field(default_factory=dict)
+    edges: List[Edge] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._in_edges: Dict[str, List[int]] = {}
+        self._out_edges: Dict[str, List[int]] = {}
+        self._input_names: List[str] = []
+        self._output_names: List[str] = []
+        self._rebuild_indexes()
+
+    # -- construction helpers (used by builders, not end users) ----------
+
+    def _rebuild_indexes(self) -> None:
+        self._in_edges = {name: [] for name in self.nodes}
+        self._out_edges = {name: [] for name in self.nodes}
+        for edge in self.edges:
+            if edge.source not in self.nodes:
+                raise CircuitError(f"edge {edge.index}: unknown source {edge.source!r}")
+            if edge.sink not in self.nodes:
+                raise CircuitError(f"edge {edge.index}: unknown sink {edge.sink!r}")
+            self._in_edges[edge.sink].append(edge.index)
+            self._out_edges[edge.source].append(edge.index)
+        for name, indexes in self._in_edges.items():
+            indexes.sort(key=lambda i: self.edges[i].sink_pin)
+            pins = [self.edges[i].sink_pin for i in indexes]
+            if pins != list(range(len(pins))):
+                raise CircuitError(f"node {name!r} has non-contiguous input pins {pins}")
+        self._input_names = sorted(
+            (n.name for n in self.nodes.values() if n.kind is NodeKind.INPUT)
+        )
+        self._output_names = sorted(
+            (n.name for n in self.nodes.values() if n.kind is NodeKind.OUTPUT)
+        )
+        self._topo_cache: Optional[List[str]] = None
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def input_names(self) -> List[str]:
+        """Primary input names, sorted (stable vector ordering)."""
+        return list(self._input_names)
+
+    @property
+    def output_names(self) -> List[str]:
+        """Primary output names, sorted (stable vector ordering)."""
+        return list(self._output_names)
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def edge(self, index: int) -> Edge:
+        return self.edges[index]
+
+    def in_edges(self, name: str) -> List[Edge]:
+        """Input edges of a node, ordered by sink pin."""
+        return [self.edges[i] for i in self._in_edges[name]]
+
+    def out_edges(self, name: str) -> List[Edge]:
+        return [self.edges[i] for i in self._out_edges[name]]
+
+    def gate_nodes(self) -> List[Node]:
+        return [n for n in self.nodes.values() if n.kind is NodeKind.GATE]
+
+    def fanout_stems(self) -> List[Node]:
+        """All explicit fanout stem vertices."""
+        return [n for n in self.nodes.values() if n.kind is NodeKind.FANOUT]
+
+    def num_gates(self) -> int:
+        return sum(1 for n in self.nodes.values() if n.kind is NodeKind.GATE)
+
+    # -- registers and lines ------------------------------------------------
+
+    def registers(self) -> List[RegisterRef]:
+        """All registers, in canonical (edge, position) order."""
+        refs = []
+        for edge in self.edges:
+            for position in range(1, edge.weight + 1):
+                refs.append(RegisterRef(edge.index, position))
+        return refs
+
+    def num_registers(self) -> int:
+        return sum(edge.weight for edge in self.edges)
+
+    def lines(self) -> List[LineRef]:
+        """All lines, in canonical (edge, segment) order."""
+        refs = []
+        for edge in self.edges:
+            for segment in range(1, edge.num_lines + 1):
+                refs.append(LineRef(edge.index, segment))
+        return refs
+
+    def num_lines(self) -> int:
+        return sum(edge.num_lines for edge in self.edges)
+
+    # -- structure ----------------------------------------------------------
+
+    def topo_order(self) -> List[str]:
+        """Topological order of vertices over zero-weight edges.
+
+        Edges with weight >= 1 deliver register outputs and impose no
+        combinational ordering.  Raises :class:`CircuitError` on a
+        zero-weight (combinational) cycle.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        indegree = {name: 0 for name in self.nodes}
+        for edge in self.edges:
+            if edge.weight == 0:
+                indegree[edge.sink] += 1
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        order: List[str] = []
+        stack = list(reversed(ready))
+        while stack:
+            name = stack.pop()
+            order.append(name)
+            for edge_index in self._out_edges[name]:
+                edge = self.edges[edge_index]
+                if edge.weight == 0:
+                    indegree[edge.sink] -= 1
+                    if indegree[edge.sink] == 0:
+                        stack.append(edge.sink)
+        if len(order) != len(self.nodes):
+            stuck = sorted(set(self.nodes) - set(order))
+            raise CircuitError(f"combinational cycle through {stuck[:6]}")
+        self._topo_cache = order
+        return list(order)
+
+    def clock_period(self, delay: Optional[Callable[[Node], int]] = None) -> int:
+        """Length of the longest zero-weight (purely combinational) path.
+
+        The default delay model is the paper's: gate delay = number of
+        inputs (1 for NOT/BUF); stems, constants and I/O pins are free.
+        """
+        if delay is None:
+            delay = self.default_delay
+        arrival = {name: 0 for name in self.nodes}
+        for name in self.topo_order():
+            arrival[name] += delay(self.nodes[name])
+            for edge in self.out_edges(name):
+                if edge.weight == 0 and arrival[edge.sink] < arrival[name]:
+                    arrival[edge.sink] = arrival[name]
+        return max(arrival.values(), default=0)
+
+    def default_delay(self, node: Node) -> int:
+        """The paper's delay model (see :func:`repro.circuit.types.gate_delay`)."""
+        if node.kind is NodeKind.GATE:
+            return gate_delay(node.gate_type, len(self._in_edges[node.name]))
+        return 0
+
+    # -- derivation ----------------------------------------------------------
+
+    def with_weights(self, weights: Sequence[int], name: Optional[str] = None) -> "Circuit":
+        """A structurally identical circuit with new edge weights.
+
+        This is how retimed circuits are materialized: node names and edge
+        indices are preserved, so faults and lines can be related across the
+        transformation.
+        """
+        if len(weights) != len(self.edges):
+            raise CircuitError(
+                f"expected {len(self.edges)} weights, got {len(weights)}"
+            )
+        new_edges = [
+            Edge(e.index, e.source, e.sink, e.sink_pin, int(w))
+            for e, w in zip(self.edges, weights)
+        ]
+        return Circuit(name or self.name, dict(self.nodes), new_edges)
+
+    def weights(self) -> List[int]:
+        return [edge.weight for edge in self.edges]
+
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        return Circuit(name or self.name, dict(self.nodes), list(self.edges))
+
+    # -- display --------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Headline structural statistics."""
+        return {
+            "inputs": len(self._input_names),
+            "outputs": len(self._output_names),
+            "gates": self.num_gates(),
+            "stems": len(self.fanout_stems()),
+            "dffs": self.num_registers(),
+            "lines": self.num_lines(),
+            "clock_period": self.clock_period(),
+        }
+
+    def __str__(self) -> str:
+        s = self.stats()
+        return (
+            f"Circuit({self.name}: {s['inputs']} PI, {s['outputs']} PO, "
+            f"{s['gates']} gates, {s['dffs']} DFFs, period {s['clock_period']})"
+        )
+
+
+def iter_edge_lines(edge: Edge) -> Iterator[LineRef]:
+    """The lines of one edge, source side first."""
+    for segment in range(1, edge.num_lines + 1):
+        yield LineRef(edge.index, segment)
+
+
+__all__ = [
+    "Node",
+    "Edge",
+    "RegisterRef",
+    "LineRef",
+    "Circuit",
+    "CircuitError",
+    "iter_edge_lines",
+]

@@ -1,0 +1,171 @@
+"""Node and gate type vocabulary for the circuit graph model.
+
+The paper (Section III) models a synchronous sequential circuit as a finite
+edge-weighted directed graph ``G = (V, E, W)`` whose vertices are I/O pins,
+single-output combinational gates and fanout stems, and whose edge weights
+count the D flip-flops along each interconnection.  This module defines the
+vertex kinds and the combinational gate functions over both the scalar
+three-valued algebra and the bit-parallel encoding.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Sequence
+
+from repro.logic.bitparallel import BitVec
+from repro.logic.three_valued import (
+    ONE,
+    Trit,
+    ZERO,
+    t_and,
+    t_nand,
+    t_nor,
+    t_not,
+    t_or,
+    t_xnor,
+    t_xor,
+)
+
+
+class NodeKind(enum.Enum):
+    """Kind of a vertex in the circuit graph."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    GATE = "gate"
+    FANOUT = "fanout"
+    CONST0 = "const0"
+    CONST1 = "const1"
+
+
+class GateType(enum.Enum):
+    """Single-output combinational gate functions."""
+
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    NOT = "not"
+    BUF = "buf"
+
+    @property
+    def min_arity(self) -> int:
+        return 1
+
+    @property
+    def max_arity(self) -> int:
+        if self in (GateType.NOT, GateType.BUF):
+            return 1
+        return 64
+
+    @property
+    def inverting(self) -> bool:
+        """True for gates whose output is an inversion of the base function."""
+        return self in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT)
+
+    @property
+    def controlling_value(self):
+        """The input value that determines the output alone, or ``None``.
+
+        For AND/NAND it is 0; for OR/NOR it is 1; XOR-family and unary gates
+        have no controlling value.
+        """
+        if self in (GateType.AND, GateType.NAND):
+            return ZERO
+        if self in (GateType.OR, GateType.NOR):
+            return ONE
+        return None
+
+    @property
+    def controlled_response(self):
+        """Output produced when some input carries the controlling value."""
+        if self is GateType.AND:
+            return ZERO
+        if self is GateType.NAND:
+            return ONE
+        if self is GateType.OR:
+            return ONE
+        if self is GateType.NOR:
+            return ZERO
+        return None
+
+
+_SCALAR_EVAL: dict = {
+    GateType.AND: t_and,
+    GateType.OR: t_or,
+    GateType.NAND: t_nand,
+    GateType.NOR: t_nor,
+    GateType.XOR: t_xor,
+    GateType.XNOR: t_xnor,
+    GateType.NOT: lambda a: t_not(a),
+    GateType.BUF: lambda a: a,
+}
+
+
+def eval_gate(gate_type: GateType, inputs: Sequence[Trit]) -> Trit:
+    """Evaluate a gate over scalar three-valued inputs."""
+    return _SCALAR_EVAL[gate_type](*inputs)
+
+
+def _bv_and(inputs: Sequence[BitVec]) -> BitVec:
+    result = inputs[0]
+    for value in inputs[1:]:
+        result = result & value
+    return result
+
+
+def _bv_or(inputs: Sequence[BitVec]) -> BitVec:
+    result = inputs[0]
+    for value in inputs[1:]:
+        result = result | value
+    return result
+
+
+def _bv_xor(inputs: Sequence[BitVec]) -> BitVec:
+    result = inputs[0]
+    for value in inputs[1:]:
+        result = result ^ value
+    return result
+
+
+_VECTOR_EVAL: dict = {
+    GateType.AND: _bv_and,
+    GateType.OR: _bv_or,
+    GateType.NAND: lambda inputs: ~_bv_and(inputs),
+    GateType.NOR: lambda inputs: ~_bv_or(inputs),
+    GateType.XOR: _bv_xor,
+    GateType.XNOR: lambda inputs: ~_bv_xor(inputs),
+    GateType.NOT: lambda inputs: ~inputs[0],
+    GateType.BUF: lambda inputs: inputs[0],
+}
+
+
+def eval_gate_vector(gate_type: GateType, inputs: Sequence[BitVec]) -> BitVec:
+    """Evaluate a gate over bit-parallel dual-rail inputs."""
+    return _VECTOR_EVAL[gate_type](inputs)
+
+
+def gate_delay(gate_type: GateType, arity: int) -> int:
+    """Delay model from the paper's Fig. 2 example.
+
+    The paper assumes "the delay of a combinational gate is related to the
+    number of its inputs"; we take delay = arity for multi-input gates and 1
+    for inverters/buffers.
+    """
+    if gate_type in (GateType.NOT, GateType.BUF):
+        return 1
+    return arity
+
+
+EvalFn = Callable[[Sequence[Trit]], Trit]
+
+__all__ = [
+    "NodeKind",
+    "GateType",
+    "eval_gate",
+    "eval_gate_vector",
+    "gate_delay",
+]

@@ -1,0 +1,78 @@
+"""Structural validation of circuit graphs.
+
+Checks the invariants of the paper's graph model:
+
+* primary inputs, gates and constants have exactly one output edge
+  (all sharing goes through explicit fanout stems);
+* fanout stems have exactly one input edge and at least two output edges;
+* primary outputs have exactly one input edge and none out;
+* gate arities are legal for their gate types;
+* every directed cycle carries at least one register (no combinational
+  loops) -- this is the global well-formedness condition retiming must
+  maintain (all retimed weights non-negative and cycle weights invariant).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuit.netlist import Circuit, CircuitError
+from repro.circuit.types import NodeKind
+
+
+def validate(circuit: Circuit) -> None:
+    """Raise :class:`CircuitError` on the first structural violation."""
+    problems = check(circuit)
+    if problems:
+        raise CircuitError(f"{circuit.name}: " + "; ".join(problems[:5]))
+
+
+def check(circuit: Circuit) -> List[str]:
+    """Return a list of human-readable structural problems (empty if valid)."""
+    problems: List[str] = []
+    for node in circuit.nodes.values():
+        fan_in = len(circuit.in_edges(node.name))
+        fan_out = len(circuit.out_edges(node.name))
+        if node.kind is NodeKind.INPUT:
+            if fan_in != 0:
+                problems.append(f"input {node.name!r} has {fan_in} input edges")
+            if fan_out > 1:
+                problems.append(f"input {node.name!r} has {fan_out} output edges")
+        elif node.kind is NodeKind.OUTPUT:
+            if fan_in != 1:
+                problems.append(f"output {node.name!r} has {fan_in} input edges")
+            if fan_out != 0:
+                problems.append(f"output {node.name!r} has {fan_out} output edges")
+        elif node.kind is NodeKind.GATE:
+            if fan_out != 1:
+                problems.append(f"gate {node.name!r} has {fan_out} output edges")
+            if not node.gate_type.min_arity <= fan_in <= node.gate_type.max_arity:
+                problems.append(
+                    f"gate {node.name!r} ({node.gate_type.value}) has arity {fan_in}"
+                )
+        elif node.kind is NodeKind.FANOUT:
+            if fan_in != 1:
+                problems.append(f"stem {node.name!r} has {fan_in} input edges")
+            if fan_out < 2:
+                problems.append(f"stem {node.name!r} has fanout {fan_out}")
+        elif node.kind in (NodeKind.CONST0, NodeKind.CONST1):
+            if fan_in != 0:
+                problems.append(f"constant {node.name!r} has {fan_in} input edges")
+            if fan_out != 1:
+                problems.append(f"constant {node.name!r} has {fan_out} output edges")
+    for edge in circuit.edges:
+        if edge.weight < 0:
+            problems.append(f"edge {edge.index} has negative weight {edge.weight}")
+    try:
+        circuit.topo_order()
+    except CircuitError as error:
+        problems.append(str(error))
+    return problems
+
+
+def is_valid(circuit: Circuit) -> bool:
+    """True when :func:`check` finds no problems."""
+    return not check(circuit)
+
+
+__all__ = ["validate", "check", "is_valid"]

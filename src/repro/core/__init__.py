@@ -1,0 +1,43 @@
+"""The paper's contribution as a high-level API.
+
+* :mod:`repro.core.preservation` -- prefix lengths, derived test sets and
+  empirical verification of Theorem 4;
+* :mod:`repro.core.flow` -- the Fig. 6 retime-for-testability ATPG flow;
+* :mod:`repro.core.experiments` -- drivers for Tables I-III;
+* :mod:`repro.core.report` -- plain-text table rendering.
+"""
+
+from repro.core.experiments import (
+    TABLE2_CIRCUITS,
+    CircuitPair,
+    CircuitSpec,
+    build_pair,
+    table2_row,
+    table3_row,
+)
+from repro.core.flow import FlowResult, retime_for_testability_flow
+from repro.core.preservation import (
+    PreservationPlan,
+    PreservationReport,
+    derive_test_set,
+    preservation_plan,
+    verify_preservation,
+)
+from repro.core.report import format_table
+
+__all__ = [
+    "preservation_plan",
+    "PreservationPlan",
+    "derive_test_set",
+    "verify_preservation",
+    "PreservationReport",
+    "retime_for_testability_flow",
+    "FlowResult",
+    "TABLE2_CIRCUITS",
+    "CircuitSpec",
+    "CircuitPair",
+    "build_pair",
+    "table2_row",
+    "table3_row",
+    "format_table",
+]

@@ -1,0 +1,35 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_table(rows: Sequence[Dict[str, Cell]], columns: Sequence[str]) -> str:
+    """Render rows as an aligned plain-text table (paper-style)."""
+    def render(value: Cell) -> str:
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        return str(value)
+
+    widths = {column: len(column) for column in columns}
+    rendered_rows: List[Dict[str, str]] = []
+    for row in rows:
+        rendered = {column: render(row.get(column, "")) for column in columns}
+        rendered_rows.append(rendered)
+        for column in columns:
+            widths[column] = max(widths[column], len(rendered[column]))
+    lines = [
+        "  ".join(column.ljust(widths[column]) for column in columns),
+        "  ".join("-" * widths[column] for column in columns),
+    ]
+    for rendered in rendered_rows:
+        lines.append(
+            "  ".join(rendered[column].rjust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["format_table"]

@@ -1,0 +1,54 @@
+"""Explicit state-space analysis: the paper's Section II machinery.
+
+STG extraction (including faulty machines), state equivalence via joint
+partition refinement, space/time containment and equivalence relations, and
+structural/functional synchronizing sequences.
+"""
+
+from repro.equivalence.explicit import (
+    ExplicitSTG,
+    StateSpaceTooLarge,
+    all_vectors,
+    extract_stg,
+)
+from repro.equivalence.relations import (
+    StateClassification,
+    classify,
+    space_contains,
+    space_equivalent,
+    states_equivalent,
+    time_contains,
+    time_equivalence_bound,
+)
+from repro.equivalence.syncseq import (
+    covered_states,
+    find_functional_sync_sequence,
+    find_structural_sync_sequence,
+    functional_final_states,
+    is_functional_sync_sequence,
+    is_structural_sync_sequence,
+    structural_final_state,
+    synchronizes_up_to_equivalence,
+)
+
+__all__ = [
+    "ExplicitSTG",
+    "extract_stg",
+    "all_vectors",
+    "StateSpaceTooLarge",
+    "classify",
+    "StateClassification",
+    "states_equivalent",
+    "space_contains",
+    "space_equivalent",
+    "time_contains",
+    "time_equivalence_bound",
+    "is_structural_sync_sequence",
+    "synchronizes_up_to_equivalence",
+    "covered_states",
+    "structural_final_state",
+    "find_structural_sync_sequence",
+    "is_functional_sync_sequence",
+    "functional_final_states",
+    "find_functional_sync_sequence",
+]

@@ -1,0 +1,149 @@
+"""Explicit state-transition-graph extraction from gate-level circuits.
+
+The paper's Section II definitions (state equivalence, space/time
+containment, functional synchronizing sequences) are all properties of the
+state transition graph.  For circuits with a modest number of flip-flops
+(the paper's examples have 1-3, the synthesized benchmarks 5-7) the STG can
+be built exactly by enumerating all binary states and input vectors and
+simulating one clock cycle for each pair.
+
+Faulty machines are first-class: pass a fault to :func:`extract_stg` to get
+the STG of the faulty circuit ``K^f``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.faults.model import StuckAtFault
+from repro.simulation.sequential import SequentialSimulator
+
+State = Tuple[int, ...]
+Vector = Tuple[int, ...]
+
+MAX_EXPLICIT_REGISTERS = 16
+MAX_EXPLICIT_INPUTS = 10
+
+
+class StateSpaceTooLarge(ValueError):
+    """Raised when explicit enumeration would be intractable."""
+
+
+@dataclass(frozen=True)
+class ExplicitSTG:
+    """A fully enumerated Mealy machine."""
+
+    name: str
+    num_inputs: int
+    num_registers: int
+    alphabet: Tuple[Vector, ...]
+    states: Tuple[State, ...]
+    next_state: Dict[Tuple[State, Vector], State]
+    output: Dict[Tuple[State, Vector], Tuple[int, ...]]
+
+    def successors(self, state: State) -> List[State]:
+        return [self.next_state[(state, vector)] for vector in self.alphabet]
+
+    def step_set(self, states: Iterable[State], vector: Vector) -> FrozenSet[State]:
+        """Image of a state set under one input vector."""
+        return frozenset(self.next_state[(state, vector)] for state in states)
+
+    def run(self, state: State, vectors: Sequence[Vector]) -> Tuple[State, List[Tuple[int, ...]]]:
+        """Final state and per-cycle outputs from ``state`` under ``vectors``."""
+        outputs = []
+        current = state
+        for vector in vectors:
+            outputs.append(self.output[(current, vector)])
+            current = self.next_state[(current, vector)]
+        return current, outputs
+
+    def states_after(self, steps: int) -> FrozenSet[State]:
+        """``K_i``: states reachable from *any* state after ``i`` transitions."""
+        current: FrozenSet[State] = frozenset(self.states)
+        for _ in range(steps):
+            current = frozenset(
+                self.next_state[(state, vector)]
+                for state in current
+                for vector in self.alphabet
+            )
+        return current
+
+    def reachable_from(self, start: State) -> FrozenSet[State]:
+        """All states reachable from ``start`` (the paper's *valid states*
+        when ``start`` is a reset state)."""
+        seen: Set[State] = {start}
+        frontier = [start]
+        while frontier:
+            state = frontier.pop()
+            for successor in self.successors(state):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return frozenset(seen)
+
+
+def all_vectors(width: int) -> List[Vector]:
+    """All binary vectors of ``width`` bits, lexicographic."""
+    return [tuple(bits) for bits in itertools.product((0, 1), repeat=width)]
+
+
+def extract_stg(
+    circuit: Circuit,
+    fault: Optional[StuckAtFault] = None,
+    alphabet: Optional[Sequence[Vector]] = None,
+) -> ExplicitSTG:
+    """Enumerate the (possibly faulty) machine's full STG.
+
+    Raises :class:`StateSpaceTooLarge` when the circuit has more than
+    ``MAX_EXPLICIT_REGISTERS`` flip-flops or ``MAX_EXPLICIT_INPUTS`` inputs
+    (with the default full alphabet).
+    """
+    num_registers = circuit.num_registers()
+    if num_registers > MAX_EXPLICIT_REGISTERS:
+        raise StateSpaceTooLarge(
+            f"{circuit.name}: {num_registers} flip-flops is too many for "
+            f"explicit enumeration (max {MAX_EXPLICIT_REGISTERS})"
+        )
+    if alphabet is None:
+        if len(circuit.input_names) > MAX_EXPLICIT_INPUTS:
+            raise StateSpaceTooLarge(
+                f"{circuit.name}: {len(circuit.input_names)} inputs is too "
+                f"many for the full alphabet (max {MAX_EXPLICIT_INPUTS})"
+            )
+        alphabet = all_vectors(len(circuit.input_names))
+    alphabet = tuple(tuple(v) for v in alphabet)
+
+    simulator = SequentialSimulator(circuit, fault=fault)
+    states = tuple(all_vectors(num_registers))
+    next_state: Dict[Tuple[State, Vector], State] = {}
+    output: Dict[Tuple[State, Vector], Tuple[int, ...]] = {}
+    for state in states:
+        for vector in alphabet:
+            result = simulator.step(state, vector)
+            next_state[(state, vector)] = result.next_state
+            output[(state, vector)] = result.outputs
+    suffix = "" if fault is None else f"^{fault.describe(circuit)}"
+    return ExplicitSTG(
+        name=circuit.name + suffix,
+        num_inputs=len(circuit.input_names),
+        num_registers=num_registers,
+        alphabet=alphabet,
+        states=states,
+        next_state=next_state,
+        output=output,
+    )
+
+
+__all__ = [
+    "ExplicitSTG",
+    "extract_stg",
+    "all_vectors",
+    "StateSpaceTooLarge",
+    "State",
+    "Vector",
+    "MAX_EXPLICIT_REGISTERS",
+    "MAX_EXPLICIT_INPUTS",
+]

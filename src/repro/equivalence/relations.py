@@ -1,0 +1,176 @@
+"""State equivalence and the paper's containment relations (Section II).
+
+Implemented by joint partition refinement over the disjoint union of any
+number of machines sharing an input alphabet: two states (possibly in
+different machines) fall in the same final block iff they are equivalent --
+same output for every input and equivalent successors (the classic Mealy
+machine bisimulation, which for deterministic complete machines coincides
+with sequential I/O equivalence).
+
+On top of the classifier:
+
+* ``space_contains(a, b)``   --  ``a ⊇s b``: every state of ``b`` has an
+  equivalent state in ``a``;
+* ``space_equivalent(a, b)`` --  ``a ≡s b``;
+* ``time_contains(a, b, n)`` --  ``a ⊇nt b``: every state of ``b_n`` has an
+  equivalent state in ``a``;
+* ``time_equivalence_bound(a, b, max_n)`` -- least ``N`` with ``a ≡Nt b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.equivalence.explicit import ExplicitSTG, State
+
+MachineState = Tuple[int, State]  # (machine index, state)
+
+
+@dataclass(frozen=True)
+class StateClassification:
+    """Result of joint partition refinement over several machines."""
+
+    machines: Tuple[ExplicitSTG, ...]
+    class_of: Dict[MachineState, int]
+
+    def equivalent(self, a: MachineState, b: MachineState) -> bool:
+        return self.class_of[a] == self.class_of[b]
+
+    def classes_of_machine(self, index: int) -> FrozenSet[int]:
+        return frozenset(
+            cls
+            for (machine, _state), cls in self.class_of.items()
+            if machine == index
+        )
+
+    def equivalence_classes(self, index: int) -> Dict[int, List[State]]:
+        """class id -> states of machine ``index`` in that class."""
+        classes: Dict[int, List[State]] = {}
+        for (machine, state), cls in self.class_of.items():
+            if machine == index:
+                classes.setdefault(cls, []).append(state)
+        return classes
+
+
+def classify(machines: Sequence[ExplicitSTG]) -> StateClassification:
+    """Joint bisimulation partition refinement."""
+    if not machines:
+        raise ValueError("need at least one machine")
+    alphabet = machines[0].alphabet
+    for machine in machines[1:]:
+        if machine.alphabet != alphabet:
+            raise ValueError(
+                f"machines {machines[0].name!r} and {machine.name!r} have "
+                "different input alphabets"
+            )
+    universe: List[MachineState] = [
+        (index, state)
+        for index, machine in enumerate(machines)
+        for state in machine.states
+    ]
+    # Initial partition: output signature over the whole alphabet.
+    signature: Dict[MachineState, Tuple] = {
+        (index, state): tuple(
+            machines[index].output[(state, vector)] for vector in alphabet
+        )
+        for index, state in universe
+    }
+    class_of = _blocks_from_signatures(universe, signature)
+    while True:
+        refined_signature = {
+            (index, state): (
+                class_of[(index, state)],
+                tuple(
+                    class_of[(index, machines[index].next_state[(state, vector)])]
+                    for vector in alphabet
+                ),
+            )
+            for index, state in universe
+        }
+        new_class_of = _blocks_from_signatures(universe, refined_signature)
+        if len(set(new_class_of.values())) == len(set(class_of.values())):
+            return StateClassification(tuple(machines), new_class_of)
+        class_of = new_class_of
+
+
+def _blocks_from_signatures(
+    universe: List[MachineState], signature: Dict[MachineState, Tuple]
+) -> Dict[MachineState, int]:
+    block_ids: Dict[Tuple, int] = {}
+    class_of: Dict[MachineState, int] = {}
+    for item in universe:
+        key = signature[item]
+        if key not in block_ids:
+            block_ids[key] = len(block_ids)
+        class_of[item] = block_ids[key]
+    return class_of
+
+
+def states_equivalent(
+    a: ExplicitSTG, state_a: State, b: ExplicitSTG, state_b: State
+) -> bool:
+    """Paper Section II: same I/O behaviour from the two states."""
+    classification = classify([a, b])
+    return classification.equivalent((0, state_a), (1, state_b))
+
+
+def space_contains(a: ExplicitSTG, b: ExplicitSTG) -> bool:
+    """``a ⊇s b``: every state in ``b`` has at least one equivalent in ``a``."""
+    classification = classify([a, b])
+    available = classification.classes_of_machine(0)
+    return all(
+        classification.class_of[(1, state)] in available for state in b.states
+    )
+
+
+def space_equivalent(a: ExplicitSTG, b: ExplicitSTG) -> bool:
+    """``a ≡s b``: mutual space containment."""
+    classification = classify([a, b])
+    classes_a = classification.classes_of_machine(0)
+    classes_b = classification.classes_of_machine(1)
+    return classes_a == classes_b
+
+
+def time_contains(a: ExplicitSTG, b: ExplicitSTG, steps: int) -> bool:
+    """``a ⊇(steps)t b``: every state of ``b_steps`` has an equivalent in ``a``."""
+    classification = classify([a, b])
+    available = classification.classes_of_machine(0)
+    return all(
+        classification.class_of[(1, state)] in available
+        for state in b.states_after(steps)
+    )
+
+
+def time_equivalence_bound(
+    a: ExplicitSTG, b: ExplicitSTG, max_steps: int
+) -> Optional[int]:
+    """Least ``N <= max_steps`` with ``a ≡Nt b`` (None when not found).
+
+    ``a ≡Nt b`` iff ``a ⊇Nt b`` and ``b ⊇Nt a``; containment is monotone in
+    ``N`` (``K_i ⊇s K_{i+1}``), so the least bound is well defined.
+    """
+    classification = classify([a, b])
+    for steps in range(max_steps + 1):
+        classes_a_after = {
+            classification.class_of[(0, state)] for state in a.states_after(steps)
+        }
+        classes_b_after = {
+            classification.class_of[(1, state)] for state in b.states_after(steps)
+        }
+        available_a = classification.classes_of_machine(0)
+        available_b = classification.classes_of_machine(1)
+        if classes_b_after <= available_a and classes_a_after <= available_b:
+            return steps
+    return None
+
+
+__all__ = [
+    "StateClassification",
+    "classify",
+    "states_equivalent",
+    "space_contains",
+    "space_equivalent",
+    "time_contains",
+    "time_equivalence_bound",
+]

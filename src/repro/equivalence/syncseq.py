@@ -1,0 +1,193 @@
+"""Synchronizing sequences: structural (3-valued) and functional (STG-based).
+
+Paper Section II distinguishes:
+
+* **structural-based** sequences: validated by three-valued simulation from
+  the all-X state -- conservative, and preserved by retiming for
+  fault-free circuits (Theorem 1);
+* **functional-based** sequences: validated on the state transition graph
+  -- a sequence synchronizes the machine when, applied from *every* initial
+  state, it always lands in a single equivalence class of states.  These
+  are *not* preserved by retiming in general (Observation 1); Theorem 2
+  restores them with a prefix of arbitrary vectors.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.equivalence.explicit import ExplicitSTG, State, Vector, all_vectors
+from repro.equivalence.relations import StateClassification, classify
+from repro.logic.three_valued import Trit, X
+from repro.simulation.sequential import SequentialSimulator
+
+
+# -- structural (three-valued) ------------------------------------------------
+
+
+def is_structural_sync_sequence(
+    circuit: Circuit, vectors: Sequence[Sequence[Trit]]
+) -> bool:
+    """Three-valued simulation from all-X ends in a fully binary state."""
+    return SequentialSimulator(circuit).is_synchronizing(vectors)
+
+
+def structural_final_state(
+    circuit: Circuit, vectors: Sequence[Sequence[Trit]]
+) -> Tuple[Trit, ...]:
+    """The ternary state reached from all-X (binary iff synchronizing)."""
+    return SequentialSimulator(circuit).run(vectors).final_state
+
+
+def find_structural_sync_sequence(
+    circuit: Circuit,
+    max_length: int = 8,
+    max_visited: int = 200_000,
+) -> Optional[List[Vector]]:
+    """Shortest structural synchronizing sequence by BFS over ternary states.
+
+    Returns None when no sequence of length <= ``max_length`` exists (or the
+    search budget is exhausted).
+    """
+    simulator = SequentialSimulator(circuit)
+    alphabet = all_vectors(len(circuit.input_names))
+    start = simulator.unknown_state()
+    if X not in start:
+        return []
+    visited: Set[Tuple[Trit, ...]] = {start}
+    queue: deque = deque([(start, [])])
+    while queue:
+        state, path = queue.popleft()
+        if len(path) >= max_length:
+            continue
+        for vector in alphabet:
+            next_state = simulator.step(state, vector).next_state
+            new_path = path + [vector]
+            if X not in next_state:
+                return new_path
+            if next_state not in visited:
+                if len(visited) >= max_visited:
+                    return None
+                visited.add(next_state)
+                queue.append((next_state, new_path))
+    return None
+
+
+def covered_states(ternary_state: Sequence[Trit]):
+    """All binary states a ternary state vector covers (X bits expand)."""
+    import itertools
+
+    choices = [
+        (0, 1) if value == X else (value,) for value in ternary_state
+    ]
+    return [tuple(bits) for bits in itertools.product(*choices)]
+
+
+def synchronizes_up_to_equivalence(
+    circuit: Circuit, vectors: Sequence[Sequence[Trit]]
+) -> bool:
+    """Three-valued sync where leftover X bits must be unobservable.
+
+    The paper's notion of a synchronized machine allows "a set of
+    equivalent states".  After retiming, a structurally synchronizing
+    sequence can leave X on registers whose content provably never reaches
+    an output (e.g. a register parked behind a reset-controlled gate); the
+    machine is then synchronized in the theorem's sense even though the
+    ternary state is not fully binary.  This check expands the leftover X
+    bits and verifies all covered states are mutually equivalent.
+
+    Only usable on circuits small enough for explicit STG extraction.
+    """
+    from repro.equivalence.explicit import extract_stg
+    from repro.equivalence.relations import classify
+
+    final = SequentialSimulator(circuit).run(vectors).final_state
+    if X not in final:
+        return True
+    stg = extract_stg(circuit)
+    classification = classify([stg])
+    classes = {
+        classification.class_of[(0, state)] for state in covered_states(final)
+    }
+    return len(classes) == 1
+
+
+# -- functional (STG-based) ----------------------------------------------------
+
+
+def _within_one_class(
+    states: FrozenSet[State],
+    classification: StateClassification,
+    machine_index: int = 0,
+) -> bool:
+    classes = {classification.class_of[(machine_index, s)] for s in states}
+    return len(classes) == 1
+
+
+def is_functional_sync_sequence(
+    stg: ExplicitSTG,
+    vectors: Sequence[Vector],
+    classification: Optional[StateClassification] = None,
+) -> bool:
+    """Applied from every initial state, the machine lands in one
+    equivalence class of states (a known and unique state up to
+    equivalence, per the paper's definition)."""
+    if classification is None:
+        classification = classify([stg])
+    current: FrozenSet[State] = frozenset(stg.states)
+    for vector in vectors:
+        current = stg.step_set(current, tuple(vector))
+    return _within_one_class(current, classification)
+
+
+def functional_final_states(
+    stg: ExplicitSTG, vectors: Sequence[Vector]
+) -> FrozenSet[State]:
+    """Image of the full state set under the sequence."""
+    current: FrozenSet[State] = frozenset(stg.states)
+    for vector in vectors:
+        current = stg.step_set(current, tuple(vector))
+    return current
+
+
+def find_functional_sync_sequence(
+    stg: ExplicitSTG,
+    max_length: int = 10,
+    max_visited: int = 200_000,
+    classification: Optional[StateClassification] = None,
+) -> Optional[List[Vector]]:
+    """Shortest functional synchronizing sequence by BFS over state sets."""
+    if classification is None:
+        classification = classify([stg])
+    start: FrozenSet[State] = frozenset(stg.states)
+    if _within_one_class(start, classification):
+        return []
+    visited: Set[FrozenSet[State]] = {start}
+    queue: deque = deque([(start, [])])
+    while queue:
+        states, path = queue.popleft()
+        if len(path) >= max_length:
+            continue
+        for vector in stg.alphabet:
+            image = stg.step_set(states, vector)
+            new_path = path + [vector]
+            if _within_one_class(image, classification):
+                return new_path
+            if image not in visited:
+                if len(visited) >= max_visited:
+                    return None
+                visited.add(image)
+                queue.append((image, new_path))
+    return None
+
+
+__all__ = [
+    "is_structural_sync_sequence",
+    "structural_final_state",
+    "find_structural_sync_sequence",
+    "is_functional_sync_sequence",
+    "functional_final_states",
+    "find_functional_sync_sequence",
+]

@@ -1,0 +1,32 @@
+"""Single stuck-at fault machinery.
+
+Fault sites are circuit *lines* (paper Fig. 4); the module provides the full
+fault universe, structural equivalence collapsing, and the paper's
+corresponding-fault relation between a circuit and its retimed versions
+(Section IV-B).
+"""
+
+from repro.faults.collapse import CollapsedFaults, collapse_faults
+from repro.faults.correspondence import (
+    CorrespondenceError,
+    FaultCorrespondence,
+    check_same_structure,
+)
+from repro.faults.model import (
+    StuckAtFault,
+    check_fault,
+    faults_on_edge,
+    full_fault_universe,
+)
+
+__all__ = [
+    "StuckAtFault",
+    "full_fault_universe",
+    "faults_on_edge",
+    "check_fault",
+    "collapse_faults",
+    "CollapsedFaults",
+    "FaultCorrespondence",
+    "CorrespondenceError",
+    "check_same_structure",
+]

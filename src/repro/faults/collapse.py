@@ -1,0 +1,132 @@
+"""Structural equivalence fault collapsing.
+
+Two faults are structurally equivalent when every test for one is a test for
+the other; simulating one representative per equivalence class is then
+sufficient.  The classes used here are the classical gate-local rules,
+applied through the graph model:
+
+* the line directly feeding a gate (sink-side segment of an input edge) and
+  the line directly driven by it (source-side segment of its output edge)
+  collapse according to the gate function:
+
+  - AND:  input s-a-0 == output s-a-0
+  - NAND: input s-a-0 == output s-a-1
+  - OR:   input s-a-1 == output s-a-1
+  - NOR:  input s-a-1 == output s-a-0
+  - NOT:  input s-a-v == output s-a-(1-v)
+  - BUF:  input s-a-v == output s-a-v
+  - XOR/XNOR: no collapsing
+
+* no collapsing is performed across registers (a fault before and after a
+  flip-flop differ in time behaviour and initialization) nor across fanout
+  stems (a stem fault is a multiple fault of the branches).
+
+These are exactly the situations the paper leans on in Section V.C when
+explaining the Table III discrepancies: adding a register to a line splits
+one collapsed fault into two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.circuit.netlist import Circuit, LineRef
+from repro.circuit.types import GateType
+from repro.faults.model import StuckAtFault, full_fault_universe
+from repro.logic.three_valued import ONE, ZERO
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[StuckAtFault, StuckAtFault] = {}
+
+    def find(self, item: StuckAtFault) -> StuckAtFault:
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            parent = self.find(parent)
+            self._parent[item] = parent
+        return parent
+
+    def union(self, a: StuckAtFault, b: StuckAtFault) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Keep the smaller (canonical order) fault as representative so
+            # collapsing is deterministic.
+            if rb < ra:
+                ra, rb = rb, ra
+            self._parent[rb] = ra
+
+
+@dataclass(frozen=True)
+class CollapsedFaults:
+    """Result of equivalence collapsing."""
+
+    representatives: Tuple[StuckAtFault, ...]
+    class_of: Dict[StuckAtFault, StuckAtFault]
+
+    @property
+    def num_collapsed(self) -> int:
+        return len(self.representatives)
+
+    @property
+    def num_total(self) -> int:
+        return len(self.class_of)
+
+    def class_members(self, representative: StuckAtFault) -> List[StuckAtFault]:
+        return sorted(
+            fault for fault, rep in self.class_of.items() if rep == representative
+        )
+
+
+def _gate_local_pairs(circuit: Circuit, gate_name: str):
+    """Yield (input fault, output fault) equivalent pairs across one gate."""
+    node = circuit.node(gate_name)
+    out_edges = circuit.out_edges(gate_name)
+    if not out_edges:
+        return  # dangling gate: nothing to collapse across
+    out_edge = out_edges[0]
+    out_line = LineRef(out_edge.index, 1)
+    for in_edge in circuit.in_edges(gate_name):
+        in_line = LineRef(in_edge.index, in_edge.num_lines)
+        gate_type = node.gate_type
+        if gate_type is GateType.AND:
+            yield StuckAtFault(in_line, ZERO), StuckAtFault(out_line, ZERO)
+        elif gate_type is GateType.NAND:
+            yield StuckAtFault(in_line, ZERO), StuckAtFault(out_line, ONE)
+        elif gate_type is GateType.OR:
+            yield StuckAtFault(in_line, ONE), StuckAtFault(out_line, ONE)
+        elif gate_type is GateType.NOR:
+            yield StuckAtFault(in_line, ONE), StuckAtFault(out_line, ZERO)
+        elif gate_type is GateType.NOT:
+            yield StuckAtFault(in_line, ZERO), StuckAtFault(out_line, ONE)
+            yield StuckAtFault(in_line, ONE), StuckAtFault(out_line, ZERO)
+        elif gate_type is GateType.BUF:
+            yield StuckAtFault(in_line, ZERO), StuckAtFault(out_line, ZERO)
+            yield StuckAtFault(in_line, ONE), StuckAtFault(out_line, ONE)
+
+
+def collapse_faults(
+    circuit: Circuit, faults: Optional[List[StuckAtFault]] = None
+) -> CollapsedFaults:
+    """Collapse a fault list (default: the full universe) into classes.
+
+    Equivalence pairs are only merged when *both* faults are inside the
+    considered fault list.
+    """
+    if faults is None:
+        faults = full_fault_universe(circuit)
+    fault_set: Set[StuckAtFault] = set(faults)
+    uf = _UnionFind()
+    for fault in faults:
+        uf.find(fault)
+    for gate in circuit.gate_nodes():
+        for fault_a, fault_b in _gate_local_pairs(circuit, gate.name):
+            if fault_a in fault_set and fault_b in fault_set:
+                uf.union(fault_a, fault_b)
+    class_of = {fault: uf.find(fault) for fault in faults}
+    representatives = tuple(sorted(set(class_of.values())))
+    return CollapsedFaults(representatives, class_of)
+
+
+__all__ = ["collapse_faults", "CollapsedFaults"]

@@ -1,0 +1,134 @@
+"""Corresponding faults between a circuit and its retimed versions.
+
+Section IV-B of the paper: let ``e`` be an edge of weight ``n``, divided into
+lines ``e_1 .. e_{n+1}``.  Placing ``m`` flip-flops on line ``e_i`` divides it
+into ``m + 1`` lines; a fault on ``e_i`` in ``K`` then *corresponds* to all
+the faults (with the same stuck value) on those ``m + 1`` lines in ``K'``,
+and removing flip-flops merges lines and faults symmetrically.
+
+Retiming in this library never changes the vertex/edge structure -- only the
+weights -- so corresponding faults always live on the *same edge*.  What
+retiming does not record is *where on the edge* flip-flops were inserted or
+removed; the exact line-by-line split depends on the order of atomic moves.
+The correspondence used here is therefore the edge-level closure of the
+paper's relation, which is what its guarantees need:
+
+* every fault in the retimed circuit has **at least one** corresponding
+  fault in the original circuit (paper, Section IV-B), and
+* faults outside the modified region (edges whose weight is unchanged) are
+  in **one-to-one** positional correspondence.
+
+For edges whose weight changed we map segment ``i`` of the richer side onto
+segment ``min(i, n+1)`` of the poorer side -- the canonical alignment that
+keeps the source-side line fixed (it is driven by the same vertex in both
+circuits) -- and expose the full fault set of the edge as the corresponding
+*class*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.circuit.netlist import Circuit, LineRef
+from repro.faults.model import StuckAtFault, check_fault
+
+
+class CorrespondenceError(ValueError):
+    """Raised when two circuits are not retiming-related structurally."""
+
+
+def check_same_structure(original: Circuit, retimed: Circuit) -> None:
+    """Verify the two circuits differ only in edge weights."""
+    if set(original.nodes) != set(retimed.nodes):
+        raise CorrespondenceError("circuits have different vertex sets")
+    for name in original.nodes:
+        if original.node(name) != retimed.node(name):
+            raise CorrespondenceError(f"vertex {name!r} differs")
+    if len(original.edges) != len(retimed.edges):
+        raise CorrespondenceError("circuits have different edge counts")
+    for edge_a, edge_b in zip(original.edges, retimed.edges):
+        if (edge_a.source, edge_a.sink, edge_a.sink_pin) != (
+            edge_b.source,
+            edge_b.sink,
+            edge_b.sink_pin,
+        ):
+            raise CorrespondenceError(f"edge {edge_a.index} differs structurally")
+
+
+@dataclass(frozen=True)
+class FaultCorrespondence:
+    """Fault mapping between an original circuit and one retimed version."""
+
+    original: Circuit
+    retimed: Circuit
+
+    def __post_init__(self) -> None:
+        check_same_structure(self.original, self.retimed)
+
+    # -- per-fault maps ------------------------------------------------------
+
+    def to_original(self, fault: StuckAtFault) -> StuckAtFault:
+        """The canonical corresponding fault in the original circuit."""
+        check_fault(self.retimed, fault)
+        return self._map(fault, self.original)
+
+    def to_retimed(self, fault: StuckAtFault) -> StuckAtFault:
+        """The canonical corresponding fault in the retimed circuit."""
+        check_fault(self.original, fault)
+        return self._map(fault, self.retimed)
+
+    def originals_of(self, fault: StuckAtFault) -> List[StuckAtFault]:
+        """All same-edge faults in the original corresponding to ``fault``.
+
+        For unchanged edges this is the positional singleton; for modified
+        edges it is the full same-value fault set of the edge (the
+        correspondence class).
+        """
+        check_fault(self.retimed, fault)
+        return self._class(fault, self.original, self.retimed)
+
+    def retimed_of(self, fault: StuckAtFault) -> List[StuckAtFault]:
+        """All same-edge faults in the retimed circuit corresponding to ``fault``."""
+        check_fault(self.original, fault)
+        return self._class(fault, self.retimed, self.original)
+
+    # -- whole-universe views --------------------------------------------------
+
+    def modified_edges(self) -> List[int]:
+        """Indices of edges whose weight changed (the 'modified region')."""
+        return [
+            edge.index
+            for edge, other in zip(self.original.edges, self.retimed.edges)
+            if edge.weight != other.weight
+        ]
+
+    def is_one_to_one(self, fault: StuckAtFault) -> bool:
+        """True when the (retimed-side) fault lies outside the modified region."""
+        edge = self.original.edge(fault.line.edge_index)
+        other = self.retimed.edge(fault.line.edge_index)
+        return edge.weight == other.weight
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _map(fault: StuckAtFault, target: Circuit) -> StuckAtFault:
+        edge = target.edge(fault.line.edge_index)
+        segment = min(fault.line.segment, edge.num_lines)
+        return StuckAtFault(LineRef(edge.index, segment), fault.value)
+
+    @staticmethod
+    def _class(
+        fault: StuckAtFault, target: Circuit, source: Circuit
+    ) -> List[StuckAtFault]:
+        source_edge = source.edge(fault.line.edge_index)
+        target_edge = target.edge(fault.line.edge_index)
+        if source_edge.weight == target_edge.weight:
+            return [StuckAtFault(fault.line, fault.value)]
+        return [
+            StuckAtFault(LineRef(target_edge.index, segment), fault.value)
+            for segment in range(1, target_edge.num_lines + 1)
+        ]
+
+
+__all__ = ["FaultCorrespondence", "CorrespondenceError", "check_same_structure"]

@@ -1,0 +1,76 @@
+"""Single stuck-at fault model over circuit lines.
+
+Fault sites follow the paper's Fig. 4 exactly: an edge of weight ``n`` is
+divided into ``n + 1`` lines, and each line can be stuck-at-0 or stuck-at-1.
+Because retiming changes edge weights, a circuit and its retimed version
+have *different* fault universes over the *same* edges -- the growth in
+fault count visible in Table III (#Faults columns) is precisely the growth
+in line count caused by added flip-flops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.circuit.netlist import Circuit, LineRef
+from repro.logic.three_valued import ONE, Trit, ZERO
+
+
+@dataclass(frozen=True, order=True)
+class StuckAtFault:
+    """A single stuck-at fault on one line."""
+
+    line: LineRef
+    value: Trit
+
+    def __post_init__(self) -> None:
+        if self.value not in (ZERO, ONE):
+            raise ValueError(f"stuck value must be 0 or 1, got {self.value!r}")
+
+    def describe(self, circuit: Circuit) -> str:
+        """Human-readable description, e.g. ``"g1->q.0 seg2 s-a-1"``."""
+        edge = circuit.edge(self.line.edge_index)
+        return (
+            f"{edge.source}->{edge.sink}.{edge.sink_pin}"
+            f" seg{self.line.segment}/{edge.num_lines} s-a-{self.value}"
+        )
+
+
+def full_fault_universe(circuit: Circuit) -> List[StuckAtFault]:
+    """Both stuck-at faults on every line, in canonical order."""
+    faults: List[StuckAtFault] = []
+    for line in circuit.lines():
+        faults.append(StuckAtFault(line, ZERO))
+        faults.append(StuckAtFault(line, ONE))
+    return faults
+
+
+def faults_on_edge(circuit: Circuit, edge_index: int) -> List[StuckAtFault]:
+    """All faults on the lines of one edge."""
+    edge = circuit.edge(edge_index)
+    faults: List[StuckAtFault] = []
+    for segment in range(1, edge.num_lines + 1):
+        faults.append(StuckAtFault(LineRef(edge_index, segment), ZERO))
+        faults.append(StuckAtFault(LineRef(edge_index, segment), ONE))
+    return faults
+
+
+def check_fault(circuit: Circuit, fault: StuckAtFault) -> None:
+    """Raise :class:`ValueError` when the fault site does not exist."""
+    if not 0 <= fault.line.edge_index < len(circuit.edges):
+        raise ValueError(f"no edge {fault.line.edge_index} in {circuit.name}")
+    edge = circuit.edge(fault.line.edge_index)
+    if not 1 <= fault.line.segment <= edge.num_lines:
+        raise ValueError(
+            f"edge {edge.index} of weight {edge.weight} has no segment "
+            f"{fault.line.segment}"
+        )
+
+
+__all__ = [
+    "StuckAtFault",
+    "full_fault_universe",
+    "faults_on_edge",
+    "check_fault",
+]

@@ -1,0 +1,42 @@
+"""Fault simulation engines (serial reference + PROOFS-style parallel).
+
+The uniform entry point is :func:`fault_simulate`.
+"""
+
+from typing import Optional, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.faults.model import StuckAtFault
+from repro.faultsim.parallel import parallel_fault_simulate
+from repro.faultsim.result import Detection, FaultSimResult
+from repro.faultsim.serial import TestSequence, serial_fault_simulate
+
+
+def fault_simulate(
+    circuit: Circuit,
+    sequences: Sequence[TestSequence],
+    faults: Optional[Sequence[StuckAtFault]] = None,
+    engine: str = "parallel",
+    drop: bool = True,
+) -> FaultSimResult:
+    """Fault-simulate a test set (a list of test sequences).
+
+    Each sequence is applied from the all-unknown state, mirroring the
+    paper's no-global-reset setting.  ``engine`` selects ``"parallel"``
+    (PROOFS-style, default) or ``"serial"`` (reference).
+    """
+    if engine == "parallel":
+        return parallel_fault_simulate(circuit, sequences, faults, drop=drop)
+    if engine == "serial":
+        return serial_fault_simulate(circuit, sequences, faults, drop=drop)
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+__all__ = [
+    "fault_simulate",
+    "serial_fault_simulate",
+    "parallel_fault_simulate",
+    "FaultSimResult",
+    "Detection",
+    "TestSequence",
+]

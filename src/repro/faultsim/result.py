@@ -1,0 +1,76 @@
+"""Result types shared by the fault-simulation engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.model import StuckAtFault
+
+
+@dataclass(frozen=True)
+class Detection:
+    """Where a fault was first detected."""
+
+    sequence_index: int
+    cycle: int
+    output_name: str
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of fault-simulating a test set against a fault list.
+
+    ``potential`` collects faults that were never hard-detected but drove
+    some primary output to X while the good machine was binary -- the
+    PROOFS-style *potentially detected* class (detected on real silicon if
+    the unknown happens to resolve the right way).
+    """
+
+    circuit_name: str
+    engine: str
+    faults: Tuple[StuckAtFault, ...]
+    detections: Dict[StuckAtFault, Detection] = field(default_factory=dict)
+    potential: set = field(default_factory=set)
+
+    @property
+    def num_faults(self) -> int:
+        return len(self.faults)
+
+    @property
+    def num_detected(self) -> int:
+        return len(self.detections)
+
+    @property
+    def num_undetected(self) -> int:
+        return self.num_faults - self.num_detected
+
+    @property
+    def undetected(self) -> List[StuckAtFault]:
+        return [fault for fault in self.faults if fault not in self.detections]
+
+    @property
+    def detected(self) -> List[StuckAtFault]:
+        return [fault for fault in self.faults if fault in self.detections]
+
+    @property
+    def fault_coverage(self) -> float:
+        """Detected / total, as a percentage (paper's %FC)."""
+        if not self.faults:
+            return 100.0
+        return 100.0 * self.num_detected / self.num_faults
+
+    @property
+    def num_potentially_detected(self) -> int:
+        """Undetected faults with at least one X-vs-binary output event."""
+        return len(self.potential - set(self.detections))
+
+    def summary(self) -> str:
+        return (
+            f"{self.circuit_name}: {self.num_detected}/{self.num_faults} detected "
+            f"({self.fault_coverage:.1f}% FC, "
+            f"{self.num_potentially_detected} potential, engine={self.engine})"
+        )
+
+
+__all__ = ["Detection", "FaultSimResult"]

@@ -1,0 +1,56 @@
+"""FSM synthesis substrate: the SIS/jedi stand-in.
+
+KISS2 parsing, symbolic FSM model, jedi-like state encodings, two-level
+minimization, gate-level synthesis with delay/rugged scripts, and the
+Table I benchmark machine generator.
+"""
+
+from repro.fsm.encoding import STYLES, Encoding, code_width, encode
+from repro.fsm.kiss import KissError, parse_kiss, read_kiss, write_kiss
+from repro.fsm.mcnc import EXPLICIT_RESET, TABLE1_PROFILES, mcnc_fsm, table1
+from repro.fsm.model import FSM, Transition, cube_matches, cubes_intersect
+from repro.fsm.synth import (
+    SCRIPT_CODES,
+    SynthesisError,
+    SynthesisResult,
+    synthesize,
+)
+from repro.fsm.twolevel import (
+    Cube,
+    cover_from_strings,
+    cover_to_strings,
+    cube_from_string,
+    cube_to_string,
+    eval_cover,
+    minimize_cover,
+)
+
+__all__ = [
+    "FSM",
+    "Transition",
+    "cube_matches",
+    "cubes_intersect",
+    "parse_kiss",
+    "read_kiss",
+    "write_kiss",
+    "KissError",
+    "encode",
+    "Encoding",
+    "code_width",
+    "STYLES",
+    "minimize_cover",
+    "Cube",
+    "cube_from_string",
+    "cube_to_string",
+    "cover_from_strings",
+    "cover_to_strings",
+    "eval_cover",
+    "synthesize",
+    "SynthesisResult",
+    "SynthesisError",
+    "SCRIPT_CODES",
+    "mcnc_fsm",
+    "table1",
+    "TABLE1_PROFILES",
+    "EXPLICIT_RESET",
+]

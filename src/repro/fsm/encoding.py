@@ -1,0 +1,150 @@
+"""State encoding: jedi-like affinity-driven embedding.
+
+The paper synthesizes each FSM with three jedi options -- input dominant
+(``ji``), output dominant (``jo``) and a combination (``jc``) -- plus we
+provide ``natural`` (declaration order) for reference.  This module
+implements the same *family* of algorithms jedi belongs to: build a
+state-pair affinity graph, then greedily embed states into a minimal-width
+Boolean hypercube so high-affinity pairs receive close (small Hamming
+distance) codes.
+
+Affinity definitions (jedi-like):
+
+* input dominant: state pairs that are successors of a common predecessor
+  state (they are "reached alike");
+* output dominant: state pairs asserting similar outputs, plus pairs with a
+  common successor (they "behave alike");
+* combination: the sum of both.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.fsm.model import FSM
+
+STYLES = ("natural", "ji", "jo", "jc")
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """An assignment of binary codes to symbolic states."""
+
+    fsm_name: str
+    style: str
+    width: int
+    code_of: Dict[str, Tuple[int, ...]]
+
+    def code_string(self, state: str) -> str:
+        return "".join(str(bit) for bit in self.code_of[state])
+
+    def decode(self, bits: Tuple[int, ...]) -> Optional[str]:
+        for state, code in self.code_of.items():
+            if code == bits:
+                return state
+        return None
+
+
+def code_width(num_states: int) -> int:
+    """Minimal number of state bits."""
+    return max(1, math.ceil(math.log2(max(1, num_states))))
+
+
+def _affinity(fsm: FSM, style: str) -> Dict[Tuple[str, str], float]:
+    affinity: Dict[Tuple[str, str], float] = {}
+
+    def bump(a: str, b: str, amount: float) -> None:
+        if a == b:
+            return
+        key = (a, b) if a < b else (b, a)
+        affinity[key] = affinity.get(key, 0.0) + amount
+
+    if style in ("ji", "jc"):
+        # Successors of a common predecessor attract.
+        for state in fsm.states:
+            successors = [t.dst for t in fsm.transitions_from(state)]
+            for a, b in itertools.combinations(set(successors), 2):
+                bump(a, b, 1.0)
+    if style in ("jo", "jc"):
+        # Pairs with a common successor attract.
+        by_dst: Dict[str, set] = {}
+        for transition in fsm.transitions:
+            by_dst.setdefault(transition.dst, set()).add(transition.src)
+        for sources in by_dst.values():
+            for a, b in itertools.combinations(sorted(sources), 2):
+                bump(a, b, 1.0)
+        # Output similarity: fraction of asserted outputs shared.
+        asserted: Dict[str, set] = {
+            state: set() for state in fsm.states
+        }
+        for transition in fsm.transitions:
+            for position, literal in enumerate(transition.output_cube):
+                if literal == "1":
+                    asserted[transition.src].add(position)
+        for a, b in itertools.combinations(fsm.states, 2):
+            common = asserted[a] & asserted[b]
+            if common:
+                union = asserted[a] | asserted[b]
+                bump(a, b, len(common) / len(union))
+    return affinity
+
+
+def encode(fsm: FSM, style: str = "jc", reset_zero: bool = True) -> Encoding:
+    """Encode the FSM's states into ``ceil(log2 n)`` bits.
+
+    With ``reset_zero`` (default) the reset state receives the all-zero
+    code, which the explicit-reset synthesis option relies on.
+    """
+    if style not in STYLES:
+        raise ValueError(f"unknown encoding style {style!r} (pick from {STYLES})")
+    width = code_width(fsm.num_states)
+    all_codes = [
+        tuple(int(b) for b in format(i, f"0{width}b")) for i in range(2 ** width)
+    ]
+    reset = fsm.reset_state or fsm.states[0]
+
+    if style == "natural":
+        order = [reset] + [s for s in fsm.states if s != reset]
+        code_of = dict(zip(order, all_codes))
+        if not reset_zero:
+            code_of = dict(zip(fsm.states, all_codes))
+        return Encoding(fsm.name, style, width, code_of)
+
+    affinity = _affinity(fsm, style)
+
+    def pair_affinity(a: str, b: str) -> float:
+        key = (a, b) if a < b else (b, a)
+        return affinity.get(key, 0.0)
+
+    total: Dict[str, float] = {state: 0.0 for state in fsm.states}
+    for (a, b), value in affinity.items():
+        total[a] += value
+        total[b] += value
+    # Place the reset state first (code 0), then states by affinity mass.
+    order = sorted(fsm.states, key=lambda s: (-total[s], s))
+    if reset_zero:
+        order = [reset] + [s for s in order if s != reset]
+
+    code_of: Dict[str, Tuple[int, ...]] = {}
+    free = list(all_codes)
+    for state in order:
+        if not code_of:
+            chosen = free[0]
+        else:
+            def cost(code: Tuple[int, ...]) -> float:
+                return sum(
+                    pair_affinity(state, placed)
+                    * sum(x != y for x, y in zip(code, placed_code))
+                    for placed, placed_code in code_of.items()
+                )
+
+            chosen = min(free, key=lambda code: (cost(code), code))
+        code_of[state] = chosen
+        free.remove(chosen)
+    return Encoding(fsm.name, style, width, code_of)
+
+
+__all__ = ["Encoding", "encode", "code_width", "STYLES"]

@@ -1,0 +1,123 @@
+"""KISS2 format reader and writer (the MCNC FSM benchmark format).
+
+Format::
+
+    .i 3
+    .o 3
+    .p 108
+    .s 27
+    .r st0
+    0-- st0 st1 001
+    ...
+    .e
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TextIO, Union
+
+from repro.fsm.model import FSM, Transition
+
+
+class KissError(ValueError):
+    """Raised on malformed KISS2 input."""
+
+
+def parse_kiss(text: str, name: str = "fsm") -> FSM:
+    """Parse KISS2 source text."""
+    num_inputs: Optional[int] = None
+    num_outputs: Optional[int] = None
+    reset_state: Optional[str] = None
+    declared_products: Optional[int] = None
+    declared_states: Optional[int] = None
+    transitions: List[Transition] = []
+    states: List[str] = []
+    seen_states = set()
+
+    def note_state(state: str) -> None:
+        if state not in seen_states:
+            seen_states.add(state)
+            states.append(state)
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".i":
+                num_inputs = int(parts[1])
+            elif directive == ".o":
+                num_outputs = int(parts[1])
+            elif directive == ".p":
+                declared_products = int(parts[1])
+            elif directive == ".s":
+                declared_states = int(parts[1])
+            elif directive == ".r":
+                reset_state = parts[1]
+            elif directive == ".e":
+                break
+            else:
+                raise KissError(f"line {line_number}: unknown directive {directive}")
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise KissError(f"line {line_number}: expected 4 fields, got {line!r}")
+        input_cube, src, dst, output_cube = parts
+        note_state(src)
+        note_state(dst)
+        transitions.append(Transition(input_cube, src, dst, output_cube))
+
+    if num_inputs is None or num_outputs is None:
+        raise KissError("missing .i or .o directive")
+    if declared_products is not None and declared_products != len(transitions):
+        # Benchmarks are occasionally sloppy here; tolerate but keep parsing.
+        pass
+    if declared_states is not None and declared_states != len(states):
+        raise KissError(
+            f"declared {declared_states} states but found {len(states)}"
+        )
+    return FSM(
+        name=name,
+        num_inputs=num_inputs,
+        num_outputs=num_outputs,
+        states=states,
+        transitions=transitions,
+        reset_state=reset_state,
+    )
+
+
+def read_kiss(path_or_file: Union[str, TextIO], name: Optional[str] = None) -> FSM:
+    """Read a KISS2 file from a path or open file object."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file) as handle:
+            text = handle.read()
+        default = path_or_file.rsplit("/", 1)[-1].split(".", 1)[0]
+    else:
+        text = path_or_file.read()
+        default = "fsm"
+    return parse_kiss(text, name or default)
+
+
+def write_kiss(fsm: FSM) -> str:
+    """Serialize an FSM to KISS2 text."""
+    lines = [
+        f"# {fsm.name}",
+        f".i {fsm.num_inputs}",
+        f".o {fsm.num_outputs}",
+        f".p {len(fsm.transitions)}",
+        f".s {fsm.num_states}",
+    ]
+    if fsm.reset_state is not None:
+        lines.append(f".r {fsm.reset_state}")
+    for transition in fsm.transitions:
+        lines.append(
+            f"{transition.input_cube} {transition.src} "
+            f"{transition.dst} {transition.output_cube}"
+        )
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["parse_kiss", "read_kiss", "write_kiss", "KissError"]

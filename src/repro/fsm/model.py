@@ -1,0 +1,140 @@
+"""Symbolic finite-state machine model (KISS2 semantics).
+
+An :class:`FSM` is a Mealy machine described by symbolic transitions: an
+input *cube* (string over ``0 1 -``), a present state, a next state and an
+output cube.  This matches the MCNC benchmark format the paper's circuits
+were synthesized from.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+def cube_matches(cube: str, bits: Sequence[int]) -> bool:
+    """True when a binary vector lies inside a cube."""
+    if len(cube) != len(bits):
+        raise ValueError(f"cube {cube!r} vs vector of length {len(bits)}")
+    for literal, bit in zip(cube, bits):
+        if literal == "0" and bit != 0:
+            return False
+        if literal == "1" and bit != 1:
+            return False
+        if literal not in "01-":
+            raise ValueError(f"bad cube literal {literal!r}")
+    return True
+
+
+def cubes_intersect(a: str, b: str) -> bool:
+    """True when two cubes share at least one minterm."""
+    if len(a) != len(b):
+        raise ValueError("cube length mismatch")
+    for la, lb in zip(a, b):
+        if (la == "0" and lb == "1") or (la == "1" and lb == "0"):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One symbolic transition."""
+
+    input_cube: str
+    src: str
+    dst: str
+    output_cube: str
+
+
+@dataclass
+class FSM:
+    """A symbolic Mealy machine."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    states: List[str]
+    transitions: List[Transition]
+    reset_state: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        known = set(self.states)
+        for transition in self.transitions:
+            if len(transition.input_cube) != self.num_inputs:
+                raise ValueError(
+                    f"{self.name}: input cube {transition.input_cube!r} has "
+                    f"wrong width"
+                )
+            if len(transition.output_cube) != self.num_outputs:
+                raise ValueError(
+                    f"{self.name}: output cube {transition.output_cube!r} has "
+                    f"wrong width"
+                )
+            if transition.src not in known or transition.dst not in known:
+                raise ValueError(
+                    f"{self.name}: transition references unknown state "
+                    f"{transition.src!r} or {transition.dst!r}"
+                )
+        if self.reset_state is not None and self.reset_state not in known:
+            raise ValueError(f"{self.name}: unknown reset state {self.reset_state!r}")
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def transitions_from(self, state: str) -> List[Transition]:
+        return [t for t in self.transitions if t.src == state]
+
+    def is_deterministic(self) -> bool:
+        """No two transitions from the same state have overlapping cubes."""
+        by_state: Dict[str, List[Transition]] = {}
+        for transition in self.transitions:
+            by_state.setdefault(transition.src, []).append(transition)
+        for group in by_state.values():
+            for a, b in itertools.combinations(group, 2):
+                if cubes_intersect(a.input_cube, b.input_cube):
+                    return False
+        return True
+
+    def step(
+        self, state: str, vector: Sequence[int]
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """(next state, output cube) for a binary input vector.
+
+        Returns ``(None, None)`` when no transition matches (incompletely
+        specified machine).
+        """
+        for transition in self.transitions_from(state):
+            if cube_matches(transition.input_cube, vector):
+                return transition.dst, transition.output_cube
+        return None, None
+
+    def reachable_states(self, start: Optional[str] = None) -> Set[str]:
+        """States reachable from ``start`` (default: the reset state or the
+        first state) through any transition."""
+        if start is None:
+            start = self.reset_state or self.states[0]
+        seen = {start}
+        frontier = [start]
+        adjacency: Dict[str, Set[str]] = {}
+        for transition in self.transitions:
+            adjacency.setdefault(transition.src, set()).add(transition.dst)
+        while frontier:
+            state = frontier.pop()
+            for successor in adjacency.get(state, ()):  # noqa: B905
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return seen
+
+    def characteristics(self) -> Dict[str, int]:
+        """The Table I row: PI / PO / #states."""
+        return {
+            "PI": self.num_inputs,
+            "PO": self.num_outputs,
+            "States": self.num_states,
+        }
+
+
+__all__ = ["FSM", "Transition", "cube_matches", "cubes_intersect"]

@@ -1,0 +1,359 @@
+"""FSM-to-netlist synthesis (the SIS stand-in).
+
+Pipeline: encode states -> build per-function ON-set covers (next-state
+bits + primary outputs over the input and state-bit literals) -> two-level
+minimization -> gate construction under one of two *scripts* mirroring the
+paper's ``script.delay`` / ``script.rugged``:
+
+* ``delay`` (``.sd``): balanced trees of 2-input gates -- shallow logic,
+  more gates (delay-oriented, like ``script.delay``);
+* ``rugged`` (``.sr``): flat wide gates plus common-literal-pair extraction
+  -- fewer gates, longer paths (area-oriented, like ``script.rugged``).
+
+Shared structure: AND terms (cubes) are cached and shared across all
+functions (multi-output sharing), literal inverters are shared, and the
+optional explicit reset line gates every next-state function with
+``NOT rst`` (the reset state must be encoded as all zeros, which
+:func:`repro.fsm.encoding.encode` guarantees by default).
+
+Circuit names follow the paper's convention: ``<fsm>.<enc>.<script>``,
+e.g. ``dk16.ji.sd``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.fsm.encoding import Encoding, encode
+from repro.fsm.model import FSM
+from repro.fsm.twolevel import Cube, cube_from_string, minimize_cover
+
+SCRIPT_CODES = {"delay": "sd", "rugged": "sr"}
+
+
+class SynthesisError(ValueError):
+    """Raised when synthesis cannot produce a reasonable circuit."""
+
+
+@dataclass
+class SynthesisResult:
+    """A synthesized circuit plus the artifacts that produced it."""
+
+    circuit: Circuit
+    fsm: FSM
+    encoding: Encoding
+    script: str
+    explicit_reset: bool
+    cover_sizes: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        stats = self.circuit.stats()
+        return (
+            f"{self.circuit.name}: {stats['gates']} gates, {stats['dffs']} DFFs, "
+            f"period {stats['clock_period']}"
+        )
+
+    def state_positions(self) -> List[int]:
+        """Canonical register-order index of each state bit ``s{j}``.
+
+        The circuit's state vector is ordered by (edge, position), not by
+        declaration; this maps state bit ``j`` to its slot.
+        """
+        names = getattr(self.circuit, "register_names", {})
+        by_name = {name: ref for ref, name in names.items()}
+        refs = self.circuit.registers()
+        return [
+            refs.index(by_name[f"s{j}"]) for j in range(self.encoding.width)
+        ]
+
+    def circuit_state(self, symbolic_state: str) -> tuple:
+        """The circuit's canonical state tuple encoding a symbolic state."""
+        code = self.encoding.code_of[symbolic_state]
+        state = [0] * self.circuit.num_registers()
+        for j, position in enumerate(self.state_positions()):
+            state[position] = code[j]
+        return tuple(state)
+
+
+class _NetBuilder:
+    """Gate-construction helpers over a CircuitBuilder with a name allocator."""
+
+    def __init__(self, builder: CircuitBuilder, script: str):
+        self.builder = builder
+        self.script = script
+        self._counter = itertools.count()
+        self._inverters: Dict[str, str] = {}
+        self._const0: Optional[str] = None
+        self._const1: Optional[str] = None
+
+    def fresh(self, prefix: str) -> str:
+        return f"{prefix}_{next(self._counter)}"
+
+    def const0(self) -> str:
+        if self._const0 is None:
+            self._const0 = self.builder.const0("const0")
+        return self._const0
+
+    def const1(self) -> str:
+        if self._const1 is None:
+            self._const1 = self.builder.const1("const1")
+        return self._const1
+
+    def inverter(self, signal: str) -> str:
+        if signal not in self._inverters:
+            name = self.builder.not_(f"{signal}_n", signal)
+            self._inverters[signal] = name
+        return self._inverters[signal]
+
+    def and_gate(self, operands: Sequence[str], prefix: str = "a") -> str:
+        return self._tree("and", operands, prefix)
+
+    def or_gate(self, operands: Sequence[str], prefix: str = "o") -> str:
+        return self._tree("or", operands, prefix)
+
+    def _tree(self, op: str, operands: Sequence[str], prefix: str) -> str:
+        operands = list(operands)
+        if not operands:
+            raise SynthesisError(f"empty {op} gate")
+        if len(operands) == 1:
+            return operands[0]
+        if self.script == "rugged":
+            # Flat wide gates (area-oriented), chunked so very large covers
+            # become a shallow tree of wide gates.  OR planes use a smaller
+            # chunk: their roots sit at the register boundary and narrow
+            # roots keep retiming's register growth in a realistic range.
+            chunk_size = 8 if op == "or" else 16
+            level = operands
+            while len(level) > 1:
+                next_level = []
+                for index in range(0, len(level), chunk_size):
+                    chunk = level[index : index + chunk_size]
+                    if len(chunk) == 1:
+                        next_level.append(chunk[0])
+                        continue
+                    name = self.fresh(prefix)
+                    self.builder.gate(name, _AND if op == "and" else _OR, chunk)
+                    next_level.append(name)
+                level = next_level
+            return level[0]
+        # delay script: balanced 2-input tree.
+        level = operands
+        while len(level) > 1:
+            next_level = []
+            for index in range(0, len(level) - 1, 2):
+                name = self.fresh(prefix)
+                if op == "and":
+                    self.builder.and_(name, level[index], level[index + 1])
+                else:
+                    self.builder.or_(name, level[index], level[index + 1])
+                next_level.append(name)
+            if len(level) % 2:
+                next_level.append(level[-1])
+            level = next_level
+        return level[0]
+
+
+from repro.circuit.types import GateType as _GT  # noqa: E402
+
+_AND = _GT.AND
+_OR = _GT.OR
+
+
+def _build_covers(
+    fsm: FSM, encoding: Encoding
+) -> Tuple[Dict[str, List[Cube]], int]:
+    """ON-set covers for every next-state bit and primary output.
+
+    Cube variable order: FSM inputs first (bits 0 .. i-1), then state bits.
+    """
+    width = fsm.num_inputs + encoding.width
+    covers: Dict[str, List[Cube]] = {
+        **{f"ns{j}": [] for j in range(encoding.width)},
+        **{f"out{k}": [] for k in range(fsm.num_outputs)},
+    }
+    for transition in fsm.transitions:
+        base = transition.input_cube + encoding.code_string(transition.src)
+        cube = cube_from_string(base)
+        dst_code = encoding.code_of[transition.dst]
+        for j, bit in enumerate(dst_code):
+            if bit:
+                covers[f"ns{j}"].append(cube)
+        for k, literal in enumerate(transition.output_cube):
+            if literal == "1":
+                covers[f"out{k}"].append(cube)
+    return covers, width
+
+
+def synthesize(
+    fsm: FSM,
+    style: str = "jc",
+    script: str = "delay",
+    explicit_reset: bool = False,
+    encoding: Optional[Encoding] = None,
+    max_gates: int = 6000,
+) -> SynthesisResult:
+    """Synthesize an FSM into a gate-level sequential circuit."""
+    if script not in SCRIPT_CODES:
+        raise SynthesisError(f"unknown script {script!r}")
+    if encoding is None:
+        encoding = encode(fsm, style, reset_zero=True)
+    covers, cube_width = _build_covers(fsm, encoding)
+    minimized = {name: minimize_cover(cubes) for name, cubes in covers.items()}
+
+    name = f"{fsm.name}.{encoding.style}.{SCRIPT_CODES[script]}"
+    builder = CircuitBuilder(name)
+    nets = _NetBuilder(builder, script)
+
+    input_signals = [builder.input(f"x{i}") for i in range(fsm.num_inputs)]
+    if explicit_reset:
+        reset = builder.input("rst")
+    state_signals = [f"s{j}" for j in range(encoding.width)]
+
+    def literal_signal(position: int, positive: bool) -> str:
+        if position < fsm.num_inputs:
+            base = input_signals[position]
+        else:
+            base = state_signals[position - fsm.num_inputs]
+        return base if positive else nets.inverter(base)
+
+    # Shared cube gates across all functions.
+    cube_signal: Dict[Cube, str] = {}
+    pair_signals: Dict[Tuple[str, str], str] = {}
+
+    def literals_of(cube: Cube) -> List[str]:
+        care, value = cube
+        literals = []
+        for position in range(cube_width):
+            bit = 1 << position
+            if care & bit:
+                literals.append(literal_signal(position, bool(value & bit)))
+        return literals
+
+    all_cubes = sorted({cube for cubes in minimized.values() for cube in cubes})
+
+    if script == "rugged":
+        _extract_common_pairs(all_cubes, literals_of, pair_signals, nets)
+
+    def build_cube(cube: Cube) -> str:
+        if cube in cube_signal:
+            return cube_signal[cube]
+        literals = literals_of(cube)
+        if not literals:
+            signal = nets.const1()
+        elif script == "rugged" and pair_signals:
+            signal = nets.and_gate(_apply_pairs(literals, pair_signals), "c")
+        else:
+            signal = nets.and_gate(literals, "c")
+        cube_signal[cube] = signal
+        return signal
+
+    function_signal: Dict[str, str] = {}
+    for function_name, cubes in minimized.items():
+        if not cubes:
+            function_signal[function_name] = nets.const0()
+            continue
+        terms = [build_cube(cube) for cube in cubes]
+        function_signal[function_name] = nets.or_gate(terms, f"f_{function_name}")
+
+    # Registers (with optional explicit reset gating the next-state logic).
+    if explicit_reset:
+        reset_n = nets.inverter(reset)
+    for j in range(encoding.width):
+        source = function_signal[f"ns{j}"]
+        if explicit_reset:
+            gated = builder.and_(f"nsr{j}", reset_n, source)
+            source = gated
+        builder.dff(state_signals[j], source)
+
+    for k in range(fsm.num_outputs):
+        builder.output(f"z{k}", function_signal[f"out{k}"])
+
+    circuit = builder.build(allow_dangling=True)
+    if circuit.num_gates() > max_gates:
+        raise SynthesisError(
+            f"{name}: {circuit.num_gates()} gates exceeds the cap {max_gates}"
+        )
+    return SynthesisResult(
+        circuit=circuit,
+        fsm=fsm,
+        encoding=encoding,
+        script=script,
+        explicit_reset=explicit_reset,
+        cover_sizes={k: len(v) for k, v in minimized.items()},
+    )
+
+
+def _extract_common_pairs(
+    cubes: Sequence[Cube],
+    literals_of,
+    pair_signals: Dict[Tuple[str, str], str],
+    nets: _NetBuilder,
+    min_count: int = 3,
+    max_pairs: int = 64,
+) -> None:
+    """Area optimization: share AND2 gates for frequent literal pairs.
+
+    Candidate pairs are selected by frequency, then a dry run of the
+    greedy replacement determines which are actually used; only those get
+    gates, so no dead logic is created.
+    """
+    from collections import Counter
+
+    counts: Counter = Counter()
+    for cube in cubes:
+        literals = sorted(literals_of(cube))
+        for pair in itertools.combinations(literals, 2):
+            counts[pair] += 1
+    candidates: Dict[Tuple[str, str], str] = {}
+    for pair, count in counts.most_common(max_pairs):
+        if count < min_count:
+            break
+        if pair[0] == pair[1]:
+            continue
+        candidates[pair] = ""  # placeholder: presence is what matters
+    used: set = set()
+    for cube in cubes:
+        terms = _apply_pairs(literals_of(cube), candidates, record=used)
+        del terms
+    for pair in sorted(used):
+        name = nets.fresh("p")
+        nets.builder.and_(name, pair[0], pair[1])
+        pair_signals[pair] = name
+
+
+def _apply_pairs(
+    literals: List[str],
+    pair_signals: Dict[Tuple[str, str], str],
+    record: Optional[set] = None,
+) -> List[str]:
+    """Greedily replace literal pairs with their shared AND2 signals.
+
+    With ``record`` given, only notes which pairs would be used (dry run);
+    otherwise substitutes the pair gates' output signals.
+    """
+    remaining = sorted(literals)
+    terms: List[str] = []
+    changed = True
+    while changed and len(remaining) >= 2:
+        changed = False
+        for a, b in itertools.combinations(remaining, 2):
+            key = (a, b) if a < b else (b, a)
+            if key in pair_signals:
+                if record is not None:
+                    record.add(key)
+                    terms.append(a)  # dry run: keep literals
+                    terms.append(b)
+                else:
+                    terms.append(pair_signals[key])
+                remaining.remove(a)
+                remaining.remove(b)
+                changed = True
+                break
+    return terms + remaining
+
+
+__all__ = ["synthesize", "SynthesisResult", "SynthesisError", "SCRIPT_CODES"]

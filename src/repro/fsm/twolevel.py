@@ -1,0 +1,155 @@
+"""Two-level (sum-of-products) logic minimization on cube covers.
+
+A light-weight espresso-style loop sufficient for the modular control FSMs
+this library synthesizes: iterated single-cube containment removal and
+distance-1 merging until fixpoint.  Cubes are packed into integer pairs
+``(care, value)`` -- bit *i* of ``care`` set when literal *i* is specified,
+and ``value`` giving the specified bits -- so both operations are O(1) per
+cube pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+Cube = Tuple[int, int]  # (care mask, value bits); value must satisfy value & ~care == 0
+
+
+def cube_from_string(text: str) -> Cube:
+    """Parse ``"01-"`` style cube text (leftmost character = bit 0)."""
+    care = 0
+    value = 0
+    for position, literal in enumerate(text):
+        if literal == "1":
+            care |= 1 << position
+            value |= 1 << position
+        elif literal == "0":
+            care |= 1 << position
+        elif literal != "-":
+            raise ValueError(f"bad cube literal {literal!r}")
+    return care, value
+
+
+def cube_to_string(cube: Cube, width: int) -> str:
+    """Render a packed cube as ``"01-"`` text of the given width."""
+    care, value = cube
+    chars = []
+    for position in range(width):
+        bit = 1 << position
+        if not care & bit:
+            chars.append("-")
+        elif value & bit:
+            chars.append("1")
+        else:
+            chars.append("0")
+    return "".join(chars)
+
+
+def cube_contains(general: Cube, specific: Cube) -> bool:
+    """True when every minterm of ``specific`` lies inside ``general``."""
+    care_g, value_g = general
+    care_s, value_s = specific
+    if care_g & ~care_s:
+        return False  # general specifies a literal the specific leaves free
+    return (value_g ^ value_s) & care_g == 0
+
+
+def cube_matches_vector(cube: Cube, bits: int) -> bool:
+    """True when the binary assignment ``bits`` lies in the cube."""
+    care, value = cube
+    return (bits ^ value) & care == 0
+
+
+def _merge(a: Cube, b: Cube) -> Tuple[int, int]:
+    """Merge two distance-1 cubes (caller checks mergeability)."""
+    care_a, value_a = a
+    care_b, value_b = b
+    differing = value_a ^ value_b
+    return care_a & ~differing, value_a & ~differing
+
+
+def _mergeable(a: Cube, b: Cube) -> bool:
+    care_a, value_a = a
+    care_b, value_b = b
+    if care_a != care_b:
+        return False
+    differing = value_a ^ value_b
+    return differing != 0 and differing & (differing - 1) == 0
+
+
+def minimize_cover(cubes: Iterable[Cube], max_passes: int = 64) -> List[Cube]:
+    """Iterated containment removal + distance-1 merging to fixpoint.
+
+    The result covers exactly the same ON-set (both operations preserve the
+    covered set), with typically far fewer cubes for structured covers.
+    """
+    current: List[Cube] = sorted(set(cubes))
+    for _ in range(max_passes):
+        merged = _merge_pass(current)
+        pruned = _containment_pass(merged)
+        if pruned == current:
+            return current
+        current = pruned
+    return current
+
+
+def _merge_pass(cubes: List[Cube]) -> List[Cube]:
+    """One pass of distance-1 merging (hash-join on the reduced key)."""
+    result: Set[Cube] = set(cubes)
+    # Group by care mask; within a group, two cubes merge when their values
+    # differ in exactly one care bit.
+    by_care: dict = {}
+    for cube in cubes:
+        by_care.setdefault(cube[0], []).append(cube)
+    for care, group in by_care.items():
+        values = {value for _, value in group}
+        bit = 1
+        remaining_bits = care
+        while remaining_bits:
+            bit = remaining_bits & -remaining_bits
+            remaining_bits &= remaining_bits - 1
+            for _, value in group:
+                partner = value ^ bit
+                if partner in values and value < partner:
+                    result.add((care & ~bit, value & ~bit))
+    return sorted(result)
+
+
+def _containment_pass(cubes: List[Cube]) -> List[Cube]:
+    """Remove cubes single-cube-contained in another cube of the cover."""
+    # Sort by ascending care popcount: more general cubes first.
+    ordered = sorted(cubes, key=lambda c: (bin(c[0]).count("1"), c))
+    kept: List[Cube] = []
+    for cube in ordered:
+        if not any(cube_contains(general, cube) for general in kept):
+            kept.append(cube)
+    return sorted(kept)
+
+
+def cover_from_strings(texts: Sequence[str]) -> List[Cube]:
+    """Parse a list of cube strings into packed cubes."""
+    return [cube_from_string(t) for t in texts]
+
+
+def cover_to_strings(cubes: Sequence[Cube], width: int) -> List[str]:
+    """Render packed cubes back to ``"01-"`` strings."""
+    return [cube_to_string(c, width) for c in cubes]
+
+
+def eval_cover(cubes: Sequence[Cube], bits: int) -> bool:
+    """Evaluate the SOP cover on a packed binary assignment."""
+    return any(cube_matches_vector(cube, bits) for cube in cubes)
+
+
+__all__ = [
+    "Cube",
+    "cube_from_string",
+    "cube_to_string",
+    "cube_contains",
+    "cube_matches_vector",
+    "minimize_cover",
+    "cover_from_strings",
+    "cover_to_strings",
+    "eval_cover",
+]

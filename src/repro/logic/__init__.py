@@ -1,0 +1,47 @@
+"""Multi-valued logic algebra used throughout the library.
+
+Two representations are provided:
+
+* :mod:`repro.logic.three_valued` -- scalar three-valued logic (0, 1, X)
+  matching the ternary simulation model used by structural ATPG and fault
+  simulation in the paper (Section II).
+* :mod:`repro.logic.bitparallel` -- a dual-rail bit-parallel encoding of the
+  same algebra, packing arbitrarily many patterns into Python integers, used
+  by the PROOFS-style parallel fault simulator.
+"""
+
+from repro.logic.three_valued import (
+    ONE,
+    Trit,
+    X,
+    ZERO,
+    t_and,
+    t_buf,
+    t_nand,
+    t_nor,
+    t_not,
+    t_or,
+    t_xnor,
+    t_xor,
+    trit_from_char,
+    trit_to_char,
+)
+from repro.logic.bitparallel import BitVec
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "X",
+    "Trit",
+    "t_and",
+    "t_or",
+    "t_not",
+    "t_buf",
+    "t_nand",
+    "t_nor",
+    "t_xor",
+    "t_xnor",
+    "trit_from_char",
+    "trit_to_char",
+    "BitVec",
+]

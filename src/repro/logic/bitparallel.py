@@ -1,0 +1,148 @@
+"""Dual-rail bit-parallel three-valued logic.
+
+A :class:`BitVec` packs ``width`` independent ternary values into two Python
+integers using the classic dual-rail encoding:
+
+* ``ones``  -- bit *i* set when pattern *i* carries logic ``1``;
+* ``zeros`` -- bit *i* set when pattern *i* carries logic ``0``.
+
+A bit position with neither rail set is ``X``.  Both rails set is illegal and
+rejected on construction.  Python integers are arbitrary precision, so a
+single :class:`BitVec` can carry as many parallel patterns as needed -- this
+is the engine behind the PROOFS-style parallel fault simulator, which packs
+one fault machine (or one test pattern) per bit.
+
+The gate operations below are the standard dual-rail formulations; each is a
+handful of bitwise integer operations regardless of width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.logic.three_valued import ONE, Trit, X, ZERO
+
+
+@dataclass(frozen=True)
+class BitVec:
+    """An immutable vector of ``width`` ternary values."""
+
+    ones: int
+    zeros: int
+    width: int
+
+    def __post_init__(self) -> None:
+        mask = (1 << self.width) - 1
+        if self.ones & ~mask or self.zeros & ~mask:
+            raise ValueError("rail bits outside declared width")
+        if self.ones & self.zeros:
+            raise ValueError("a bit position cannot be both 0 and 1")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def filled(cls, value: Trit, width: int) -> "BitVec":
+        """A vector with every position equal to ``value``."""
+        mask = (1 << width) - 1
+        if value == ONE:
+            return cls(mask, 0, width)
+        if value == ZERO:
+            return cls(0, mask, width)
+        if value == X:
+            return cls(0, 0, width)
+        raise ValueError(f"not a trit: {value!r}")
+
+    @classmethod
+    def from_trits(cls, values: Iterable[Trit]) -> "BitVec":
+        """Pack an iterable of trits, first item in bit 0."""
+        ones = 0
+        zeros = 0
+        width = 0
+        for index, value in enumerate(values):
+            if value == ONE:
+                ones |= 1 << index
+            elif value == ZERO:
+                zeros |= 1 << index
+            elif value != X:
+                raise ValueError(f"not a trit: {value!r}")
+            width = index + 1
+        return cls(ones, zeros, width)
+
+    # -- element access ---------------------------------------------------
+
+    def get(self, index: int) -> Trit:
+        """The ternary value at bit position ``index``."""
+        if not 0 <= index < self.width:
+            raise IndexError(index)
+        bit = 1 << index
+        if self.ones & bit:
+            return ONE
+        if self.zeros & bit:
+            return ZERO
+        return X
+
+    def with_bit(self, index: int, value: Trit) -> "BitVec":
+        """A copy with position ``index`` forced to ``value``."""
+        if not 0 <= index < self.width:
+            raise IndexError(index)
+        bit = 1 << index
+        ones = self.ones & ~bit
+        zeros = self.zeros & ~bit
+        if value == ONE:
+            ones |= bit
+        elif value == ZERO:
+            zeros |= bit
+        elif value != X:
+            raise ValueError(f"not a trit: {value!r}")
+        return BitVec(ones, zeros, self.width)
+
+    def trits(self) -> Iterator[Trit]:
+        """Iterate the ternary values, bit 0 first."""
+        for index in range(self.width):
+            yield self.get(index)
+
+    # -- gate operations --------------------------------------------------
+
+    def __invert__(self) -> "BitVec":
+        return BitVec(self.zeros, self.ones, self.width)
+
+    def __and__(self, other: "BitVec") -> "BitVec":
+        self._check(other)
+        return BitVec(self.ones & other.ones, self.zeros | other.zeros, self.width)
+
+    def __or__(self, other: "BitVec") -> "BitVec":
+        self._check(other)
+        return BitVec(self.ones | other.ones, self.zeros & other.zeros, self.width)
+
+    def __xor__(self, other: "BitVec") -> "BitVec":
+        self._check(other)
+        ones = (self.ones & other.zeros) | (self.zeros & other.ones)
+        zeros = (self.ones & other.ones) | (self.zeros & other.zeros)
+        return BitVec(ones, zeros, self.width)
+
+    def _check(self, other: "BitVec") -> None:
+        if self.width != other.width:
+            raise ValueError(f"width mismatch: {self.width} vs {other.width}")
+
+    # -- queries ----------------------------------------------------------
+
+    def known_mask(self) -> int:
+        """Bitmask of positions carrying a binary (non-X) value."""
+        return self.ones | self.zeros
+
+    def diff_mask(self, other: "BitVec") -> int:
+        """Bitmask of positions where both are binary and differ.
+
+        This is the detection condition of fault simulation: a fault is
+        observed at an output position only when the fault-free and faulty
+        values are *both known* and different.
+        """
+        self._check(other)
+        return (self.ones & other.zeros) | (self.zeros & other.ones)
+
+    def __str__(self) -> str:
+        chars = []
+        for value in self.trits():
+            chars.append("1" if value == ONE else "0" if value == ZERO else "x")
+        return "".join(chars)

@@ -1,0 +1,148 @@
+"""Scalar three-valued (ternary) logic.
+
+The paper's simulation model (Section II) uses the classic three-valued
+algebra over ``{0, 1, X}`` where ``X`` denotes the *unknown* initial value of
+a memory element.  Three-valued simulation is conservative: whenever a gate
+output cannot be determined without knowing an ``X`` input, the output is
+``X``.  This loss of information is exactly what distinguishes
+*structural-based* synchronizing sequences and tests from *functional-based*
+ones in the paper.
+
+Values are plain ints: ``0``, ``1`` and ``X`` (represented as ``2``).  Using
+small ints keeps the simulators allocation-free and allows table lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+Trit = int
+
+ZERO: Trit = 0
+ONE: Trit = 1
+X: Trit = 2
+
+_VALID = (ZERO, ONE, X)
+
+_CHAR_TO_TRIT = {"0": ZERO, "1": ONE, "x": X, "X": X, "u": X, "U": X, "-": X}
+_TRIT_TO_CHAR = {ZERO: "0", ONE: "1", X: "x"}
+
+# Lookup tables indexed as TABLE[a][b].  The ternary AND/OR follow the
+# Kleene strong-logic truth tables: 0 dominates AND, 1 dominates OR.
+_AND_TABLE = (
+    (0, 0, 0),
+    (0, 1, 2),
+    (0, 2, 2),
+)
+_OR_TABLE = (
+    (0, 1, 2),
+    (1, 1, 1),
+    (2, 1, 2),
+)
+_XOR_TABLE = (
+    (0, 1, 2),
+    (1, 0, 2),
+    (2, 2, 2),
+)
+_NOT_TABLE = (1, 0, 2)
+
+
+def trit_from_char(char: str) -> Trit:
+    """Parse a single character (``0``, ``1``, ``x``/``X``/``u``/``-``)."""
+    try:
+        return _CHAR_TO_TRIT[char]
+    except KeyError:
+        raise ValueError(f"not a ternary logic character: {char!r}") from None
+
+
+def trit_to_char(value: Trit) -> str:
+    """Render a trit as ``0``, ``1`` or ``x``."""
+    try:
+        return _TRIT_TO_CHAR[value]
+    except KeyError:
+        raise ValueError(f"not a trit: {value!r}") from None
+
+
+def trits_from_string(text: str) -> tuple:
+    """Parse a vector such as ``"01x1"`` into a tuple of trits."""
+    return tuple(trit_from_char(char) for char in text)
+
+
+def trits_to_string(values: Iterable[Trit]) -> str:
+    """Render an iterable of trits as a compact string such as ``"01x1"``."""
+    return "".join(trit_to_char(value) for value in values)
+
+
+def t_not(a: Trit) -> Trit:
+    """Ternary NOT."""
+    return _NOT_TABLE[a]
+
+
+def t_buf(a: Trit) -> Trit:
+    """Ternary buffer (identity)."""
+    if a not in _VALID:
+        raise ValueError(f"not a trit: {a!r}")
+    return a
+
+
+def t_and(*inputs: Trit) -> Trit:
+    """Ternary AND over one or more inputs."""
+    result = ONE
+    for value in inputs:
+        result = _AND_TABLE[result][value]
+        if result == ZERO:
+            return ZERO
+    return result
+
+
+def t_or(*inputs: Trit) -> Trit:
+    """Ternary OR over one or more inputs."""
+    result = ZERO
+    for value in inputs:
+        result = _OR_TABLE[result][value]
+        if result == ONE:
+            return ONE
+    return result
+
+
+def t_nand(*inputs: Trit) -> Trit:
+    """Ternary NAND over one or more inputs."""
+    return _NOT_TABLE[t_and(*inputs)]
+
+
+def t_nor(*inputs: Trit) -> Trit:
+    """Ternary NOR over one or more inputs."""
+    return _NOT_TABLE[t_or(*inputs)]
+
+
+def t_xor(*inputs: Trit) -> Trit:
+    """Ternary XOR over one or more inputs."""
+    result = ZERO
+    for value in inputs:
+        result = _XOR_TABLE[result][value]
+    return result
+
+
+def t_xnor(*inputs: Trit) -> Trit:
+    """Ternary XNOR over one or more inputs."""
+    return _NOT_TABLE[t_xor(*inputs)]
+
+
+def is_known(a: Trit) -> bool:
+    """True when the value is binary (``0`` or ``1``), not ``X``."""
+    return a != X
+
+
+def merge(a: Trit, b: Trit) -> Trit:
+    """Combine two observations of the same signal.
+
+    Identical known values merge to themselves; disagreement or any ``X``
+    merges to ``X``.  Used when folding sets of states into a single ternary
+    state vector.
+    """
+    return a if a == b else X
+
+
+def covers(general: Trit, specific: Trit) -> bool:
+    """True when ``general`` subsumes ``specific`` (``X`` covers anything)."""
+    return general == X or general == specific

@@ -1,0 +1,60 @@
+"""Fig. 1: the atomic retiming moves.
+
+Two minimal circuit pairs:
+
+* :func:`fig1_gate_pair` -- K1/K2 of Fig. 1(a): registers on both inputs of
+  a single-output gate G (K1) vs one register on its output (K2); K2 is the
+  forward move of K1 across G, K1 the backward move of K2.
+* :func:`fig1_stem_pair` -- Fig. 1(b): one register before a fanout stem
+  (K1) vs one register on each branch (K2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.retiming.core import Retiming
+
+
+def fig1_gate_k1() -> Circuit:
+    """Registers Q0, Q1 on the inputs of gate G."""
+    builder = CircuitBuilder("fig1a_k1")
+    builder.input("I1")
+    builder.input("I2")
+    builder.dff("Q0", "I1")
+    builder.dff("Q1", "I2")
+    builder.and_("G", "Q0", "Q1")
+    builder.output("O", "G")
+    return builder.build()
+
+
+def fig1_gate_pair() -> Tuple[Circuit, Circuit, Retiming]:
+    """(K1, K2, retiming K1 -> K2) for the single-output-gate move."""
+    k1 = fig1_gate_k1()
+    retiming = Retiming(k1, {"G": -1})  # one forward move across G
+    return k1, retiming.apply("fig1a_k2"), retiming
+
+
+def fig1_stem_k1() -> Circuit:
+    """One register feeding a fanout stem with two branches."""
+    builder = CircuitBuilder("fig1b_k1")
+    builder.input("I1")
+    builder.dff("Q", "I1")
+    builder.buf("g1", "Q")
+    builder.not_("g2", "Q")
+    builder.output("O1", "g1")
+    builder.output("O2", "g2")
+    return builder.build()
+
+
+def fig1_stem_pair() -> Tuple[Circuit, Circuit, Retiming]:
+    """(K1, K2, retiming K1 -> K2) for the fanout-stem move."""
+    k1 = fig1_stem_k1()
+    stem = k1.fanout_stems()[0]
+    retiming = Retiming(k1, {stem.name: -1})  # one forward move across the stem
+    return k1, retiming.apply("fig1b_k2"), retiming
+
+
+__all__ = ["fig1_gate_k1", "fig1_gate_pair", "fig1_stem_k1", "fig1_stem_pair"]

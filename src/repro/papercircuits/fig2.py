@@ -1,0 +1,59 @@
+"""Fig. 2: backward retiming across a single-output gate (C1 -> C2).
+
+The paper's exact gate-level drawing is not fully recoverable from the
+text, so this is a faithful *behavioural* reconstruction with every
+property the paper states:
+
+* C1 has two primary inputs, one flip-flop and clock period 4 under the
+  paper's delay model (gate delay = number of inputs);
+* C2 is obtained from C1 by a single backward retiming move across a
+  single-output combinational gate; its period is 3 and it has 2 flip-flops;
+* the STG of C1 has no equivalent states, while the STG of C2 has three
+  equivalent states {01, 10, 11}, with {00} equivalent to C1's state {0}
+  and the other three equivalent to C1's state {1} -- retiming *created*
+  equivalent states, and ``C1 ==s C2`` (Lemma 1);
+* the input vector <11> synchronizes C1 to state {1} and C2 into the
+  equivalent class, illustrating Theorem 1.
+
+Structure::
+
+    g1 = XOR(I1, I2)         # delay 2
+    g2 = OR(g1, I2)          # delay 2; long path g1 -> g2 has delay 4
+    q  = DFF(g2)
+    g3 = NOT(q)              # delay 1
+    Z  = g3
+
+C2 = backward move across g2 (r(g2) = +1): the register moves from g2's
+output onto both of its input edges.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.retiming.core import Retiming
+
+
+def fig2_c1() -> Circuit:
+    """The reconstructed C1 of Fig. 2 (one flip-flop, period 4)."""
+    builder = CircuitBuilder("fig2_c1")
+    builder.input("I1")
+    builder.input("I2")
+    builder.xor("g1", "I1", "I2")
+    builder.or_("g2", "g1", "I2")
+    builder.dff("q", "g2")
+    builder.not_("g3", "q")
+    builder.output("Z", "g3")
+    return builder.build()
+
+
+def fig2_pair() -> Tuple[Circuit, Circuit, Retiming]:
+    """(C1, C2, retiming C1 -> C2): one backward move across gate g2."""
+    c1 = fig2_c1()
+    retiming = Retiming(c1, {"g2": 1})
+    return c1, retiming.apply("fig2_c2"), retiming
+
+
+__all__ = ["fig2_c1", "fig2_pair"]

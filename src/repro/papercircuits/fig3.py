@@ -1,0 +1,69 @@
+"""Fig. 3: forward retiming across a fanout stem (L1 -> L2).
+
+Reconstruction matching every property stated in the paper:
+
+* L1: two inputs, one flip-flop ``q`` whose output fans out to two
+  branches (directly to g1 and through an inverter to g2);
+* ``<11>`` is a **functional-based but not structural-based** synchronizing
+  sequence for L1, synchronizing it to state {1}: ``Z = OR(AND(q, I1),
+  AND(!q, I2))`` evaluates to 1 under I1=I2=1 regardless of ``q``, but
+  three-valued simulation yields X (Observation 1 / Example 1);
+* L2 = a single forward retiming move across the stem: the shared register
+  splits onto the two branches, creating the inconsistent state (0, 1)
+  that has no equivalent in L1 -- and ``<11>`` no longer synchronizes L2;
+* every two-vector sequence ``<xy, 11>`` synchronizes L2 to state {11},
+  equivalent to L1's {1} (Theorem 2 with prefix length 1);
+* Example 3 (Observation 3): the stuck-at-0 fault on L1's output is
+  functionally detected by ``<11>`` in L1 but its corresponding fault in
+  L2 is not, because the inconsistent initial state (0, 1) already drives
+  the fault-free output to 0.
+
+Structure::
+
+    q  = DFF(Z)                 # Z fans out to the PO and the flip-flop
+    n  = NOT(q)
+    g1 = AND(q, I1)
+    g2 = AND(n, I2)
+    Z  = OR(g1, g2)
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.retiming.core import Retiming
+
+
+def fig3_l1() -> Circuit:
+    """The reconstructed L1 of Fig. 3 (one flip-flop, fanout stem state)."""
+    builder = CircuitBuilder("fig3_l1")
+    builder.input("I1")
+    builder.input("I2")
+    builder.and_("g1", "q", "I1")
+    builder.not_("n", "q")
+    builder.and_("g2", "n", "I2")
+    builder.or_("d", "g1", "g2")
+    builder.dff("q", "d")
+    builder.output("Z", "d")
+    return builder.build()
+
+
+def l1_state_stem(circuit: Circuit) -> str:
+    """The stem distributing the register output to g1 and the inverter."""
+    for stem in circuit.fanout_stems():
+        in_edge = circuit.in_edges(stem.name)[0]
+        if in_edge.weight == 1:
+            return stem.name
+    raise ValueError("fig3 layout changed: no register-fed stem found")
+
+
+def fig3_pair() -> Tuple[Circuit, Circuit, Retiming]:
+    """(L1, L2, retiming L1 -> L2): one forward move across the state stem."""
+    l1 = fig3_l1()
+    retiming = Retiming(l1, {l1_state_stem(l1): -1})
+    return l1, retiming.apply("fig3_l2"), retiming
+
+
+__all__ = ["fig3_l1", "fig3_pair", "l1_state_stem"]

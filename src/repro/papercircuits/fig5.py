@@ -1,0 +1,99 @@
+"""Fig. 5: forward retiming across a single-output gate (N1 -> N2).
+
+Reconstructed from the line names and simulation traces in the paper's
+Examples 2 and 4:
+
+* N1 has inputs I1, I2, I3 and three flip-flops: Q1 and Q2 on the input
+  edges of the AND gate G1 (the paper's lines I1-Q1 / Q1-G1 and
+  I2-Q2 / Q2-G1 are the two segments of those weight-1 edges), and Q3 on
+  G2's feedback;
+* N2 is a single forward retiming move across G1: Q1 and Q2 merge into a
+  single register Q12 on G1's output edge (lines G1-Q12 / Q12-G2);
+* Example 2: the structural sequence <001, 000> synchronizes N1 under the
+  stuck-at-1 fault on line G1-G2 to state {001} (= Q1 Q2 Q3), but does
+  *not* synchronize N2 under the corresponding stuck-at-1 fault on line
+  G1-Q12 -- it leaves N2 in {1x}.  Prefixing one arbitrary vector restores
+  synchronization (Lemma 4 / Theorem 3);
+* Example 4 / Observation 4: the structural test sequence
+  <001,000,100,010,010> detects the G1-G2 s-a-1 fault in N1 but not the
+  corresponding G1-Q12 s-a-1 fault in N2; the prefixed sequence does.
+
+Structure::
+
+    G1 = AND(DFF(I1), DFF(I2))
+    G3 = OR(I3, Q3)
+    G2 = AND(G1, G3)
+    Q3 = DFF(G2)
+    Z  = G2
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit, LineRef
+from repro.faults.model import StuckAtFault
+from repro.logic.three_valued import ONE
+from repro.retiming.core import Retiming
+
+EXAMPLE2_SEQUENCE = [(0, 0, 1), (0, 0, 0)]
+EXAMPLE4_TEST = [(0, 0, 1), (0, 0, 0), (1, 0, 0), (0, 1, 0), (0, 1, 0)]
+
+
+def fig5_n1() -> Circuit:
+    """The reconstructed N1 of Fig. 5 (three flip-flops, AND gate G1)."""
+    builder = CircuitBuilder("fig5_n1")
+    builder.input("I1")
+    builder.input("I2")
+    builder.input("I3")
+    builder.dff("Q1", "I1")
+    builder.dff("Q2", "I2")
+    builder.and_("G1", "Q1", "Q2")
+    builder.or_("G3", "I3", "Q3")
+    builder.and_("G2", "G1", "G3")
+    builder.dff("Q3", "G2")
+    builder.output("Z", "G2")
+    return builder.build()
+
+
+def fig5_pair() -> Tuple[Circuit, Circuit, Retiming]:
+    """(N1, N2, retiming N1 -> N2): one forward move across gate G1."""
+    n1 = fig5_n1()
+    retiming = Retiming(n1, {"G1": -1})
+    return n1, retiming.apply("fig5_n2"), retiming
+
+
+def g1_g2_edge(circuit: Circuit) -> int:
+    """Index of the G1 -> G2 edge (weight 0 in N1, weight 1 in N2)."""
+    for edge in circuit.edges:
+        if edge.source == "G1" and edge.sink == "G2":
+            return edge.index
+    raise ValueError("fig5 layout changed: no G1 -> G2 edge")
+
+
+def n1_g1_g2_fault(n1: Circuit) -> StuckAtFault:
+    """The paper's stuck-at-1 fault on line G1-G2 in N1."""
+    return StuckAtFault(LineRef(g1_g2_edge(n1), 1), ONE)
+
+
+def n2_g1_q12_fault(n2: Circuit) -> StuckAtFault:
+    """The corresponding stuck-at-1 fault on line G1-Q12 in N2 (segment 1)."""
+    return StuckAtFault(LineRef(g1_g2_edge(n2), 1), ONE)
+
+
+def n2_q12_g2_fault(n2: Circuit) -> StuckAtFault:
+    """The stuck-at-1 fault on line Q12-G2 in N2 (segment 2)."""
+    return StuckAtFault(LineRef(g1_g2_edge(n2), 2), ONE)
+
+
+__all__ = [
+    "fig5_n1",
+    "fig5_pair",
+    "g1_g2_edge",
+    "n1_g1_g2_fault",
+    "n2_g1_q12_fault",
+    "n2_q12_g2_fault",
+    "EXAMPLE2_SEQUENCE",
+    "EXAMPLE4_TEST",
+]

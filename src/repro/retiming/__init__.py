@@ -1,0 +1,75 @@
+"""Leiserson--Saxe retiming engine.
+
+* :class:`Retiming` -- labellings, legality, application, move counting;
+* :func:`min_period_retiming` -- exact minimum clock-period retiming
+  (W/D matrices + difference constraints, forward moves allowed);
+* :func:`min_register_retiming` -- minimum flip-flop count via min-cost
+  flow duality, optionally under a period bound;
+* :mod:`repro.retiming.moves` -- atomic move decomposition (paper Fig. 1);
+* :mod:`repro.retiming.prefix` -- prefix lengths for Theorems 2-4.
+"""
+
+from repro.retiming.core import (
+    FIXED_KINDS,
+    Retiming,
+    RetimingError,
+    identity_retiming,
+    movable_nodes,
+)
+from repro.retiming.minperiod import (
+    MinPeriodResult,
+    WDMatrices,
+    feasible_retiming_for_period,
+    min_period_retiming,
+    wd_matrices,
+)
+from repro.retiming.minregister import MinRegisterResult, min_register_retiming
+from repro.retiming.performance import (
+    PerformanceRetimingResult,
+    backward_cut_retiming,
+    performance_retiming,
+    register_fanin_cone,
+    state_stems,
+)
+from repro.retiming.moves import AtomicMove, apply_move, can_move, decompose, replay
+from repro.retiming.prefix import (
+    arbitrary_prefix,
+    prefix_length_for_sync,
+    prefix_length_for_tests,
+)
+from repro.retiming.verify import (
+    RetimingVerification,
+    reconstruct_labels,
+    verify_retiming,
+)
+
+__all__ = [
+    "Retiming",
+    "RetimingError",
+    "identity_retiming",
+    "movable_nodes",
+    "FIXED_KINDS",
+    "min_period_retiming",
+    "MinPeriodResult",
+    "feasible_retiming_for_period",
+    "wd_matrices",
+    "WDMatrices",
+    "min_register_retiming",
+    "MinRegisterResult",
+    "performance_retiming",
+    "PerformanceRetimingResult",
+    "backward_cut_retiming",
+    "register_fanin_cone",
+    "state_stems",
+    "AtomicMove",
+    "apply_move",
+    "can_move",
+    "decompose",
+    "replay",
+    "arbitrary_prefix",
+    "prefix_length_for_sync",
+    "prefix_length_for_tests",
+    "verify_retiming",
+    "reconstruct_labels",
+    "RetimingVerification",
+]

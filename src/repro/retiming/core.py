@@ -1,0 +1,168 @@
+"""Retiming labels: legality, application, and move counting.
+
+A retiming of a circuit ``G = (V, E, W)`` is an integer labelling
+``r : V -> Z`` with ``r = 0`` on primary inputs, primary outputs and
+constants (no peripheral/pipelining moves, matching the SIS ``retime``
+behaviour the paper's circuits were produced with).  The retimed weight of
+an edge ``u -> v`` is::
+
+    w'(e) = w(e) + r(v) - r(u)
+
+and the retiming is legal when every ``w'(e) >= 0``.
+
+Sign convention (Leiserson--Saxe): ``r(v) = k > 0`` means ``k`` *backward*
+moves across ``v`` (registers move from the outputs of ``v`` to its inputs);
+``r(v) = -k < 0`` means ``k`` *forward* moves.  These counts drive the
+paper's prefix-length theorems:
+
+* Theorem 2: prefix length = max forward moves across any **fanout stem**;
+* Theorems 3 and 4: prefix length = max forward moves across **any node**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.types import NodeKind
+
+FIXED_KINDS = (NodeKind.INPUT, NodeKind.OUTPUT, NodeKind.CONST0, NodeKind.CONST1)
+
+
+class RetimingError(ValueError):
+    """Raised for illegal or malformed retimings."""
+
+
+@dataclass(frozen=True)
+class Retiming:
+    """An immutable retiming labelling for one circuit."""
+
+    circuit: Circuit
+    labels: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        unknown = set(self.labels) - set(self.circuit.nodes)
+        if unknown:
+            raise RetimingError(f"labels for unknown vertices: {sorted(unknown)[:5]}")
+        for name, node in self.circuit.nodes.items():
+            if node.kind in FIXED_KINDS and self.labels.get(name, 0) != 0:
+                raise RetimingError(
+                    f"vertex {name!r} ({node.kind.value}) must keep r = 0"
+                )
+
+    def label(self, name: str) -> int:
+        return self.labels.get(name, 0)
+
+    # -- legality -----------------------------------------------------------
+
+    def retimed_weights(self) -> List[int]:
+        """``w'(e) = w(e) + r(sink) - r(source)`` for every edge."""
+        return [
+            edge.weight + self.label(edge.sink) - self.label(edge.source)
+            for edge in self.circuit.edges
+        ]
+
+    def is_legal(self) -> bool:
+        return all(weight >= 0 for weight in self.retimed_weights())
+
+    def illegal_edges(self) -> List[int]:
+        return [
+            edge.index
+            for edge, weight in zip(self.circuit.edges, self.retimed_weights())
+            if weight < 0
+        ]
+
+    def apply(self, name: Optional[str] = None) -> Circuit:
+        """Materialize the retimed circuit (same structure, new weights)."""
+        weights = self.retimed_weights()
+        if any(weight < 0 for weight in weights):
+            raise RetimingError(
+                f"illegal retiming: negative weight on edges {self.illegal_edges()[:5]}"
+            )
+        return self.circuit.with_weights(
+            weights, name or f"{self.circuit.name}.re"
+        )
+
+    # -- move counting (paper Section III / IV) -------------------------------
+
+    def forward_moves(self, name: str) -> int:
+        """Number of forward moves across one vertex."""
+        return max(0, -self.label(name))
+
+    def backward_moves(self, name: str) -> int:
+        """Number of backward moves across one vertex."""
+        return max(0, self.label(name))
+
+    def max_forward_moves(self) -> int:
+        """``F``: max forward moves across **any** node (Theorems 3-4)."""
+        return max((self.forward_moves(n) for n in self.circuit.nodes), default=0)
+
+    def max_backward_moves(self) -> int:
+        """``B``: max backward moves across any node."""
+        return max((self.backward_moves(n) for n in self.circuit.nodes), default=0)
+
+    def max_forward_moves_across_stems(self) -> int:
+        """``F_stem``: max forward moves across any fanout stem (Lemma 2, Theorem 2)."""
+        return max(
+            (self.forward_moves(s.name) for s in self.circuit.fanout_stems()),
+            default=0,
+        )
+
+    def max_backward_moves_across_stems(self) -> int:
+        """``B_stem``: max backward moves across any fanout stem (Lemma 2)."""
+        return max(
+            (self.backward_moves(s.name) for s in self.circuit.fanout_stems()),
+            default=0,
+        )
+
+    def time_equivalence_bound(self) -> int:
+        """``N = max(F, B)`` over fanout stems: ``K ==_Nt K'`` (Lemma 2)."""
+        return max(
+            self.max_forward_moves_across_stems(),
+            self.max_backward_moves_across_stems(),
+        )
+
+    def is_identity(self) -> bool:
+        return all(value == 0 for value in self.labels.values())
+
+    def inverse(self, retimed: Optional[Circuit] = None) -> "Retiming":
+        """The retiming mapping the retimed circuit back to the original."""
+        target = retimed if retimed is not None else self.apply()
+        return Retiming(target, {name: -value for name, value in self.labels.items()})
+
+    def register_delta(self) -> int:
+        """Change in total register count caused by this retiming."""
+        return sum(self.retimed_weights()) - sum(self.circuit.weights())
+
+    def summary(self) -> str:
+        return (
+            f"Retiming({self.circuit.name}: F={self.max_forward_moves()}, "
+            f"B={self.max_backward_moves()}, "
+            f"F_stem={self.max_forward_moves_across_stems()}, "
+            f"registers {sum(self.circuit.weights())} -> "
+            f"{sum(self.retimed_weights())})"
+        )
+
+
+def identity_retiming(circuit: Circuit) -> Retiming:
+    """The trivial retiming (all labels zero)."""
+    return Retiming(circuit, {})
+
+
+def movable_nodes(circuit: Circuit) -> List[str]:
+    """Vertices whose label may be nonzero (gates and stems)."""
+    return [
+        name
+        for name, node in circuit.nodes.items()
+        if node.kind not in FIXED_KINDS
+    ]
+
+
+__all__ = [
+    "Retiming",
+    "RetimingError",
+    "identity_retiming",
+    "movable_nodes",
+    "FIXED_KINDS",
+]

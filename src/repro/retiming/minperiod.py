@@ -1,0 +1,228 @@
+"""Minimum-period retiming (Leiserson--Saxe OPT algorithm).
+
+Implements the classic exact algorithm:
+
+1. compute the ``W`` and ``D`` matrices (min registers over u->v paths, and
+   max delay among register-minimal paths), vectorized with numpy
+   Floyd--Warshall on the lexicographic cost ``(w, -d)``;
+2. binary-search the clock period ``c`` over the distinct values of ``D``;
+3. for each candidate, solve the system of difference constraints
+
+   - legality:  ``r(u) - r(v) <= w(e)``            for every edge ``u -> v``
+   - period:    ``r(u) - r(v) <= W(u,v) - 1``      whenever ``D(u,v) > c``
+   - interface: ``r(v) = 0``                        for PI/PO/constants
+
+   by Bellman--Ford over the constraint graph (dense matrix iteration).
+
+Unlike the simpler FEAS heuristic restricted to non-negative labels, this
+formulation admits *negative* labels -- i.e. genuine **forward** retiming
+moves -- which is essential here: the paper's prefix-length results
+(Theorems 2-4) are non-trivial precisely when forward moves occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit, Node
+from repro.retiming.core import FIXED_KINDS, Retiming, RetimingError
+
+_INF = np.int64(1) << 40
+
+
+@dataclass(frozen=True)
+class WDMatrices:
+    """All-pairs path summaries used by min-period retiming."""
+
+    names: Tuple[str, ...]
+    index: Dict[str, int]
+    W: np.ndarray  # min registers on any u->v path (INF if none)
+    D: np.ndarray  # max delay among register-minimal u->v paths
+
+    def w_between(self, u: str, v: str) -> Optional[int]:
+        value = self.W[self.index[u], self.index[v]]
+        return None if value >= _INF else int(value)
+
+    def d_between(self, u: str, v: str) -> Optional[int]:
+        value = self.D[self.index[u], self.index[v]]
+        if self.W[self.index[u], self.index[v]] >= _INF:
+            return None
+        return int(value)
+
+
+def wd_matrices(
+    circuit: Circuit, delay: Optional[Callable[[Node], int]] = None
+) -> WDMatrices:
+    """Compute the Leiserson--Saxe ``W``/``D`` matrices."""
+    if delay is None:
+        delay = circuit.default_delay
+    names = tuple(sorted(circuit.nodes))
+    index = {name: i for i, name in enumerate(names)}
+    n = len(names)
+    delays = np.array([delay(circuit.node(name)) for name in names], dtype=np.int64)
+
+    W = np.full((n, n), _INF, dtype=np.int64)
+    D = np.full((n, n), np.iinfo(np.int64).min // 4, dtype=np.int64)
+    for edge in circuit.edges:
+        u, v = index[edge.source], index[edge.sink]
+        d_edge = delays[u] + delays[v]
+        if edge.weight < W[u, v] or (edge.weight == W[u, v] and d_edge > D[u, v]):
+            W[u, v] = edge.weight
+            D[u, v] = d_edge
+
+    for k in range(n):
+        w_through = W[:, k, None] + W[None, k, :]
+        d_through = D[:, k, None] + D[None, k, :] - delays[k]
+        better = (w_through < W) | ((w_through == W) & (d_through > D))
+        np.copyto(W, w_through, where=better)
+        np.copyto(D, d_through, where=better)
+    # Clamp unreachable pairs so callers never see garbage D values.
+    unreachable = W >= _INF
+    W[unreachable] = _INF
+    D[unreachable] = 0
+    return WDMatrices(names, index, W, D)
+
+
+def _constraint_matrix(
+    circuit: Circuit,
+    wd: WDMatrices,
+    period: Optional[int],
+) -> np.ndarray:
+    """Dense bound matrix ``B`` with host row/column appended.
+
+    ``B[a, b]`` is the tightest bound of constraints ``r(b) - r(a) <= B``
+    ... encoded for the shortest-path solve as: ``x_b <= x_a + B[a, b]``
+    where the underlying difference constraint is ``r(b) - r(a) <= B[a,b]``.
+    """
+    n = len(wd.names)
+    B = np.full((n + 1, n + 1), _INF, dtype=np.int64)
+    host = n
+    # Legality: r(u) - r(v) <= w(e)  ->  x_u <= x_v + w(e): B[v, u] = w.
+    for edge in circuit.edges:
+        u, v = wd.index[edge.source], wd.index[edge.sink]
+        B[v, u] = min(B[v, u], edge.weight)
+    # Period constraints: r(u) - r(v) <= W(u,v) - 1 when D(u,v) > c.
+    if period is not None:
+        mask = (wd.W < _INF) & (wd.D > period)
+        bounds = wd.W - 1
+        # B[v, u] = min(B[v, u], W[u, v] - 1) for masked (u, v).
+        candidate = np.where(mask, bounds, _INF).T
+        B[:n, :n] = np.minimum(B[:n, :n], candidate)
+    # Interface: fixed vertices tied to host in both directions with 0.
+    for name, node in circuit.nodes.items():
+        if node.kind in FIXED_KINDS:
+            i = wd.index[name]
+            B[i, host] = min(B[i, host], 0)
+            B[host, i] = min(B[host, i], 0)
+    np.fill_diagonal(B, 0)
+    return B
+
+
+def _solve_difference_constraints(B: np.ndarray) -> Optional[np.ndarray]:
+    """Bellman--Ford over a dense bound matrix; None when infeasible.
+
+    Solves ``x_b <= x_a + B[a, b]`` starting from all zeros, which detects
+    negative cycles (infeasibility) within ``n`` sweeps.
+    """
+    n = B.shape[0]
+    x = np.zeros(n, dtype=np.int64)
+    capped = np.where(B >= _INF, _INF, B)
+    for _ in range(n):
+        candidate = (x[:, None] + capped).min(axis=0)
+        new_x = np.minimum(x, candidate)
+        if np.array_equal(new_x, x):
+            return x
+        x = new_x
+    return None  # still relaxing after n sweeps: negative cycle
+
+
+@dataclass(frozen=True)
+class MinPeriodResult:
+    """Outcome of min-period retiming."""
+
+    retiming: Retiming
+    period_before: int
+    period_after: int
+
+    @property
+    def retimed_circuit(self) -> Circuit:
+        return self.retiming.apply()
+
+    @property
+    def improved(self) -> bool:
+        return self.period_after < self.period_before
+
+
+def feasible_retiming_for_period(
+    circuit: Circuit,
+    period: int,
+    delay: Optional[Callable[[Node], int]] = None,
+    wd: Optional[WDMatrices] = None,
+) -> Optional[Retiming]:
+    """A legal retiming achieving clock period <= ``period``, or None."""
+    if wd is None:
+        wd = wd_matrices(circuit, delay)
+    B = _constraint_matrix(circuit, wd, period)
+    solution = _solve_difference_constraints(B)
+    if solution is None:
+        return None
+    host = solution[-1]
+    labels = {
+        name: int(solution[wd.index[name]] - host)
+        for name in wd.names
+        if circuit.node(name).kind not in FIXED_KINDS
+    }
+    retiming = Retiming(circuit, labels)
+    if not retiming.is_legal():
+        raise RetimingError("internal error: solver produced illegal retiming")
+    return retiming
+
+
+def min_period_retiming(
+    circuit: Circuit, delay: Optional[Callable[[Node], int]] = None
+) -> MinPeriodResult:
+    """Exact minimum clock-period retiming with a fixed I/O interface."""
+    if delay is None:
+        delay = circuit.default_delay
+    wd = wd_matrices(circuit, delay)
+    period_before = circuit.clock_period(delay)
+    candidates = np.unique(wd.D[wd.W < _INF])
+    candidates = [int(c) for c in candidates if 0 < c <= period_before]
+    if not candidates:
+        return MinPeriodResult(
+            Retiming(circuit, {}), period_before, period_before
+        )
+    best: Optional[Retiming] = None
+    best_period = period_before
+    lo, hi = 0, len(candidates) - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        candidate = candidates[mid]
+        retiming = feasible_retiming_for_period(circuit, candidate, delay, wd)
+        if retiming is not None:
+            best = retiming
+            best_period = candidate
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if best is None:
+        best = Retiming(circuit, {})
+        best_period = period_before
+    achieved = best.apply().clock_period(delay)
+    if achieved > best_period:
+        raise RetimingError(
+            f"internal error: requested period {best_period}, achieved {achieved}"
+        )
+    return MinPeriodResult(best, period_before, achieved)
+
+
+__all__ = [
+    "WDMatrices",
+    "wd_matrices",
+    "MinPeriodResult",
+    "feasible_retiming_for_period",
+    "min_period_retiming",
+]

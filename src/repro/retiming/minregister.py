@@ -1,0 +1,172 @@
+"""Minimum-register retiming via min-cost-flow duality.
+
+The register-minimization LP is::
+
+    minimize    sum_e w'(e)  =  const + sum_v c_v r(v),
+                c_v = indeg(v) - outdeg(v)
+    subject to  r(u) - r(v) <= w(e)        for every edge u -> v
+                r(v) = 0                   for interface vertices
+
+Because fanout stems are explicit vertices in this library's circuit model,
+``sum_e w'(e)`` *is* the physical flip-flop count with maximal sharing --
+registers on a stem's input edge are shared by all branches -- so no mirror
+-vertex construction is needed.
+
+The LP is the dual of a min-cost flow problem: node demands ``c_v``
+(interface vertices are tied to a host with zero-cost arcs in both
+directions), one flow arc per constraint with cost = its bound.  We solve
+the flow with :func:`networkx.network_simplex` and recover the optimal
+labels as shortest-path potentials in the residual network (Bellman--Ford
+from a virtual source): forward residual arcs have length ``w``, reverse
+arcs of flow-carrying arcs have length ``-w``, which enforces complementary
+slackness exactly.
+
+Optionally, a ``max_period`` adds the Leiserson--Saxe period constraints
+``r(u) - r(v) <= W(u,v) - 1`` for ``D(u,v) > max_period`` -- minimum
+registers subject to a clock-period bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.circuit.netlist import Circuit, Node
+from repro.retiming.core import FIXED_KINDS, Retiming, RetimingError
+from repro.retiming.minperiod import wd_matrices, _INF
+
+_HOST = "__host__"
+
+
+@dataclass(frozen=True)
+class MinRegisterResult:
+    """Outcome of min-register retiming."""
+
+    retiming: Retiming
+    registers_before: int
+    registers_after: int
+
+    @property
+    def retimed_circuit(self) -> Circuit:
+        return self.retiming.apply()
+
+    @property
+    def improved(self) -> bool:
+        return self.registers_after < self.registers_before
+
+
+def _constraint_arcs(
+    circuit: Circuit,
+    max_period: Optional[int],
+    delay: Optional[Callable[[Node], int]],
+) -> List[Tuple[str, str, int]]:
+    """All difference-constraint arcs ``(u, v, bound)`` meaning r(u)-r(v) <= bound."""
+    arcs: List[Tuple[str, str, int]] = []
+    for edge in circuit.edges:
+        arcs.append((edge.source, edge.sink, edge.weight))
+    for name, node in circuit.nodes.items():
+        if node.kind in FIXED_KINDS:
+            arcs.append((name, _HOST, 0))
+            arcs.append((_HOST, name, 0))
+    if max_period is not None:
+        wd = wd_matrices(circuit, delay)
+        us, vs = np.nonzero((wd.W < _INF) & (wd.D > max_period))
+        for u, v in zip(us, vs):
+            if u == v:
+                continue
+            arcs.append((wd.names[u], wd.names[v], int(wd.W[u, v]) - 1))
+    return arcs
+
+
+def min_register_retiming(
+    circuit: Circuit,
+    max_period: Optional[int] = None,
+    delay: Optional[Callable[[Node], int]] = None,
+) -> MinRegisterResult:
+    """Retime to the minimum total number of flip-flops.
+
+    Args:
+        circuit: circuit to retime.
+        max_period: optional clock-period bound the retimed circuit must
+            meet (default: unconstrained -- the pure register minimum).
+        delay: delay model for the period bound (default: the paper's).
+    """
+    arcs = _constraint_arcs(circuit, max_period, delay)
+
+    # Objective coefficients: c_v = indeg - outdeg over *circuit edges*.
+    demand: Dict[str, int] = {name: 0 for name in circuit.nodes}
+    demand[_HOST] = 0
+    for edge in circuit.edges:
+        demand[edge.sink] += 1
+        demand[edge.source] -= 1
+
+    flow_graph = nx.DiGraph()
+    for name, value in demand.items():
+        flow_graph.add_node(name, demand=value)
+    for u, v, bound in arcs:
+        if flow_graph.has_edge(u, v):
+            if bound < flow_graph[u][v]["weight"]:
+                flow_graph[u][v]["weight"] = bound
+        else:
+            flow_graph.add_edge(u, v, weight=bound)
+    try:
+        _cost, flow = nx.network_simplex(flow_graph)
+    except (nx.NetworkXUnfeasible, nx.NetworkXUnbounded) as error:
+        raise RetimingError(
+            f"no legal retiming satisfies the constraints: {error}"
+        ) from error
+
+    labels = _recover_labels(circuit, flow_graph, flow)
+    retiming = Retiming(circuit, labels)
+    if not retiming.is_legal():
+        raise RetimingError("internal error: flow dual produced illegal retiming")
+    result = MinRegisterResult(
+        retiming,
+        registers_before=circuit.num_registers(),
+        registers_after=sum(retiming.retimed_weights()),
+    )
+    if max_period is not None:
+        achieved = result.retimed_circuit.clock_period(delay)
+        if achieved > max_period:
+            raise RetimingError(
+                f"internal error: period bound {max_period} violated ({achieved})"
+            )
+    return result
+
+
+def _recover_labels(
+    circuit: Circuit, flow_graph: nx.DiGraph, flow: Dict[str, Dict[str, int]]
+) -> Dict[str, int]:
+    """Optimal potentials from the residual network (Bellman--Ford, virtual source)."""
+    residual: List[Tuple[str, str, int]] = []
+    for u, v, data in flow_graph.edges(data=True):
+        residual.append((u, v, data["weight"]))
+        if flow.get(u, {}).get(v, 0) > 0:
+            residual.append((v, u, -data["weight"]))
+    dist = {name: 0 for name in flow_graph.nodes}
+    for _ in range(len(dist)):
+        changed = False
+        for u, v, length in residual:
+            if dist[u] + length < dist[v]:
+                dist[v] = dist[u] + length
+                changed = True
+        if not changed:
+            break
+    else:
+        raise RetimingError("internal error: negative cycle in optimal residual")
+    # Potentials pi = dist satisfy w + pi_u - pi_v >= 0 (all arcs) with
+    # equality on flow-carrying arcs; r = -pi is then feasible for the
+    # difference constraints r(u) - r(v) <= w and primal-optimal by
+    # complementary slackness.  Normalize so the host (interface) is 0.
+    host = dist[_HOST]
+    return {
+        name: host - dist[name]
+        for name, node in circuit.nodes.items()
+        if node.kind not in FIXED_KINDS
+    }
+
+
+__all__ = ["min_register_retiming", "MinRegisterResult"]

@@ -1,0 +1,118 @@
+"""Atomic retiming moves and decomposition of retimings into move sequences.
+
+The paper (Fig. 1) views retiming as a sequence of atomic transformations:
+moving one register forward or backward across a single-output combinational
+gate or a fanout stem.  In label terms, one *backward* move across vertex
+``v`` increments ``r(v)`` (one register leaves every output edge of ``v``
+and enters every input edge); one *forward* move decrements ``r(v)``.
+
+:func:`decompose` turns an arbitrary legal retiming into an explicit legal
+sequence of such atomic moves -- every intermediate circuit is a
+well-formed circuit.  This is used by the equivalence tests that check the
+per-move Lemmas 4 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.retiming.core import FIXED_KINDS, Retiming, RetimingError
+
+
+@dataclass(frozen=True)
+class AtomicMove:
+    """One register moved across one vertex."""
+
+    vertex: str
+    direction: str  # "forward" | "backward"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("forward", "backward"):
+            raise ValueError(f"bad direction {self.direction!r}")
+
+    @property
+    def label_delta(self) -> int:
+        return -1 if self.direction == "forward" else 1
+
+
+def can_move(circuit: Circuit, vertex: str, direction: str) -> bool:
+    """True when one atomic move across ``vertex`` is legal right now.
+
+    A backward move needs one register on *every* output edge; a forward
+    move needs one on every input edge.  Interface vertices never move.
+    """
+    node = circuit.node(vertex)
+    if node.kind in FIXED_KINDS:
+        return False
+    if direction == "backward":
+        edges = circuit.out_edges(vertex)
+    elif direction == "forward":
+        edges = circuit.in_edges(vertex)
+    else:
+        raise ValueError(f"bad direction {direction!r}")
+    return bool(edges) and all(edge.weight >= 1 for edge in edges)
+
+
+def apply_move(circuit: Circuit, move: AtomicMove, name: Optional[str] = None) -> Circuit:
+    """Apply one atomic move, returning the new circuit."""
+    if not can_move(circuit, move.vertex, move.direction):
+        raise RetimingError(
+            f"illegal {move.direction} move across {move.vertex!r}"
+        )
+    labels = {move.vertex: move.label_delta}
+    return Retiming(circuit, labels).apply(name or circuit.name)
+
+
+def decompose(retiming: Retiming) -> List[AtomicMove]:
+    """A legal sequence of atomic moves realizing ``retiming``.
+
+    Greedy schedule: repeatedly apply any currently-legal move that brings
+    some vertex closer to its target label.  For a legal retiming this
+    always makes progress (a standard retiming argument: consider a vertex
+    with extremal remaining label).
+    """
+    circuit = retiming.circuit
+    remaining: Dict[str, int] = {
+        name: retiming.label(name)
+        for name in circuit.nodes
+        if retiming.label(name) != 0
+    }
+    current = circuit
+    moves: List[AtomicMove] = []
+    total = sum(abs(value) for value in remaining.values())
+    for _ in range(total):
+        progressed = False
+        for vertex in sorted(remaining):
+            value = remaining[vertex]
+            direction = "backward" if value > 0 else "forward"
+            if can_move(current, vertex, direction):
+                move = AtomicMove(vertex, direction)
+                current = apply_move(current, move)
+                moves.append(move)
+                remaining[vertex] = value - move.label_delta
+                if remaining[vertex] == 0:
+                    del remaining[vertex]
+                progressed = True
+                break
+        if not progressed:
+            raise RetimingError(
+                f"cannot decompose retiming; stuck with {dict(remaining)}"
+            )
+    if remaining:
+        raise RetimingError("decomposition incomplete")
+    return moves
+
+
+def replay(circuit: Circuit, moves: List[AtomicMove]) -> List[Circuit]:
+    """All intermediate circuits of a move sequence (excluding the start)."""
+    stages: List[Circuit] = []
+    current = circuit
+    for move in moves:
+        current = apply_move(current, move)
+        stages.append(current)
+    return stages
+
+
+__all__ = ["AtomicMove", "can_move", "apply_move", "decompose", "replay"]

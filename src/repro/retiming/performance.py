@@ -1,0 +1,192 @@
+"""Performance-style retiming for the Table II experiments.
+
+The paper's retimed circuits (``.re``) were produced by SIS ``retime`` for
+performance and show the characteristic structure measured in Table II:
+a 2-5x growth in flip-flop count (5 -> 19, 6 -> 28, ...), registers pushed
+from the state rank into the combinational logic, and at most one forward
+move (Section V.C: a single forward move on three of the sixteen circuits,
+none on the rest).
+
+On FSM-style circuits, exact min-period retiming (available as
+:func:`repro.retiming.minperiod.min_period_retiming`) improves little or
+nothing: the state-feedback loop carries one register and essentially the
+full logic depth, and no retiming can beat the cycle delay/weight bound --
+a structural property of synthesized FSMs.  The paper's *effects* come
+from where the registers end up, not from the clock period itself, so this
+module reproduces the transformation structurally:
+
+* :func:`backward_cut_retiming` -- move the register rank ``depth`` logic
+  levels backward: label ``r = +1`` every vertex whose zero-weight fanout
+  reaches registers within ``depth`` edges (so every edge leaving the
+  labelled set carries a register and the move is legal).  Each pass
+  multiplies registers across the cut boundary, exactly the paper's DFF
+  growth;
+* an optional **forward stem move**: one forward move across a state-bit
+  fanout stem (``F = 1``), which models the three paper circuits
+  (pma.jo.sd, s510.jc.sd, scf.jo.sd) that require a one-vector prefix;
+* :func:`performance_retiming` composes these (labels add -- the graph is
+  shared), returning a single :class:`Retiming` from the original circuit
+  whose move counts feed the prefix theorems.
+
+This substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.circuit.netlist import Circuit
+from repro.retiming.core import FIXED_KINDS, Retiming, RetimingError
+from repro.retiming.minperiod import min_period_retiming
+
+
+def register_fanin_cone(
+    circuit: Circuit,
+    depth: Optional[int] = None,
+    blocked: Optional[Set[str]] = None,
+) -> Set[str]:
+    """Movable vertices whose zero-weight fanout ends in registers.
+
+    With ``depth = None`` the full cone is returned; with a positive depth
+    the cone is truncated: a vertex joins only if all its zero-weight
+    successors joined at a strictly smaller depth budget.  ``blocked``
+    vertices never join (used to protect forward-moved stems from being
+    re-labelled, which would cancel the forward move).  Every edge leaving
+    the returned set carries at least one register, so labelling the whole
+    set ``+1`` is a legal retiming.
+    """
+    blocked = blocked or set()
+    level: Dict[str, int] = {}
+    for name in reversed(circuit.topo_order()):
+        node = circuit.node(name)
+        if node.kind in FIXED_KINDS or name in blocked:
+            continue
+        out_edges = circuit.out_edges(name)
+        if not out_edges:
+            continue  # dangling vertex: moving it is pointless
+        worst = 0
+        ok = True
+        for edge in out_edges:
+            if edge.weight >= 1:
+                continue
+            if edge.sink in level:
+                worst = max(worst, level[edge.sink] + 1)
+            else:
+                ok = False
+                break
+        if ok:
+            level[name] = worst
+    if depth is None:
+        return set(level)
+    return {name for name, value in level.items() if value < depth}
+
+
+def backward_cut_retiming(
+    circuit: Circuit, depth: int = 1, blocked: Optional[Set[str]] = None
+) -> Retiming:
+    """One backward redistribution pass across a depth-``depth`` cut."""
+    cone = register_fanin_cone(circuit, depth, blocked)
+    return Retiming(circuit, {name: 1 for name in cone})
+
+
+def state_stems(circuit: Circuit) -> List[str]:
+    """Fanout stems whose input edge carries at least one register,
+    ordered by ascending fanout (candidates for a forward stem move --
+    small fanout keeps the register growth of the move realistic)."""
+    stems = []
+    for stem in circuit.fanout_stems():
+        in_edge = circuit.in_edges(stem.name)[0]
+        if in_edge.weight >= 1:
+            stems.append((len(circuit.out_edges(stem.name)), stem.name))
+    return [name for _, name in sorted(stems)]
+
+
+@dataclass(frozen=True)
+class PerformanceRetimingResult:
+    """Outcome of the combined performance-style retiming."""
+
+    retiming: Retiming  # mapping the original circuit to the retimed one
+    period_before: int
+    period_after: int
+    backward_passes: int
+    forward_stem_moves: int
+
+    @property
+    def retimed_circuit(self) -> Circuit:
+        return self.retiming.apply()
+
+
+def performance_retiming(
+    circuit: Circuit,
+    backward_passes: int = 2,
+    cut_depth: int = 1,
+    forward_stem_moves: int = 0,
+    use_min_period: bool = False,
+    name: Optional[str] = None,
+) -> PerformanceRetimingResult:
+    """Produce a register-rich retimed circuit in the paper's style.
+
+    Args:
+        circuit: circuit to retime.
+        backward_passes: how many backward cut passes to compose.
+        cut_depth: logic levels each pass moves the register rank back.
+        forward_stem_moves: forward moves to apply across one state stem
+            first (``F`` of the result; the paper's circuits have 0 or 1).
+        use_min_period: run the exact min-period optimizer first and
+            compose the redistribution on its result.
+        name: name for the retimed circuit (default ``<name>.re``).
+    """
+    labels: Dict[str, int] = {}
+    current = circuit
+
+    def compose(step: Retiming, new_name: str) -> Circuit:
+        nonlocal labels
+        for vertex, value in step.labels.items():
+            if value:
+                labels[vertex] = labels.get(vertex, 0) + value
+        return step.apply(new_name)
+
+    if use_min_period:
+        current = compose(min_period_retiming(current).retiming, circuit.name)
+
+    applied_forward = 0
+    forward_targets: Set[str] = set()
+    for _ in range(max(0, forward_stem_moves)):
+        candidates = [s for s in state_stems(current) if s not in forward_targets]
+        if not candidates:
+            break
+        current = compose(
+            Retiming(current, {candidates[0]: -1}), circuit.name
+        )
+        forward_targets.add(candidates[0])
+        applied_forward += 1
+
+    applied_backward = 0
+    for _ in range(max(0, backward_passes)):
+        step = backward_cut_retiming(current, cut_depth, blocked=forward_targets)
+        if step.is_identity():
+            break
+        current = compose(step, circuit.name)
+        applied_backward += 1
+
+    combined = Retiming(circuit, {v: r for v, r in labels.items() if r != 0})
+    if not combined.is_legal():
+        raise RetimingError("internal error: composed retiming illegal")
+    retimed = combined.apply(name or f"{circuit.name}.re")
+    return PerformanceRetimingResult(
+        retiming=combined,
+        period_before=circuit.clock_period(),
+        period_after=retimed.clock_period(),
+        backward_passes=applied_backward,
+        forward_stem_moves=applied_forward,
+    )
+
+
+__all__ = [
+    "register_fanin_cone",
+    "backward_cut_retiming",
+    "state_stems",
+    "performance_retiming",
+    "PerformanceRetimingResult",
+]

@@ -1,0 +1,58 @@
+"""Prefix-length calculation for the paper's preservation theorems.
+
+Given a retiming from ``K`` to ``K'``, the paper prescribes prefixing test
+sets and synchronizing sequences with a pre-determined number of
+**arbitrary** input vectors:
+
+* Theorem 2 (fault-free functional synchronizing sequences): prefix length
+  = maximum number of forward retiming moves across any **fanout stem**.
+* Theorems 3 and 4 (faulty-circuit synchronization / test sets): prefix
+  length = maximum number of forward retiming moves across **any node**.
+
+Structural-based sequences need no prefix in the fault-free case
+(Theorem 1), but the faulty-circuit result (and hence test-set
+preservation) always uses the any-node bound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import random
+
+from repro.logic.three_valued import Trit
+from repro.retiming.core import Retiming
+
+
+def prefix_length_for_sync(retiming: Retiming) -> int:
+    """Theorem 2 bound: forward moves across fanout stems only."""
+    return retiming.max_forward_moves_across_stems()
+
+
+def prefix_length_for_tests(retiming: Retiming) -> int:
+    """Theorems 3-4 bound: forward moves across any node."""
+    return retiming.max_forward_moves()
+
+
+def arbitrary_prefix(
+    num_inputs: int,
+    length: int,
+    fill: Trit = 0,
+    rng: Optional[random.Random] = None,
+) -> List[Tuple[Trit, ...]]:
+    """A prefix of ``length`` arbitrary vectors.
+
+    The theorems hold for *any* choice; by default a constant fill is used
+    so results are reproducible, or pass ``rng`` for random vectors (useful
+    in tests to exercise the 'arbitrary' claim).
+    """
+    if length < 0:
+        raise ValueError("prefix length cannot be negative")
+    if rng is None:
+        return [(fill,) * num_inputs for _ in range(length)]
+    return [
+        tuple(rng.randint(0, 1) for _ in range(num_inputs)) for _ in range(length)
+    ]
+
+
+__all__ = ["prefix_length_for_sync", "prefix_length_for_tests", "arbitrary_prefix"]

@@ -1,0 +1,27 @@
+"""Logic simulation engines.
+
+* :class:`repro.simulation.sequential.SequentialSimulator` -- scalar
+  three-valued reference simulator with single stuck-at injection.
+* :class:`repro.simulation.vector.VectorSimulator` -- bit-parallel
+  simulator used for batch pattern simulation and PROOFS-style parallel
+  fault simulation.
+"""
+
+from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.sequential import (
+    SequentialSimulator,
+    StepResult,
+    Trace,
+    simulate,
+)
+from repro.simulation.vector import VectorSimulator, VectorStepResult
+
+__all__ = [
+    "CompiledCircuit",
+    "SequentialSimulator",
+    "StepResult",
+    "Trace",
+    "simulate",
+    "VectorSimulator",
+    "VectorStepResult",
+]

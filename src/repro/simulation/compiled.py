@@ -1,0 +1,137 @@
+"""Compilation of circuit graphs into flat evaluation programs.
+
+Both the scalar three-valued simulator and the bit-parallel simulator share
+the same compiled form: vertices are numbered in topological order, every
+gate-input / register-load / primary-output read is resolved to either "the
+value of vertex *i* this cycle" or "the value of register *j* from the
+previous cycle", and every such read is tagged with the :class:`LineRef` it
+observes so that stuck-at faults can be injected at exactly the right line
+(paper Fig. 4 semantics: a fault on line ``e_i`` forces the value seen by
+that line's one consumer -- register ``i`` for ``i <= w``, the sink vertex
+for ``i = w + 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit, Edge, LineRef, RegisterRef
+from repro.circuit.types import GateType, NodeKind
+
+# A read source: (from_register, index).  When from_register is True the
+# index is a register slot; otherwise it is a vertex slot.
+ReadSource = Tuple[bool, int]
+
+
+@dataclass(frozen=True)
+class Read:
+    """One resolved value read, tagged with the line it observes."""
+
+    from_register: bool
+    index: int
+    line: LineRef
+
+
+@dataclass(frozen=True)
+class NodeOp:
+    """Evaluation recipe for one vertex."""
+
+    slot: int
+    kind: NodeKind
+    gate_type: Optional[GateType]
+    reads: Tuple[Read, ...]
+    pi_index: int = -1
+
+
+class CompiledCircuit:
+    """A circuit lowered to slot-indexed evaluation programs.
+
+    Attributes:
+        circuit: the source :class:`Circuit`.
+        ops: vertex evaluation recipes in topological order.
+        register_refs: canonical register order (state vector layout).
+        register_loads: per register, the :class:`Read` feeding its D input.
+        output_reads: per primary output (sorted name order), the read
+            producing the observed value.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        order = circuit.topo_order()
+        self.slot_of: Dict[str, int] = {name: i for i, name in enumerate(order)}
+        self.register_refs: List[RegisterRef] = circuit.registers()
+        self.register_slot: Dict[RegisterRef, int] = {
+            ref: i for i, ref in enumerate(self.register_refs)
+        }
+        pi_index = {name: i for i, name in enumerate(circuit.input_names)}
+
+        def edge_read(edge: Edge) -> Read:
+            """Read of the sink-side line of an edge."""
+            if edge.weight == 0:
+                return Read(False, self.slot_of[edge.source], LineRef(edge.index, 1))
+            reg = RegisterRef(edge.index, edge.weight)
+            return Read(
+                True, self.register_slot[reg], LineRef(edge.index, edge.weight + 1)
+            )
+
+        self.ops: List[NodeOp] = []
+        for name in order:
+            node = circuit.node(name)
+            reads = tuple(edge_read(e) for e in circuit.in_edges(name))
+            self.ops.append(
+                NodeOp(
+                    slot=self.slot_of[name],
+                    kind=node.kind,
+                    gate_type=node.gate_type,
+                    reads=reads,
+                    pi_index=pi_index.get(name, -1),
+                )
+            )
+
+        # Register load reads: register (e, k) loads line (e, k), whose value
+        # is the source vertex (k == 1) or register (e, k - 1).
+        self.register_loads: List[Read] = []
+        for ref in self.register_refs:
+            edge = circuit.edge(ref.edge_index)
+            if ref.position == 1:
+                read = Read(
+                    False, self.slot_of[edge.source], LineRef(edge.index, 1)
+                )
+            else:
+                upstream = RegisterRef(edge.index, ref.position - 1)
+                read = Read(
+                    True, self.register_slot[upstream], LineRef(edge.index, ref.position)
+                )
+            self.register_loads.append(read)
+
+        # Primary output observations (outputs are OUTPUT vertices with one
+        # input edge; their op already computed the value into their slot).
+        self.output_reads: List[Read] = []
+        for po in circuit.output_names:
+            in_edge = circuit.in_edges(po)[0]
+            self.output_reads.append(edge_read(in_edge))
+
+        self.num_slots = len(order)
+        self.num_registers = len(self.register_refs)
+        self.num_inputs = len(circuit.input_names)
+        self.num_outputs = len(circuit.output_names)
+
+    def line_consumer_reads(self) -> Dict[LineRef, List[Tuple[str, int]]]:
+        """Map each line to its consumer reads, for debugging/analysis.
+
+        Values are ``("op", op_position)``, ``("reg", register_slot)`` or
+        ``("po", output_position)`` descriptors.
+        """
+        consumers: Dict[LineRef, List[Tuple[str, int]]] = {}
+        for position, op in enumerate(self.ops):
+            for read in op.reads:
+                consumers.setdefault(read.line, []).append(("op", position))
+        for slot, read in enumerate(self.register_loads):
+            consumers.setdefault(read.line, []).append(("reg", slot))
+        for position, read in enumerate(self.output_reads):
+            consumers.setdefault(read.line, []).append(("po", position))
+        return consumers
+
+
+__all__ = ["CompiledCircuit", "NodeOp", "Read"]

@@ -1,0 +1,181 @@
+"""Scalar three-valued sequential simulation with stuck-at fault injection.
+
+This simulator realizes the paper's simulation model (Section II): memory
+elements start at the unknown value ``X`` unless a state is supplied, gates
+evaluate in the ternary algebra, and a stuck-at fault on a line forces the
+value observed by that line's consumer on every cycle.
+
+Being scalar, it is the reference ("obviously correct") engine; the
+bit-parallel engine in :mod:`repro.simulation.vector` is cross-checked
+against it in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit, LineRef
+from repro.circuit.types import NodeKind, eval_gate
+from repro.logic.three_valued import ONE, Trit, X, ZERO
+from repro.simulation.compiled import CompiledCircuit
+
+Vector = Tuple[Trit, ...]
+State = Tuple[Trit, ...]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Values produced by one clock cycle."""
+
+    outputs: Vector
+    next_state: State
+    node_values: Tuple[Trit, ...]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Full record of a multi-cycle simulation."""
+
+    states: Tuple[State, ...]  # states[0] is the initial state
+    outputs: Tuple[Vector, ...]  # outputs[t] observed while in states[t]
+
+    @property
+    def final_state(self) -> State:
+        return self.states[-1]
+
+
+class SequentialSimulator:
+    """Three-valued cycle-accurate simulator for one circuit.
+
+    Args:
+        circuit: the circuit to simulate.
+        fault: optional ``(line, stuck_value)`` single stuck-at fault; the
+            value observed by the line's consumer is forced every cycle.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        fault: Optional[Tuple[LineRef, Trit]] = None,
+        compiled: Optional[CompiledCircuit] = None,
+    ):
+        self.circuit = circuit
+        self.compiled = compiled if compiled is not None else CompiledCircuit(circuit)
+        self._forced: Dict[LineRef, Trit] = {}
+        if fault is not None:
+            if hasattr(fault, "line") and hasattr(fault, "value"):
+                line, value = fault.line, fault.value  # StuckAtFault duck type
+            else:
+                line, value = fault
+            if value not in (ZERO, ONE):
+                raise ValueError(f"stuck value must be 0 or 1, got {value!r}")
+            edge = circuit.edge(line.edge_index)
+            if not 1 <= line.segment <= edge.num_lines:
+                raise ValueError(f"line {line} does not exist on edge {edge}")
+            self._forced[line] = value
+
+    # -- state helpers -----------------------------------------------------
+
+    def unknown_state(self) -> State:
+        """The all-X initial state (no global reset assumed)."""
+        return (X,) * self.compiled.num_registers
+
+    def state_from_string(self, text: str) -> State:
+        """Build a state from a string like ``"01x"`` in canonical order."""
+        from repro.logic.three_valued import trits_from_string
+
+        state = trits_from_string(text)
+        if len(state) != self.compiled.num_registers:
+            raise ValueError(
+                f"state needs {self.compiled.num_registers} trits, got {len(state)}"
+            )
+        return state
+
+    # -- core evaluation -----------------------------------------------------
+
+    def step(self, state: State, vector: Sequence[Trit]) -> StepResult:
+        """Evaluate one clock cycle from ``state`` under input ``vector``."""
+        compiled = self.compiled
+        if len(vector) != compiled.num_inputs:
+            raise ValueError(
+                f"vector needs {compiled.num_inputs} values, got {len(vector)}"
+            )
+        if len(state) != compiled.num_registers:
+            raise ValueError(
+                f"state needs {compiled.num_registers} values, got {len(state)}"
+            )
+        values: List[Trit] = [X] * compiled.num_slots
+        forced = self._forced
+        for op in compiled.ops:
+            if op.kind is NodeKind.INPUT:
+                values[op.slot] = vector[op.pi_index]
+            elif op.kind is NodeKind.CONST0:
+                values[op.slot] = ZERO
+            elif op.kind is NodeKind.CONST1:
+                values[op.slot] = ONE
+            else:
+                operands = []
+                for read in op.reads:
+                    value = state[read.index] if read.from_register else values[read.index]
+                    if forced:
+                        value = forced.get(read.line, value)
+                    operands.append(value)
+                if op.kind is NodeKind.GATE:
+                    values[op.slot] = eval_gate(op.gate_type, operands)
+                else:  # FANOUT or OUTPUT: identity
+                    values[op.slot] = operands[0]
+        next_state: List[Trit] = []
+        for read in compiled.register_loads:
+            value = state[read.index] if read.from_register else values[read.index]
+            if forced:
+                value = forced.get(read.line, value)
+            next_state.append(value)
+        outputs = tuple(
+            values[compiled.slot_of[name]] for name in self.circuit.output_names
+        )
+        return StepResult(outputs, tuple(next_state), tuple(values))
+
+    def run(
+        self, vectors: Iterable[Sequence[Trit]], state: Optional[State] = None
+    ) -> Trace:
+        """Simulate a sequence of vectors, starting from ``state`` (default all-X)."""
+        current = self.unknown_state() if state is None else tuple(state)
+        states: List[State] = [current]
+        outputs: List[Vector] = []
+        for vector in vectors:
+            result = self.step(current, tuple(vector))
+            outputs.append(result.outputs)
+            current = result.next_state
+            states.append(current)
+        return Trace(tuple(states), tuple(outputs))
+
+    def is_synchronizing(self, vectors: Sequence[Sequence[Trit]]) -> bool:
+        """True when the sequence drives the all-X state to a fully known state.
+
+        This is the *structural-based* synchronizing-sequence check of the
+        paper: three-valued simulation from the unknown initial state must
+        end with every memory element at a binary value.
+        """
+        trace = self.run(vectors)
+        return all(value != X for value in trace.final_state)
+
+
+def simulate(
+    circuit: Circuit,
+    vectors: Iterable[Sequence[Trit]],
+    state: Optional[State] = None,
+    fault: Optional[Tuple[LineRef, Trit]] = None,
+) -> Trace:
+    """One-shot convenience wrapper around :class:`SequentialSimulator`."""
+    return SequentialSimulator(circuit, fault).run(vectors, state)
+
+
+__all__ = [
+    "SequentialSimulator",
+    "StepResult",
+    "Trace",
+    "simulate",
+    "Vector",
+    "State",
+]

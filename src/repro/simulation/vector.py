@@ -1,0 +1,154 @@
+"""Bit-parallel three-valued sequential simulation.
+
+Each signal carries a :class:`BitVec` of ``width`` independent ternary
+values.  Two standard uses:
+
+* **pattern-parallel**: each bit position is a different input sequence
+  (fault-free batch simulation);
+* **fault-parallel** (PROOFS style): every bit position receives the *same*
+  input sequence but a different machine -- bit positions are faulty
+  machines, with per-position stuck-at injections supplied as rail masks.
+
+Injections are given per line as ``(sa1_mask, sa0_mask)`` bit masks: the
+value observed by the line's consumer has the masked positions forced to 1
+and 0 respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit, LineRef
+from repro.circuit.types import NodeKind, eval_gate_vector
+from repro.logic.bitparallel import BitVec
+from repro.simulation.compiled import CompiledCircuit
+
+VectorState = Tuple[BitVec, ...]
+
+
+@dataclass(frozen=True)
+class VectorStepResult:
+    outputs: Tuple[BitVec, ...]
+    next_state: VectorState
+
+
+class VectorSimulator:
+    """Bit-parallel simulator over a fixed word width."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        width: int,
+        injections: Optional[Mapping[LineRef, Tuple[int, int]]] = None,
+        compiled: Optional[CompiledCircuit] = None,
+    ):
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.circuit = circuit
+        self.width = width
+        self.compiled = compiled if compiled is not None else CompiledCircuit(circuit)
+        self._mask = (1 << width) - 1
+        self._injections: Dict[LineRef, Tuple[int, int]] = {}
+        for line, (sa1, sa0) in (injections or {}).items():
+            if sa1 & sa0:
+                raise ValueError(f"line {line}: overlapping sa1/sa0 masks")
+            if (sa1 | sa0) & ~self._mask:
+                raise ValueError(f"line {line}: mask wider than {width}")
+            edge = circuit.edge(line.edge_index)
+            if not 1 <= line.segment <= edge.num_lines:
+                raise ValueError(f"line {line} does not exist on edge {edge}")
+            self._injections[line] = (sa1, sa0)
+
+    # -- state helpers -----------------------------------------------------
+
+    def unknown_state(self) -> VectorState:
+        """All registers X in every bit position."""
+        blank = BitVec(0, 0, self.width)
+        return (blank,) * self.compiled.num_registers
+
+    def broadcast_state(self, scalars: Sequence[int]) -> VectorState:
+        """Replicate a scalar ternary state across all bit positions."""
+        return tuple(BitVec.filled(value, self.width) for value in scalars)
+
+    def broadcast_vector(self, scalars: Sequence[int]) -> Tuple[BitVec, ...]:
+        """Replicate a scalar input vector across all bit positions."""
+        return tuple(BitVec.filled(value, self.width) for value in scalars)
+
+    def pack_vectors(self, vectors: Sequence[Sequence[int]]) -> Tuple[BitVec, ...]:
+        """Pack one scalar vector per bit position (pattern-parallel input)."""
+        if len(vectors) != self.width:
+            raise ValueError(f"need {self.width} vectors, got {len(vectors)}")
+        packed = []
+        for pi in range(self.compiled.num_inputs):
+            packed.append(BitVec.from_trits([v[pi] for v in vectors] ))
+        # from_trits infers width from the iterable; normalize to self.width
+        return tuple(BitVec(b.ones, b.zeros, self.width) for b in packed)
+
+    # -- core evaluation -----------------------------------------------------
+
+    def _read(
+        self,
+        read,
+        values: List[Optional[BitVec]],
+        state: VectorState,
+    ) -> BitVec:
+        value = state[read.index] if read.from_register else values[read.index]
+        masks = self._injections.get(read.line)
+        if masks is not None:
+            sa1, sa0 = masks
+            value = BitVec(
+                (value.ones | sa1) & ~sa0,
+                (value.zeros | sa0) & ~sa1,
+                self.width,
+            )
+        return value
+
+    def step(
+        self, state: VectorState, vector: Sequence[BitVec]
+    ) -> VectorStepResult:
+        compiled = self.compiled
+        if len(vector) != compiled.num_inputs:
+            raise ValueError(
+                f"vector needs {compiled.num_inputs} BitVecs, got {len(vector)}"
+            )
+        values: List[Optional[BitVec]] = [None] * compiled.num_slots
+        zero = BitVec.filled(0, self.width)
+        one = BitVec.filled(1, self.width)
+        for op in compiled.ops:
+            if op.kind is NodeKind.INPUT:
+                values[op.slot] = vector[op.pi_index]
+            elif op.kind is NodeKind.CONST0:
+                values[op.slot] = zero
+            elif op.kind is NodeKind.CONST1:
+                values[op.slot] = one
+            else:
+                operands = [self._read(read, values, state) for read in op.reads]
+                if op.kind is NodeKind.GATE:
+                    values[op.slot] = eval_gate_vector(op.gate_type, operands)
+                else:
+                    values[op.slot] = operands[0]
+        next_state = tuple(
+            self._read(read, values, state) for read in compiled.register_loads
+        )
+        outputs = tuple(
+            values[compiled.slot_of[name]] for name in self.circuit.output_names
+        )
+        return VectorStepResult(outputs, next_state)
+
+    def run(
+        self,
+        vectors: Iterable[Sequence[BitVec]],
+        state: Optional[VectorState] = None,
+    ) -> Tuple[List[Tuple[BitVec, ...]], VectorState]:
+        """Simulate a sequence of packed vectors; returns (outputs per cycle, final state)."""
+        current = self.unknown_state() if state is None else tuple(state)
+        outputs: List[Tuple[BitVec, ...]] = []
+        for vector in vectors:
+            result = self.step(current, tuple(vector))
+            outputs.append(result.outputs)
+            current = result.next_state
+        return outputs, current
+
+
+__all__ = ["VectorSimulator", "VectorStepResult", "VectorState"]

@@ -1,0 +1,23 @@
+"""Test sets: model, the Theorem-4 prefix transformation, and evaluation."""
+
+from repro.testset.compact import CompactionResult, compact_test_set
+from repro.testset.evaluate import (
+    CoverageComparison,
+    compare_coverage,
+    evaluate_test_set,
+)
+from repro.testset.model import TestSequence, TestSet, Vector
+from repro.testset.transform import derive_retimed_test_set, derived_prefix_length
+
+__all__ = [
+    "TestSet",
+    "TestSequence",
+    "Vector",
+    "derive_retimed_test_set",
+    "compact_test_set",
+    "CompactionResult",
+    "derived_prefix_length",
+    "evaluate_test_set",
+    "compare_coverage",
+    "CoverageComparison",
+]

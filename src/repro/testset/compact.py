@@ -1,0 +1,85 @@
+"""Test-set compaction: drop sequences whose detections are covered.
+
+Classic static compaction for sequential test sets: fault-simulate the
+sequences in reverse order of addition against the not-yet-covered fault
+list and keep only sequences that detect something new.  (Reverse order
+works well because ATPG appends deterministic sequences for hard faults
+last; simulating them first lets them absorb the easy faults that early
+random sequences were added for.)
+
+Compaction interacts cleanly with the paper's prefix transformation: the
+prefix is per-sequence, so compacting first and prefixing after yields the
+smallest derived test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import StuckAtFault
+from repro.faultsim.parallel import parallel_fault_simulate
+from repro.testset.model import TestSet
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Outcome of compacting one test set."""
+
+    compacted: TestSet
+    kept_indices: Tuple[int, ...]  # indices into the original sequence list
+    sequences_before: int
+    sequences_after: int
+    vectors_before: int
+    vectors_after: int
+    detected: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.compacted.circuit_name}: {self.sequences_before} -> "
+            f"{self.sequences_after} sequences, {self.vectors_before} -> "
+            f"{self.vectors_after} vectors ({self.detected} faults kept covered)"
+        )
+
+
+def compact_test_set(
+    circuit: Circuit,
+    test_set: TestSet,
+    faults: Optional[Sequence[StuckAtFault]] = None,
+) -> CompactionResult:
+    """Reverse-order static compaction preserving the detected-fault set."""
+    if faults is None:
+        faults = collapse_faults(circuit).representatives
+    baseline = parallel_fault_simulate(circuit, test_set.as_lists(), faults)
+    remaining = set(baseline.detections)
+    kept: List[int] = []
+    for index in range(test_set.num_sequences - 1, -1, -1):
+        if not remaining:
+            break
+        sequence = list(test_set.sequences[index])
+        result = parallel_fault_simulate(
+            circuit, [sequence], sorted(remaining)
+        )
+        if result.detections:
+            kept.append(index)
+            remaining -= set(result.detections)
+    kept.reverse()
+    compacted = TestSet(
+        test_set.circuit_name,
+        test_set.num_inputs,
+        tuple(test_set.sequences[i] for i in kept),
+    )
+    return CompactionResult(
+        compacted=compacted,
+        kept_indices=tuple(kept),
+        sequences_before=test_set.num_sequences,
+        sequences_after=compacted.num_sequences,
+        vectors_before=test_set.num_vectors,
+        vectors_after=compacted.num_vectors,
+        detected=len(baseline.detections),
+    )
+
+
+__all__ = ["compact_test_set", "CompactionResult"]

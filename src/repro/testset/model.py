@@ -1,0 +1,128 @@
+"""Test-set model.
+
+A :class:`TestSet` is an ordered collection of *test sequences*.  Each
+sequence is applied from the all-unknown state (the paper's
+no-global-reset setting): a sequential ATPG emits, per targeted fault, a
+vector sequence that synchronizes, excites and propagates; fault simulation
+replays every sequence from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.logic.three_valued import Trit, trit_from_char, trit_to_char
+
+Vector = Tuple[Trit, ...]
+TestSequence = Tuple[Vector, ...]
+
+
+@dataclass(frozen=True)
+class TestSet:
+    """An immutable set of test sequences for a circuit."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    circuit_name: str
+    num_inputs: int
+    sequences: Tuple[TestSequence, ...]
+
+    def __post_init__(self) -> None:
+        for sequence in self.sequences:
+            for vector in sequence:
+                if len(vector) != self.num_inputs:
+                    raise ValueError(
+                        f"vector {vector} has {len(vector)} values, "
+                        f"expected {self.num_inputs}"
+                    )
+
+    @classmethod
+    def from_lists(
+        cls, circuit_name: str, num_inputs: int, sequences: Iterable[Iterable[Sequence[Trit]]]
+    ) -> "TestSet":
+        return cls(
+            circuit_name,
+            num_inputs,
+            tuple(tuple(tuple(v) for v in seq) for seq in sequences),
+        )
+
+    @property
+    def num_sequences(self) -> int:
+        return len(self.sequences)
+
+    @property
+    def num_vectors(self) -> int:
+        return sum(len(sequence) for sequence in self.sequences)
+
+    def with_prefix(self, prefix: Sequence[Sequence[Trit]]) -> "TestSet":
+        """Prefix every sequence with the given vectors (Theorem 4's P + T)."""
+        prefix_tuple = tuple(tuple(v) for v in prefix)
+        for vector in prefix_tuple:
+            if len(vector) != self.num_inputs:
+                raise ValueError("prefix vector width mismatch")
+        return TestSet(
+            self.circuit_name,
+            self.num_inputs,
+            tuple(prefix_tuple + sequence for sequence in self.sequences),
+        )
+
+    def extended(self, other: "TestSet") -> "TestSet":
+        """Union (concatenation) of two test sets for the same interface."""
+        if other.num_inputs != self.num_inputs:
+            raise ValueError("test sets have different input widths")
+        return TestSet(
+            self.circuit_name, self.num_inputs, self.sequences + other.sequences
+        )
+
+    def as_lists(self) -> List[List[Vector]]:
+        """Sequences in the plain list form the fault simulators accept."""
+        return [list(sequence) for sequence in self.sequences]
+
+    # -- text serialization (one sequence per stanza) ------------------------
+
+    def to_text(self) -> str:
+        """Serialize: header line, then one stanza of vectors per sequence."""
+        lines = [f"# testset {self.circuit_name} inputs={self.num_inputs}"]
+        for index, sequence in enumerate(self.sequences):
+            lines.append(f"seq {index}")
+            for vector in sequence:
+                lines.append("".join(trit_to_char(v) for v in vector))
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "TestSet":
+        circuit_name = "unknown"
+        num_inputs = -1
+        sequences: List[List[Vector]] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if parts[:1] == ["testset"] and len(parts) >= 3:
+                    circuit_name = parts[1]
+                    num_inputs = int(parts[2].split("=", 1)[1])
+                continue
+            if line.startswith("seq"):
+                sequences.append([])
+                continue
+            if not sequences:
+                sequences.append([])
+            vector = tuple(trit_from_char(c) for c in line)
+            sequences[-1].append(vector)
+        if num_inputs < 0:
+            num_inputs = len(sequences[0][0]) if sequences and sequences[0] else 0
+        return cls(
+            circuit_name, num_inputs, tuple(tuple(s) for s in sequences)
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"TestSet({self.circuit_name}: {self.num_sequences} sequences, "
+            f"{self.num_vectors} vectors)"
+        )
+
+
+__all__ = ["TestSet", "Vector", "TestSequence"]

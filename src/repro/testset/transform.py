@@ -1,0 +1,53 @@
+"""Theorem 4: deriving test sets for retimed circuits.
+
+Given a test set ``T`` for circuit ``K`` and a retiming producing ``K'``,
+the derived test set is ``P ∪ T`` -- every test sequence prefixed with
+``|P|`` *arbitrary* input vectors, where ``|P|`` is the maximum number of
+forward retiming moves across any node of ``K``.  The derived set detects,
+in ``K'``, every fault corresponding to a fault ``T`` detects in ``K``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.logic.three_valued import Trit, ZERO
+from repro.retiming.core import Retiming
+from repro.retiming.prefix import arbitrary_prefix, prefix_length_for_tests
+from repro.testset.model import TestSet
+
+
+def derive_retimed_test_set(
+    test_set: TestSet,
+    retiming: Retiming,
+    fill: Trit = ZERO,
+    rng: Optional[random.Random] = None,
+) -> TestSet:
+    """``P ∪ T`` per Theorem 4.
+
+    Args:
+        test_set: a test set for the retiming's source circuit.
+        retiming: the retiming mapping the source circuit to its retimed
+            version (used only for its forward-move count).
+        fill: the constant used for the arbitrary prefix vectors.
+        rng: optional; draw the prefix vectors at random instead (the
+            theorem allows any choice).
+
+    When the retiming contains no forward moves the prefix is empty and the
+    original test set is returned unchanged (the paper found this to be the
+    case for most of its benchmark circuits).
+    """
+    length = prefix_length_for_tests(retiming)
+    if length == 0:
+        return test_set
+    prefix = arbitrary_prefix(test_set.num_inputs, length, fill=fill, rng=rng)
+    return test_set.with_prefix(prefix)
+
+
+def derived_prefix_length(retiming: Retiming) -> int:
+    """The number of arbitrary vectors Theorem 4 requires."""
+    return prefix_length_for_tests(retiming)
+
+
+__all__ = ["derive_retimed_test_set", "derived_prefix_length"]

@@ -1,0 +1,46 @@
+"""Tests for ATPG budgets and effort accounting."""
+
+import time
+
+from repro.atpg import AtpgBudget, EffortMeter
+
+
+class TestBudget:
+    def test_defaults_sane(self):
+        budget = AtpgBudget()
+        assert budget.total_seconds > 0
+        assert budget.backtracks_per_fault > 0
+        assert budget.max_frames >= 1
+
+    def test_scaled_fields(self):
+        budget = AtpgBudget(total_seconds=10, backtracks_per_fault=100)
+        doubled = budget.scaled(2.0)
+        assert doubled.total_seconds == 20
+        assert doubled.backtracks_per_fault == 200
+        halved = budget.scaled(0.001)
+        assert halved.backtracks_per_fault >= 1  # never zero
+
+    def test_frozen(self):
+        budget = AtpgBudget()
+        try:
+            budget.total_seconds = 1  # type: ignore[misc]
+        except Exception:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("budget must be immutable")
+
+
+class TestMeter:
+    def test_elapsed_and_timeout(self):
+        meter = EffortMeter(AtpgBudget(total_seconds=0.05))
+        assert not meter.out_of_time() or meter.elapsed() >= 0.05
+        time.sleep(0.06)
+        assert meter.out_of_time()
+
+    def test_counters(self):
+        meter = EffortMeter(AtpgBudget())
+        meter.note_backtrack()
+        meter.note_backtrack()
+        meter.note_simulation()
+        assert meter.backtracks == 2
+        assert meter.simulations == 1

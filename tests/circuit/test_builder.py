@@ -1,0 +1,231 @@
+"""Tests for signal-level circuit construction and stem/register placement."""
+
+import pytest
+
+from repro.circuit import (
+    CircuitBuilder,
+    CircuitError,
+    GateType,
+    NodeKind,
+    validate,
+)
+
+from tests.helpers import feedback_and, pipelined_logic, shift_register, toggle_counter
+
+
+class TestBasicConstruction:
+    def test_feedback_and_structure(self):
+        circuit = feedback_and()
+        validate(circuit)
+        assert circuit.input_names == ["a"]
+        assert circuit.output_names == ["z"]
+        assert circuit.num_gates() == 1
+        assert circuit.num_registers() == 1
+        # g1 fans out to the output and (through the register) back to
+        # itself, so exactly one stem must exist.
+        assert len(circuit.fanout_stems()) == 1
+
+    def test_register_lands_on_feedback_branch(self):
+        circuit = feedback_and()
+        stem = circuit.fanout_stems()[0]
+        branch_weights = sorted(e.weight for e in circuit.out_edges(stem.name))
+        assert branch_weights == [0, 1]
+        # The stem's input edge carries no register (register is after the
+        # branch point, because the output observes the unregistered value).
+        assert circuit.in_edges(stem.name)[0].weight == 0
+
+    def test_shift_register_weights_collapse(self):
+        circuit = shift_register(depth=4)
+        validate(circuit)
+        # A pure chain becomes a single edge of weight 4 into the buffer.
+        edge = circuit.in_edges("zbuf")[0]
+        assert edge.weight == 4
+        assert circuit.num_registers() == 4
+        assert circuit.fanout_stems() == []
+
+    def test_toggle_counter(self):
+        circuit = toggle_counter()
+        validate(circuit)
+        assert circuit.num_registers() == 2
+        assert circuit.num_gates() == 3
+
+    def test_pipelined_logic(self):
+        circuit = pipelined_logic()
+        validate(circuit)
+        assert circuit.num_registers() == 3
+        # r1 feeds both g2 and g3: the register sits before the stem, shared.
+        stems = circuit.fanout_stems()
+        assert len(stems) == 1
+        stem = stems[0]
+        assert circuit.in_edges(stem.name)[0].weight == 1
+        assert all(e.weight == 0 for e in circuit.out_edges(stem.name))
+
+
+class TestSharedVsPerBranchRegisters:
+    def test_two_dffs_same_signal_are_separate(self):
+        builder = CircuitBuilder("two_dffs")
+        builder.input("a")
+        builder.buf("s", "a")
+        builder.dff("qa", "s")
+        builder.dff("qb", "s")
+        builder.not_("ga", "qa")
+        builder.buf("gb", "qb")
+        builder.output("za", "ga")
+        builder.output("zb", "gb")
+        circuit = builder.build()
+        validate(circuit)
+        assert circuit.num_registers() == 2
+        stem = circuit.fanout_stems()[0]
+        assert circuit.in_edges(stem.name)[0].weight == 0
+        assert sorted(e.weight for e in circuit.out_edges(stem.name)) == [1, 1]
+
+    def test_register_then_fanout_is_shared(self):
+        builder = CircuitBuilder("shared")
+        builder.input("a")
+        builder.dff("q", "a")
+        builder.not_("g1", "q")
+        builder.buf("g2", "q")
+        builder.output("z1", "g1")
+        builder.output("z2", "g2")
+        circuit = builder.build()
+        validate(circuit)
+        assert circuit.num_registers() == 1
+
+    def test_nested_fanout_chain(self):
+        # s0 -> dff -> q1 feeds g1 and dff2; q2 feeds g2 and g3.
+        builder = CircuitBuilder("nested")
+        builder.input("a")
+        builder.buf("s0", "a")
+        builder.dff("q1", "s0")
+        builder.not_("g1", "q1")
+        builder.dff("q2", "q1")
+        builder.buf("g2", "q2")
+        builder.not_("g3", "q2")
+        builder.output("z1", "g1")
+        builder.output("z2", "g2")
+        builder.output("z3", "g3")
+        circuit = builder.build()
+        validate(circuit)
+        assert circuit.num_registers() == 2
+        assert len(circuit.fanout_stems()) == 2
+
+    def test_same_signal_two_pins(self):
+        builder = CircuitBuilder("twopin")
+        builder.input("a")
+        builder.and_("g", "a", "a")
+        builder.output("z", "g")
+        circuit = builder.build()
+        validate(circuit)
+        assert len(circuit.fanout_stems()) == 1
+
+
+class TestErrors:
+    def test_duplicate_signal(self):
+        builder = CircuitBuilder("dup")
+        builder.input("a")
+        with pytest.raises(CircuitError):
+            builder.input("a")
+
+    def test_undefined_reference(self):
+        builder = CircuitBuilder("undef")
+        builder.input("a")
+        builder.and_("g", "a", "nope")
+        builder.output("z", "g")
+        with pytest.raises(CircuitError):
+            builder.build()
+
+    def test_no_outputs(self):
+        builder = CircuitBuilder("noout")
+        builder.input("a")
+        with pytest.raises(CircuitError):
+            builder.build()
+
+    def test_unused_input_tolerated(self):
+        builder = CircuitBuilder("unused_pi")
+        builder.input("a")
+        builder.input("b")
+        builder.buf("g", "a")
+        builder.output("z", "g")
+        circuit = builder.build()
+        assert "b" in circuit.input_names
+
+    def test_dangling_gate_rejected(self):
+        builder = CircuitBuilder("dangle")
+        builder.input("a")
+        builder.buf("g", "a")
+        builder.buf("dead", "a")
+        builder.output("z", "g")
+        with pytest.raises(CircuitError):
+            builder.build()
+
+    def test_dangling_allowed_when_requested(self):
+        builder = CircuitBuilder("dangle_ok")
+        builder.input("a")
+        builder.input("b")
+        builder.buf("g", "a")
+        builder.output("z", "g")
+        circuit = builder.build(allow_dangling=True)
+        assert circuit.num_gates() == 1
+
+    def test_combinational_cycle_rejected(self):
+        builder = CircuitBuilder("cycle")
+        builder.input("a")
+        builder.and_("g1", "a", "g2")
+        builder.or_("g2", "a", "g1")
+        builder.output("z", "g2")
+        with pytest.raises(CircuitError):
+            builder.build()
+
+    def test_bad_arity(self):
+        builder = CircuitBuilder("arity")
+        builder.input("a")
+        builder.input("b")
+        with pytest.raises(CircuitError):
+            builder.gate("g", GateType.NOT, ["a", "b"])
+
+    def test_hash_in_name_rejected(self):
+        builder = CircuitBuilder("hash")
+        with pytest.raises(CircuitError):
+            builder.input("a#1")
+
+
+class TestDerivedQueries:
+    def test_lines_count(self):
+        circuit = shift_register(depth=2)
+        # Edges: d -> zbuf(weight 2)? No: d -> (chain) -> zbuf weight 2, and
+        # zbuf -> z weight 0.  Lines: (2+1) + 1 = 4.
+        assert circuit.num_lines() == 4
+
+    def test_with_weights_round_trip(self):
+        circuit = pipelined_logic()
+        clone = circuit.with_weights(circuit.weights(), name="clone")
+        assert clone.weights() == circuit.weights()
+        assert set(clone.nodes) == set(circuit.nodes)
+
+    def test_with_weights_wrong_length(self):
+        circuit = feedback_and()
+        with pytest.raises(CircuitError):
+            circuit.with_weights([0])
+
+    def test_clock_period_paper_model(self):
+        builder = CircuitBuilder("delay")
+        builder.input("a")
+        builder.input("b")
+        builder.input("c")
+        builder.and_("g1", "a", "b")       # delay 2
+        builder.or_("g2", "g1", "c")       # delay 2
+        builder.output("z", "g2")
+        circuit = builder.build()
+        assert circuit.clock_period() == 4
+
+    def test_clock_period_register_breaks_path(self):
+        builder = CircuitBuilder("delay2")
+        builder.input("a")
+        builder.input("b")
+        builder.input("c")
+        builder.and_("g1", "a", "b")
+        builder.dff("r", "g1")
+        builder.or_("g2", "r", "c")
+        builder.output("z", "g2")
+        circuit = builder.build()
+        assert circuit.clock_period() == 2

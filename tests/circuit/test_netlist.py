@@ -1,0 +1,105 @@
+"""Tests for the Circuit graph model itself (nodes, edges, lines, registers)."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    CircuitError,
+    Edge,
+    GateType,
+    LineRef,
+    Node,
+    NodeKind,
+    RegisterRef,
+)
+
+from tests.helpers import pipelined_logic, shift_register
+
+
+class TestNodeEdgeValidation:
+    def test_gate_requires_gate_type(self):
+        with pytest.raises(ValueError):
+            Node("g", NodeKind.GATE)
+
+    def test_non_gate_rejects_gate_type(self):
+        with pytest.raises(ValueError):
+            Node("i", NodeKind.INPUT, GateType.AND)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Edge(0, "a", "b", 0, -1)
+
+    def test_edge_lines(self):
+        assert Edge(0, "a", "b", 0, 3).num_lines == 4
+
+    def test_unknown_edge_endpoint_rejected(self):
+        node = Node("a", NodeKind.INPUT)
+        with pytest.raises(CircuitError):
+            Circuit("bad", {"a": node}, [Edge(0, "a", "ghost", 0, 0)])
+
+    def test_non_contiguous_pins_rejected(self):
+        nodes = {
+            "a": Node("a", NodeKind.INPUT),
+            "b": Node("b", NodeKind.INPUT),
+            "g": Node("g", NodeKind.GATE, GateType.AND),
+            "z": Node("z", NodeKind.OUTPUT),
+        }
+        edges = [
+            Edge(0, "a", "g", 0, 0),
+            Edge(1, "b", "g", 2, 0),  # pin 1 missing
+            Edge(2, "g", "z", 0, 0),
+        ]
+        with pytest.raises(CircuitError):
+            Circuit("bad", nodes, edges)
+
+
+class TestEnumerations:
+    def test_registers_canonical_order(self):
+        circuit = pipelined_logic()
+        refs = circuit.registers()
+        assert refs == sorted(refs)
+        assert len(refs) == circuit.num_registers()
+
+    def test_lines_canonical_order(self):
+        circuit = pipelined_logic()
+        lines = circuit.lines()
+        assert lines == sorted(lines)
+        assert len(lines) == circuit.num_lines()
+        assert circuit.num_lines() == len(circuit.edges) + circuit.num_registers()
+
+    def test_register_names_metadata(self):
+        circuit = shift_register(depth=3)
+        names = circuit.register_names
+        assert sorted(names.values()) == ["q1", "q2", "q3"]
+        # Position 1 is nearest the source: the first flip-flop in the chain.
+        chain = {ref.position: name for ref, name in names.items()}
+        assert chain == {1: "q1", 2: "q2", 3: "q3"}
+
+    def test_stats_keys(self):
+        stats = pipelined_logic().stats()
+        assert set(stats) >= {"inputs", "outputs", "gates", "dffs", "clock_period"}
+
+    def test_str(self):
+        assert "pipelined_logic" in str(pipelined_logic())
+
+
+class TestTopology:
+    def test_topo_order_respects_zero_weight_edges(self):
+        circuit = pipelined_logic()
+        order = {name: i for i, name in enumerate(circuit.topo_order())}
+        for edge in circuit.edges:
+            if edge.weight == 0:
+                assert order[edge.source] < order[edge.sink]
+
+    def test_custom_delay_model(self):
+        circuit = pipelined_logic()
+        unit = circuit.clock_period(
+            lambda node: 1 if node.kind is NodeKind.GATE else 0
+        )
+        default = circuit.clock_period()
+        assert unit <= default
+
+    def test_with_weights_invalidates_nothing(self):
+        circuit = pipelined_logic()
+        clone = circuit.with_weights(circuit.weights())
+        assert clone.topo_order() == circuit.topo_order()

@@ -1,0 +1,88 @@
+"""Tests for structural validation rules."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    CircuitError,
+    Edge,
+    GateType,
+    Node,
+    NodeKind,
+    check,
+    is_valid,
+    validate,
+)
+
+from tests.helpers import pipelined_logic
+
+
+def _nodes(**kinds):
+    result = {}
+    for name, kind in kinds.items():
+        if isinstance(kind, tuple):
+            result[name] = Node(name, kind[0], kind[1])
+        else:
+            result[name] = Node(name, kind)
+    return result
+
+
+class TestRules:
+    def test_valid_circuit(self):
+        assert is_valid(pipelined_logic())
+        validate(pipelined_logic())
+
+    def test_gate_with_two_outputs_flagged(self):
+        nodes = _nodes(
+            a=NodeKind.INPUT,
+            g=(NodeKind.GATE, GateType.NOT),
+            z1=NodeKind.OUTPUT,
+            z2=NodeKind.OUTPUT,
+        )
+        edges = [
+            Edge(0, "a", "g", 0, 0),
+            Edge(1, "g", "z1", 0, 0),
+            Edge(2, "g", "z2", 0, 0),  # sharing must go through a stem
+        ]
+        problems = check(Circuit("bad", nodes, edges))
+        assert any("output edges" in p for p in problems)
+
+    def test_stem_with_single_branch_flagged(self):
+        nodes = _nodes(
+            a=NodeKind.INPUT,
+            s=NodeKind.FANOUT,
+            z=NodeKind.OUTPUT,
+        )
+        edges = [Edge(0, "a", "s", 0, 0), Edge(1, "s", "z", 0, 0)]
+        problems = check(Circuit("bad", nodes, edges))
+        assert any("fanout" in p for p in problems)
+
+    def test_output_with_fanout_flagged(self):
+        nodes = _nodes(
+            a=NodeKind.INPUT,
+            g=(NodeKind.GATE, GateType.BUF),
+            z=NodeKind.OUTPUT,
+        )
+        edges = [
+            Edge(0, "a", "g", 0, 0),
+            Edge(1, "g", "z", 0, 0),
+            Edge(2, "z", "g", 1, 1),  # outputs drive nothing
+        ]
+        problems = check(Circuit("bad", nodes, edges))
+        assert any("output" in p for p in problems)
+
+    def test_validate_raises_with_circuit_name(self):
+        nodes = _nodes(a=NodeKind.INPUT, s=NodeKind.FANOUT, z=NodeKind.OUTPUT)
+        edges = [Edge(0, "a", "s", 0, 0), Edge(1, "s", "z", 0, 0)]
+        with pytest.raises(CircuitError, match="badname"):
+            validate(Circuit("badname", nodes, edges))
+
+    def test_unused_input_tolerated(self):
+        nodes = _nodes(
+            a=NodeKind.INPUT,
+            b=NodeKind.INPUT,
+            g=(NodeKind.GATE, GateType.BUF),
+            z=NodeKind.OUTPUT,
+        )
+        edges = [Edge(0, "a", "g", 0, 0), Edge(1, "g", "z", 0, 0)]
+        assert is_valid(Circuit("ok", nodes, edges))

@@ -1,0 +1,67 @@
+"""Tests for structural Verilog export."""
+
+import re
+
+import pytest
+
+from repro.circuit import write_verilog
+
+from tests.helpers import (
+    pipelined_logic,
+    random_circuit,
+    resettable_counter,
+    shift_register,
+)
+
+
+class TestWriteVerilog:
+    def test_module_skeleton(self):
+        text = write_verilog(pipelined_logic())
+        assert text.startswith("// pipelined_logic")
+        assert "module pipelined_logic (" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_ports_declared(self):
+        circuit = resettable_counter()
+        text = write_verilog(circuit)
+        for name in circuit.input_names:
+            assert f"  input {name};" in text
+        for name in circuit.output_names:
+            assert f"  output {name};" in text
+        assert "  input clk;" in text
+
+    def test_custom_clock_name(self):
+        text = write_verilog(pipelined_logic(), clock="phi")
+        assert "always @(posedge phi)" in text
+
+    def test_register_count_matches(self):
+        circuit = shift_register(depth=4)
+        text = write_verilog(circuit)
+        assert len(re.findall(r"^\s+reg ", text, re.M)) == 4
+        assert len(re.findall(r"<=", text)) == 4
+
+    def test_gate_count_matches(self):
+        circuit = pipelined_logic()
+        text = write_verilog(circuit)
+        primitives = re.findall(r"^\s+(and|or|nand|nor|xor|xnor|not|buf) ", text, re.M)
+        assert len(primitives) == circuit.num_gates()
+
+    def test_identifier_sanitization(self):
+        from repro.fsm.mcnc import synthesize_benchmark
+
+        circuit = synthesize_benchmark("dk16", "ji", "rugged").circuit
+        text = write_verilog(circuit)
+        # The circuit name contains dots; the module name must not.
+        assert "module dk16_ji_sr" in text
+        # Stem names with '#' never leak into the netlist.
+        assert "#" not in text.replace("// ", "")
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_every_wire_driven_once(self, seed):
+        circuit = random_circuit(seed + 6000, num_gates=10, num_dffs=3)
+        text = write_verilog(circuit)
+        driven = re.findall(r"\b(?:and|or|nand|nor|xor|xnor|not|buf) g_(\w+) ", text)
+        assigns = re.findall(r"assign (\w+) =", text)
+        flops = re.findall(r"^\s+(\w+) <=", text, re.M)
+        drivers = driven + assigns + flops
+        assert len(drivers) == len(set(drivers)), "multiply-driven net"

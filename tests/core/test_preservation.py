@@ -1,0 +1,131 @@
+"""Tests for the preservation API: Theorem 4 verified empirically."""
+
+import random
+
+import pytest
+
+from repro.atpg import AtpgBudget, run_atpg
+from repro.core import (
+    derive_test_set,
+    preservation_plan,
+    verify_preservation,
+)
+from repro.papercircuits import fig3_pair, fig5_pair
+from repro.retiming import Retiming, min_register_retiming, performance_retiming
+from repro.testset import TestSet
+
+from tests.helpers import random_circuit, resettable_counter
+
+
+def _atpg_test_set(circuit, seconds=8.0):
+    result = run_atpg(
+        circuit,
+        budget=AtpgBudget(
+            total_seconds=seconds, random_sequences=24, random_length=24
+        ),
+    )
+    return result.test_set
+
+
+class TestPreservationPlan:
+    def test_fig5_plan(self):
+        n1, n2, retiming = fig5_pair()
+        plan = preservation_plan(retiming, n2)
+        assert plan.prefix_length_tests == 1  # one forward gate move
+        assert plan.prefix_length_sync == 0  # no stem moves
+        assert plan.forward_moves == 1
+        assert "prefix |P| = 1" in plan.describe()
+
+    def test_fig3_plan(self):
+        l1, l2, retiming = fig3_pair()
+        plan = preservation_plan(retiming, l2)
+        assert plan.prefix_length_tests == 1
+        assert plan.prefix_length_sync == 1  # the move is across a stem
+        assert plan.time_equivalence_bound == 1
+
+    def test_identity_plan(self):
+        circuit = resettable_counter()
+        plan = preservation_plan(Retiming(circuit, {}))
+        assert plan.prefix_length_tests == 0
+        assert plan.time_equivalence_bound == 0
+
+
+class TestDeriveTestSet:
+    def test_no_forward_moves_no_prefix(self):
+        circuit = resettable_counter()
+        test_set = TestSet.from_lists(circuit.name, 2, [[(1, 0), (0, 1)]])
+        derived = derive_test_set(test_set, Retiming(circuit, {}))
+        assert derived is test_set
+
+    def test_prefix_added_per_sequence(self):
+        n1, _, retiming = fig5_pair()
+        test_set = TestSet.from_lists(n1.name, 3, [[(0, 0, 1)], [(1, 1, 1)] * 2])
+        derived = derive_test_set(test_set, retiming)
+        assert derived.num_sequences == 2
+        assert all(
+            len(d) == len(o) + 1
+            for d, o in zip(derived.sequences, test_set.sequences)
+        )
+
+    def test_random_prefix_allowed(self):
+        n1, _, retiming = fig5_pair()
+        test_set = TestSet.from_lists(n1.name, 3, [[(0, 0, 1)]])
+        derived = derive_test_set(test_set, retiming, rng=random.Random(7))
+        assert derived.num_vectors == 2
+
+
+class TestVerifyPreservation:
+    def test_fig5_holds(self):
+        """Theorem 4 on the Fig. 5 pair with a real ATPG test set."""
+        n1, n2, retiming = fig5_pair()
+        test_set = _atpg_test_set(n1)
+        report = verify_preservation(n1, retiming, test_set, retimed=n2)
+        assert report.holds, [f.describe(n2) for f in report.missed]
+
+    def test_fig3_holds(self):
+        l1, l2, retiming = fig3_pair()
+        test_set = _atpg_test_set(l1)
+        report = verify_preservation(l1, retiming, test_set, retimed=l2)
+        assert report.holds, [f.describe(l2) for f in report.missed]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits_minregister(self, seed):
+        """Theorem 4 across min-register retimings of random circuits."""
+        circuit = random_circuit(
+            seed + 300, num_inputs=3, num_gates=9, num_dffs=3
+        )
+        retiming = min_register_retiming(circuit).retiming
+        test_set = _atpg_test_set(circuit, seconds=5.0)
+        report = verify_preservation(circuit, retiming, test_set)
+        assert report.holds, [
+            f.describe(retiming.apply()) for f in report.missed
+        ]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits_performance_retiming(self, seed):
+        circuit = random_circuit(
+            seed + 400, num_inputs=3, num_gates=9, num_dffs=3
+        )
+        result = performance_retiming(circuit, backward_passes=1)
+        test_set = _atpg_test_set(circuit, seconds=5.0)
+        report = verify_preservation(
+            circuit, result.retiming, test_set, retimed=result.retimed_circuit
+        )
+        assert report.holds, [
+            f.describe(result.retimed_circuit) for f in report.missed
+        ]
+
+    def test_counterexample_without_prefix(self):
+        """Dropping the prefix breaks preservation on the Fig. 5 pair."""
+        from repro.faults import collapse_faults
+        from repro.faultsim import fault_simulate
+        from repro.papercircuits import EXAMPLE4_TEST, n2_g1_q12_fault
+
+        n1, n2, retiming = fig5_pair()
+        test_set = TestSet.from_lists(n1.name, 3, [EXAMPLE4_TEST])
+        # Without the prefix, the corresponding fault escapes.
+        bare = fault_simulate(n2, test_set.as_lists(), [n2_g1_q12_fault(n2)])
+        assert bare.num_detected == 0
+        derived = derive_test_set(test_set, retiming)
+        fixed = fault_simulate(n2, derived.as_lists(), [n2_g1_q12_fault(n2)])
+        assert fixed.num_detected == 1

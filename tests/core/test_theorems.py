@@ -1,0 +1,216 @@
+"""Randomized verification of Theorems 1-3 on synthesized retimings.
+
+These tests exercise the theorem statements end to end: find synchronizing
+sequences on random small circuits, retime with random legal labels, and
+check the paper's preservation claims on the actual state spaces.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.equivalence import (
+    extract_stg,
+    functional_final_states,
+    is_functional_sync_sequence,
+    classify,
+    find_structural_sync_sequence,
+    states_equivalent,
+)
+from repro.retiming import Retiming, movable_nodes
+from repro.retiming.prefix import prefix_length_for_sync, prefix_length_for_tests
+from repro.simulation import SequentialSimulator
+
+from tests.helpers import (
+    random_circuit,
+    resettable_counter,
+    resettable_random_circuit,
+)
+
+
+def _random_legal_retiming(circuit, rng, attempts=400):
+    """A non-trivial legal retiming: random sampling with a fallback to
+    the engines' retimings (always legal)."""
+    nodes = movable_nodes(circuit)
+    for _ in range(attempts):
+        labels = {
+            name: rng.choice((-1, 0, 1)) for name in nodes if rng.random() < 0.4
+        }
+        retiming = Retiming(circuit, labels)
+        if retiming.is_legal() and not retiming.is_identity():
+            return retiming
+    from repro.retiming import backward_cut_retiming, min_register_retiming
+
+    for candidate in (
+        backward_cut_retiming(circuit),
+        min_register_retiming(circuit).retiming,
+    ):
+        if candidate.is_legal() and not candidate.is_identity():
+            return candidate
+    return None
+
+
+class TestTheorem1:
+    """Structural sync sequences are preserved on retimed circuits."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_retimings(self, seed):
+        circuit = resettable_random_circuit(
+            seed + 3000, num_inputs=2, num_gates=8, num_dffs=3
+        )
+        sequence = find_structural_sync_sequence(circuit, max_length=6)
+        if sequence is None or not sequence:
+            pytest.skip("circuit not structurally synchronizable")
+        rng = random.Random(seed)
+        retiming = _random_legal_retiming(circuit, rng)
+        if retiming is None:
+            pytest.skip("no non-trivial legal retiming found")
+        retimed = retiming.apply()
+        if retimed.num_registers() > 10:
+            pytest.skip("retimed state space too large for the check")
+        sim = SequentialSimulator(retimed)
+        # The theorem's notion of synchronization: leftover X bits are
+        # allowed when the covered states are all equivalent (retiming
+        # can park registers behind blocking logic).
+        from repro.equivalence import covered_states, synchronizes_up_to_equivalence
+
+        assert synchronizes_up_to_equivalence(retimed, sequence), retiming.labels
+        # ... and to a state equivalent to the original's (pick any
+        # covered representative).
+        if retimed.num_registers() <= 8:
+            final_original = SequentialSimulator(circuit).run(sequence).final_state
+            final_retimed = sim.run(sequence).final_state
+            representative = covered_states(final_retimed)[0]
+            assert states_equivalent(
+                extract_stg(circuit),
+                final_original,
+                extract_stg(retimed),
+                representative,
+            )
+
+
+class TestTheorem2:
+    """Functional sync sequences survive with an F_stem-vector prefix."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_retimings(self, seed):
+        circuit = resettable_random_circuit(
+            seed + 3100, num_inputs=1, num_gates=6, num_dffs=2
+        )
+        stg = extract_stg(circuit)
+        classification = classify([stg])
+        from repro.equivalence import find_functional_sync_sequence
+
+        sequence = find_functional_sync_sequence(
+            stg, max_length=6, classification=classification
+        )
+        if not sequence:
+            pytest.skip("circuit not functionally synchronizable")
+        rng = random.Random(seed)
+        retiming = _random_legal_retiming(circuit, rng)
+        if retiming is None or retiming.apply().num_registers() > 8:
+            pytest.skip("no usable retiming")
+        retimed = retiming.apply()
+        stg_retimed = extract_stg(retimed)
+        prefix_length = prefix_length_for_sync(retiming)
+        # Theorem 2: EVERY prefix of the prescribed length works.
+        width = len(circuit.input_names)
+        prefixes = (
+            [[]]
+            if prefix_length == 0
+            else [
+                list(p)
+                for p in itertools.product(
+                    list(itertools.product((0, 1), repeat=width)),
+                    repeat=prefix_length,
+                )
+            ]
+        )
+        for prefix in prefixes:
+            full = list(prefix) + list(sequence)
+            assert is_functional_sync_sequence(stg_retimed, full), (
+                retiming.labels,
+                prefix,
+            )
+
+
+class TestTheorem3:
+    """Faulty-machine sync survives with an F-vector prefix.
+
+    Theorem 3 guarantees, for every retimed fault, *some* corresponding
+    original fault whose synchronizing sequences lift; and the lifted
+    guarantee is functional (the paper synchronizes "to an equivalent
+    state" on the state graph -- three-valued simulation may be too weak
+    to see it).  We test the one-to-one region, where the correspondent is
+    unique: any sync sequence of the faulty original, prefixed with F
+    arbitrary vectors, must functionally synchronize the faulty retimed
+    machine.
+    """
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_one_to_one_faults(self, seed):
+        from repro.faults import FaultCorrespondence, full_fault_universe
+
+        circuit = resettable_random_circuit(
+            seed + 3200, num_inputs=1, num_gates=6, num_dffs=2
+        )
+        rng = random.Random(seed)
+        retiming = _random_legal_retiming(circuit, rng)
+        if retiming is None or retiming.apply().num_registers() > 8:
+            pytest.skip("no usable retiming")
+        retimed = retiming.apply()
+        prefix_length = prefix_length_for_tests(retiming)
+        prefix = [(0,) * len(circuit.input_names)] * prefix_length
+        correspondence = FaultCorrespondence(circuit, retimed)
+
+        checked = 0
+        candidates = [
+            f
+            for f in full_fault_universe(retimed)
+            if correspondence.is_one_to_one(f)
+        ]
+        for fault in rng.sample(candidates, min(8, len(candidates))):
+            sequence = _faulty_sync_sequence(circuit, fault, max_length=6)
+            if sequence is None:
+                continue
+            checked += 1
+            from repro.equivalence import (
+                extract_stg,
+                is_functional_sync_sequence,
+            )
+
+            stg_faulty_retimed = extract_stg(retimed, fault=fault)
+            assert is_functional_sync_sequence(
+                stg_faulty_retimed, prefix + sequence
+            ), (fault, retiming.labels)
+        if checked == 0:
+            pytest.skip("no synchronizable faulty machines sampled")
+
+
+def _faulty_sync_sequence(circuit, fault, max_length=5):
+    """A short structural sync sequence for the faulty machine, if any."""
+    from collections import deque
+
+    from repro.equivalence.explicit import all_vectors
+    from repro.logic.three_valued import X
+
+    sim = SequentialSimulator(circuit, fault=fault)
+    start = sim.unknown_state()
+    if X not in start:
+        return []
+    seen = {start}
+    queue = deque([(start, [])])
+    alphabet = all_vectors(len(circuit.input_names))
+    while queue:
+        state, path = queue.popleft()
+        if len(path) >= max_length:
+            continue
+        for vector in alphabet:
+            nxt = sim.step(state, vector).next_state
+            if X not in nxt:
+                return path + [vector]
+            if nxt not in seen and len(seen) < 20000:
+                seen.add(nxt)
+                queue.append((nxt, path + [vector]))
+    return None

@@ -1,0 +1,119 @@
+"""Tests for Lemmas 4 and 5: per-atomic-move faulty-circuit synchronization.
+
+* Lemma 4 (forward move): for every fault f' in K' there is a
+  corresponding f in K such that a sync sequence of K^f, prefixed with ONE
+  arbitrary vector, synchronizes K'^f' to an equivalent state.
+* Lemma 5 (backward move): the same WITHOUT any prefix.
+
+Checked functionally (on the faulty machines' state graphs) over the
+atomic-move decompositions of real retimings, using the edge-level
+correspondence classes.
+"""
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.equivalence import extract_stg, is_functional_sync_sequence
+from repro.equivalence.explicit import all_vectors
+from repro.faults import FaultCorrespondence, full_fault_universe
+from repro.logic.three_valued import X
+from repro.papercircuits import fig1_gate_pair, fig1_stem_pair
+from repro.retiming import AtomicMove, apply_move, can_move
+from repro.simulation import SequentialSimulator
+
+from tests.helpers import resettable_random_circuit
+
+
+def _structural_sync(circuit, fault, max_length=5):
+    sim = SequentialSimulator(circuit, fault=fault)
+    start = sim.unknown_state()
+    if X not in start:
+        return []
+    seen = {start}
+    queue = deque([(start, [])])
+    alphabet = all_vectors(len(circuit.input_names))
+    while queue:
+        state, path = queue.popleft()
+        if len(path) >= max_length:
+            continue
+        for vector in alphabet:
+            nxt = sim.step(state, vector).next_state
+            if X not in nxt:
+                return path + [vector]
+            if nxt not in seen and len(seen) < 20000:
+                seen.add(nxt)
+                queue.append((nxt, path + [vector]))
+    return None
+
+
+def _check_move(circuit, move, rng, max_faults=6):
+    """Lemma 4/5 on one atomic move applied to ``circuit``."""
+    moved = apply_move(circuit, move)
+    if moved.num_registers() > 8 or len(circuit.input_names) > 3:
+        return 0
+    correspondence = FaultCorrespondence(circuit, moved)
+    prefix_length = 1 if move.direction == "forward" else 0
+    prefix = [(0,) * len(circuit.input_names)] * prefix_length
+    checked = 0
+    faults = full_fault_universe(moved)
+    for fault in rng.sample(faults, min(max_faults, len(faults))):
+        # Lemma 4/5 are existential over correspondents: some
+        # corresponding fault's sequences must lift.
+        lifted = False
+        any_sequence = False
+        for original_fault in correspondence.originals_of(fault):
+            sequence = _structural_sync(circuit, original_fault)
+            if not sequence:
+                continue
+            any_sequence = True
+            stg = extract_stg(moved, fault=fault)
+            if is_functional_sync_sequence(stg, prefix + sequence):
+                lifted = True
+                break
+        if any_sequence:
+            checked += 1
+            assert lifted, (move, fault)
+    return checked
+
+
+class TestFig1AtomicMoves:
+    def test_lemma4_forward_gate_move(self):
+        k1, _, _ = fig1_gate_pair()
+        rng = random.Random(0)
+        assert _check_move(k1, AtomicMove("G", "forward"), rng) > 0
+
+    def test_lemma4_forward_stem_move(self):
+        k1, _, _ = fig1_stem_pair()
+        stem = k1.fanout_stems()[0].name
+        rng = random.Random(1)
+        assert _check_move(k1, AtomicMove(stem, "forward"), rng) > 0
+
+    def test_lemma5_backward_moves(self):
+        # Backward moves on the already-moved Fig. 1 circuits.
+        k1, k2, _ = fig1_gate_pair()
+        rng = random.Random(2)
+        assert _check_move(k2, AtomicMove("G", "backward"), rng) > 0
+
+
+class TestRandomCircuits:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lemmas_on_random_moves(self, seed):
+        circuit = resettable_random_circuit(
+            seed + 9000, num_inputs=1, num_gates=6, num_dffs=2
+        )
+        rng = random.Random(seed)
+        movable = [
+            (name, direction)
+            for name in circuit.nodes
+            for direction in ("forward", "backward")
+            if can_move(circuit, name, direction)
+        ]
+        if not movable:
+            pytest.skip("no atomic move available")
+        checked = 0
+        for name, direction in rng.sample(movable, min(2, len(movable))):
+            checked += _check_move(circuit, AtomicMove(name, direction), rng)
+        if checked == 0:
+            pytest.skip("no synchronizable faulty machines sampled")

@@ -1,0 +1,102 @@
+"""Tests for Lemmas 2 and 3 as stated in the paper."""
+
+import random
+
+import pytest
+
+from repro.equivalence import (
+    extract_stg,
+    find_functional_sync_sequence,
+    functional_final_states,
+    is_functional_sync_sequence,
+    space_contains,
+    states_equivalent,
+    time_contains,
+)
+from repro.papercircuits import fig3_pair
+from repro.retiming import Retiming, movable_nodes
+
+from tests.helpers import resettable_random_circuit
+
+
+def _legal_retiming(circuit, rng, attempts=300):
+    nodes = movable_nodes(circuit)
+    for _ in range(attempts):
+        labels = {
+            n: rng.choice((-1, 0, 1)) for n in nodes if rng.random() < 0.4
+        }
+        retiming = Retiming(circuit, labels)
+        if retiming.is_legal() and not retiming.is_identity():
+            return retiming
+    return None
+
+
+class TestLemma2:
+    """K' ⊇Bt K and K ⊇Ft K' with F/B over fanout stems."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_directional_containments(self, seed):
+        circuit = resettable_random_circuit(
+            seed + 7000, num_inputs=1, num_gates=6, num_dffs=2
+        )
+        rng = random.Random(seed)
+        retiming = _legal_retiming(circuit, rng)
+        if retiming is None or retiming.apply().num_registers() > 8:
+            pytest.skip("no usable retiming")
+        retimed = retiming.apply()
+        stg_k = extract_stg(circuit)
+        stg_r = extract_stg(retimed)
+        forward = retiming.max_forward_moves_across_stems()
+        backward = retiming.max_backward_moves_across_stems()
+        assert time_contains(stg_r, stg_k, backward)  # K' ⊇Bt K
+        assert time_contains(stg_k, stg_r, forward)  # K ⊇Ft K'
+
+
+class TestLemma3:
+    """K ⊇s K' lifts functional synchronizing sequences from K to K'."""
+
+    def test_on_fig3_pair(self):
+        l1, l2, _ = fig3_pair()
+        stg1, stg2 = extract_stg(l1), extract_stg(l2)
+        # The forward stem move gives L2 ⊇s L1 (but not conversely).
+        assert space_contains(stg2, stg1)
+        sequence = find_functional_sync_sequence(stg2, max_length=4)
+        assert sequence is not None
+        # Lemma 3 with K = L2, K' = L1: the sequence synchronizes L1 too,
+        # to an equivalent state.
+        assert is_functional_sync_sequence(stg1, sequence)
+        final_l2 = functional_final_states(stg2, sequence)
+        final_l1 = functional_final_states(stg1, sequence)
+        assert states_equivalent(
+            stg2, next(iter(final_l2)), stg1, next(iter(final_l1))
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_on_backward_retimings(self, seed):
+        """Backward-only retimings satisfy K' ⊇s K, so K''s functional
+        sequences lift to K (Lemma 3 instantiated by Lemma 2)."""
+        circuit = resettable_random_circuit(
+            seed + 7100, num_inputs=1, num_gates=6, num_dffs=2
+        )
+        rng = random.Random(seed)
+        retiming = None
+        for _ in range(300):
+            labels = {
+                n: rng.choice((0, 1))
+                for n in movable_nodes(circuit)
+                if rng.random() < 0.4
+            }
+            candidate = Retiming(circuit, labels)
+            if candidate.is_legal() and not candidate.is_identity():
+                retiming = candidate
+                break
+        if retiming is None or retiming.apply().num_registers() > 8:
+            pytest.skip("no usable backward retiming")
+        retimed = retiming.apply()
+        stg_k, stg_r = extract_stg(circuit), extract_stg(retimed)
+        if not space_contains(stg_r, stg_k):
+            pytest.skip("containment needs stem-only analysis here")
+        sequence = find_functional_sync_sequence(stg_r, max_length=5)
+        if sequence is None:
+            pytest.skip("retimed machine not synchronizable in 5 steps")
+        assert is_functional_sync_sequence(stg_k, sequence)

@@ -1,0 +1,108 @@
+"""Unit tests for synchronizing-sequence search and checking."""
+
+import pytest
+
+from repro.equivalence import (
+    extract_stg,
+    find_functional_sync_sequence,
+    find_structural_sync_sequence,
+    functional_final_states,
+    is_functional_sync_sequence,
+    is_structural_sync_sequence,
+)
+from repro.papercircuits import fig3_l1
+from repro.simulation import SequentialSimulator
+
+from tests.helpers import (
+    feedback_and,
+    resettable_counter,
+    shift_register,
+    toggle_counter,
+)
+
+
+class TestStructuralSearch:
+    def test_resettable_counter_one_vector(self):
+        circuit = resettable_counter()
+        sequence = find_structural_sync_sequence(circuit)
+        assert sequence is not None
+        assert len(sequence) == 1
+        rst_position = circuit.input_names.index("rst")
+        assert sequence[0][rst_position] == 1  # rst must be asserted
+        assert is_structural_sync_sequence(circuit, sequence)
+
+    def test_shift_register_needs_depth_vectors(self):
+        circuit = shift_register(depth=3)
+        sequence = find_structural_sync_sequence(circuit)
+        assert sequence is not None
+        assert len(sequence) == 3
+
+    def test_toggle_counter_unsynchronizable(self):
+        assert find_structural_sync_sequence(toggle_counter(), max_length=6) is None
+
+    def test_feedback_and(self):
+        circuit = feedback_and()
+        sequence = find_structural_sync_sequence(circuit)
+        assert sequence == [(0,)]
+
+    def test_already_synchronized(self):
+        # A circuit with no registers is trivially synchronized.
+        from repro.circuit import CircuitBuilder
+
+        builder = CircuitBuilder("comb")
+        builder.input("a")
+        builder.not_("g", "a")
+        builder.output("z", "g")
+        assert find_structural_sync_sequence(builder.build()) == []
+
+    def test_structural_implies_functional(self):
+        """Every structural sequence is also functional (3-valued soundness)."""
+        for circuit in [resettable_counter(), feedback_and(), shift_register(2)]:
+            sequence = find_structural_sync_sequence(circuit)
+            assert sequence is not None
+            stg = extract_stg(circuit)
+            assert is_functional_sync_sequence(stg, sequence)
+
+
+class TestFunctionalSearch:
+    def test_fig3_l1_shortest_is_one(self):
+        stg = extract_stg(fig3_l1())
+        sequence = find_functional_sync_sequence(stg)
+        assert sequence is not None
+        assert len(sequence) == 1
+
+    def test_functional_can_beat_structural(self):
+        """On L1 the specific sequence <11> is functional, not structural.
+
+        (The BFS may return a different shortest sequence, e.g. <00>, which
+        happens to be structural too -- the point is that the functional
+        class is strictly larger.)
+        """
+        circuit = fig3_l1()
+        stg = extract_stg(circuit)
+        assert is_functional_sync_sequence(stg, [(1, 1)])
+        assert not is_structural_sync_sequence(circuit, [(1, 1)])
+
+    def test_final_states_tracking(self):
+        stg = extract_stg(resettable_counter())
+        final = functional_final_states(stg, [(0, 1)])  # (en, rst) = reset
+        assert final == frozenset({(0, 0)})
+
+    def test_toggle_counter_unsynchronizable_functionally(self):
+        stg = extract_stg(toggle_counter())
+        assert find_functional_sync_sequence(stg, max_length=6) is None
+
+    def test_empty_sequence_on_single_class_machine(self):
+        """A machine whose states are all equivalent needs no sequence."""
+        from repro.circuit import CircuitBuilder
+
+        builder = CircuitBuilder("allsame")
+        builder.input("a")
+        builder.dff("q", "a")
+        builder.and_("g", "q", "k0")
+        builder.const0("k0")
+        builder.or_("out", "g", "a")
+        builder.output("z", "out")
+        circuit = builder.build()
+        stg = extract_stg(circuit)
+        assert find_functional_sync_sequence(stg) == []

@@ -1,0 +1,113 @@
+"""Tests for the corresponding-fault relation (paper Section IV-B)."""
+
+import pytest
+
+from repro.circuit import LineRef
+from repro.faults import (
+    CorrespondenceError,
+    FaultCorrespondence,
+    StuckAtFault,
+    check_same_structure,
+    full_fault_universe,
+)
+from repro.papercircuits import fig1_gate_pair, fig5_pair, g1_g2_edge
+from repro.retiming import Retiming, min_register_retiming
+
+from tests.helpers import pipelined_logic, random_circuit, resettable_counter
+
+
+class TestStructureCheck:
+    def test_retimed_pairs_pass(self):
+        k1, k2, _ = fig1_gate_pair()
+        check_same_structure(k1, k2)
+
+    def test_unrelated_circuits_rejected(self):
+        with pytest.raises(CorrespondenceError):
+            check_same_structure(resettable_counter(), pipelined_logic())
+
+    def test_correspondence_requires_same_structure(self):
+        with pytest.raises(CorrespondenceError):
+            FaultCorrespondence(resettable_counter(), pipelined_logic())
+
+
+class TestFig1Correspondence:
+    """The paper's worked list of corresponding faults for Fig. 1(a)."""
+
+    @pytest.fixture()
+    def pair(self):
+        k1, k2, _ = fig1_gate_pair()
+        return k1, k2, FaultCorrespondence(k1, k2)
+
+    def test_input_edge_faults_merge(self, pair):
+        k1, k2, correspondence = pair
+        # In K1 the I1 edge has weight 1 (lines I1-Q0 and Q0-G); in K2 it
+        # has weight 0 (single line I1-G).  Both K1 faults correspond to
+        # the one K2 fault and vice versa.
+        i1_edge = next(e for e in k1.edges if e.source == "I1")
+        fault_k2 = StuckAtFault(LineRef(i1_edge.index, 1), 0)
+        originals = correspondence.originals_of(fault_k2)
+        assert len(originals) == 2
+        assert {f.line.segment for f in originals} == {1, 2}
+
+    def test_output_edge_faults_split(self, pair):
+        k1, k2, correspondence = pair
+        g_edge = next(e for e in k2.edges if e.source == "G")
+        assert g_edge.weight == 1  # the register moved here
+        fault_k1 = StuckAtFault(LineRef(g_edge.index, 1), 1)
+        retimed = correspondence.retimed_of(fault_k1)
+        assert len(retimed) == 2
+
+    def test_canonical_maps_round_trip_on_unchanged_edges(self, pair):
+        k1, k2, correspondence = pair
+        for fault in full_fault_universe(k2):
+            if correspondence.is_one_to_one(fault):
+                back = correspondence.to_original(fault)
+                assert correspondence.to_retimed(back) == fault
+
+    def test_every_retimed_fault_has_a_correspondent(self, pair):
+        """Section IV-B: at least one corresponding original fault."""
+        k1, k2, correspondence = pair
+        for fault in full_fault_universe(k2):
+            assert correspondence.originals_of(fault)
+
+    def test_bad_fault_rejected(self, pair):
+        _, k2, correspondence = pair
+        with pytest.raises(ValueError):
+            correspondence.to_original(StuckAtFault(LineRef(99, 1), 0))
+
+
+class TestFig5Correspondence:
+    def test_g1_q12_fault_class(self):
+        n1, n2, _ = fig5_pair()
+        correspondence = FaultCorrespondence(n1, n2)
+        edge = g1_g2_edge(n2)
+        # N2's G1->G2 edge has two lines; both correspond to N1's single
+        # G1-G2 line (same value).
+        for segment in (1, 2):
+            fault = StuckAtFault(LineRef(edge, segment), 1)
+            originals = correspondence.originals_of(fault)
+            assert originals == [StuckAtFault(LineRef(edge, 1), 1)]
+
+    def test_modified_edges_are_exactly_the_moved_ones(self):
+        n1, n2, retiming = fig5_pair()
+        correspondence = FaultCorrespondence(n1, n2)
+        modified = set(correspondence.modified_edges())
+        expected = {
+            e.index
+            for e, w in zip(n1.edges, retiming.retimed_weights())
+            if e.weight != w
+        }
+        assert modified == expected
+
+
+class TestRandomRetimings:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_universe_preserved_outside_modified_region(self, seed):
+        circuit = random_circuit(seed + 4000, num_gates=9, num_dffs=3)
+        retiming = min_register_retiming(circuit).retiming
+        retimed = retiming.apply()
+        correspondence = FaultCorrespondence(circuit, retimed)
+        modified = set(correspondence.modified_edges())
+        for fault in full_fault_universe(retimed):
+            if fault.line.edge_index not in modified:
+                assert correspondence.originals_of(fault) == [fault]

@@ -1,0 +1,57 @@
+"""Tests for the stuck-at fault universe over lines."""
+
+import pytest
+
+from repro.circuit import LineRef
+from repro.faults import StuckAtFault, check_fault, faults_on_edge, full_fault_universe
+from repro.logic.three_valued import ONE, X, ZERO
+
+from tests.helpers import feedback_and, shift_register, toggle_counter
+
+
+class TestFaultUniverse:
+    def test_universe_size_is_two_per_line(self):
+        circuit = toggle_counter()
+        assert len(full_fault_universe(circuit)) == 2 * circuit.num_lines()
+
+    def test_universe_grows_with_registers(self):
+        """More flip-flops on an edge = more lines = more faults (Fig. 4)."""
+        shallow = shift_register(depth=1)
+        deep = shift_register(depth=4)
+        assert len(full_fault_universe(deep)) == len(full_fault_universe(shallow)) + 6
+
+    def test_faults_on_edge(self):
+        circuit = shift_register(depth=2)
+        chain_edge = circuit.in_edges("zbuf")[0]
+        faults = faults_on_edge(circuit, chain_edge.index)
+        assert len(faults) == 2 * (chain_edge.weight + 1)
+        segments = sorted({f.line.segment for f in faults})
+        assert segments == [1, 2, 3]
+
+    def test_canonical_order(self):
+        circuit = feedback_and()
+        universe = full_fault_universe(circuit)
+        assert universe == sorted(universe)
+
+
+class TestValidation:
+    def test_bad_stuck_value(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(LineRef(0, 1), X)
+
+    def test_check_fault_bad_edge(self):
+        circuit = feedback_and()
+        with pytest.raises(ValueError):
+            check_fault(circuit, StuckAtFault(LineRef(99, 1), ZERO))
+
+    def test_check_fault_bad_segment(self):
+        circuit = feedback_and()
+        with pytest.raises(ValueError):
+            check_fault(circuit, StuckAtFault(LineRef(0, 9), ONE))
+
+    def test_describe(self):
+        circuit = feedback_and()
+        fault = full_fault_universe(circuit)[0]
+        text = fault.describe(circuit)
+        assert "s-a-" in text
+        assert "seg" in text

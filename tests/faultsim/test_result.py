@@ -1,0 +1,41 @@
+"""Tests for fault-simulation result accounting."""
+
+from repro.circuit import LineRef
+from repro.faults import StuckAtFault
+from repro.faultsim.result import Detection, FaultSimResult
+
+
+def _faults(n):
+    return tuple(
+        StuckAtFault(LineRef(i, 1), i % 2) for i in range(n)
+    )
+
+
+class TestFaultSimResult:
+    def test_counts(self):
+        faults = _faults(4)
+        result = FaultSimResult("c", "parallel", faults)
+        result.detections[faults[0]] = Detection(0, 1, "z")
+        result.detections[faults[2]] = Detection(1, 0, "z")
+        assert result.num_faults == 4
+        assert result.num_detected == 2
+        assert result.num_undetected == 2
+        assert result.fault_coverage == 50.0
+        assert set(result.detected) == {faults[0], faults[2]}
+        assert set(result.undetected) == {faults[1], faults[3]}
+
+    def test_empty_universe_is_full_coverage(self):
+        result = FaultSimResult("c", "serial", ())
+        assert result.fault_coverage == 100.0
+        assert result.num_undetected == 0
+
+    def test_ordering_preserved(self):
+        faults = _faults(3)
+        result = FaultSimResult("c", "parallel", faults)
+        result.detections[faults[1]] = Detection(0, 0, "z")
+        assert result.undetected == [faults[0], faults[2]]
+
+    def test_summary_mentions_engine(self):
+        result = FaultSimResult("mycirc", "serial", _faults(2))
+        text = result.summary()
+        assert "mycirc" in text and "serial" in text

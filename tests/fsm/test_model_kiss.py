@@ -1,0 +1,117 @@
+"""Tests for the FSM model and KISS2 I/O."""
+
+import pytest
+
+from repro.fsm import (
+    FSM,
+    KissError,
+    Transition,
+    cube_matches,
+    cubes_intersect,
+    parse_kiss,
+    write_kiss,
+)
+
+SAMPLE = """
+# tiny machine
+.i 2
+.o 1
+.s 2
+.r A
+0- A A 0
+1- A B 1
+-- B A 0
+.e
+"""
+
+
+class TestCubes:
+    def test_cube_matches(self):
+        assert cube_matches("0-1", (0, 1, 1))
+        assert not cube_matches("0-1", (1, 1, 1))
+        assert cube_matches("---", (0, 0, 1))
+
+    def test_cube_length_checked(self):
+        with pytest.raises(ValueError):
+            cube_matches("01", (0,))
+
+    def test_bad_literal(self):
+        with pytest.raises(ValueError):
+            cube_matches("0z", (0, 1))
+
+    def test_cubes_intersect(self):
+        assert cubes_intersect("0-", "00")
+        assert cubes_intersect("--", "11")
+        assert not cubes_intersect("0-", "1-")
+
+
+class TestModel:
+    def test_parse_sample(self):
+        fsm = parse_kiss(SAMPLE, "tiny")
+        assert fsm.num_inputs == 2
+        assert fsm.num_outputs == 1
+        assert fsm.num_states == 2
+        assert fsm.reset_state == "A"
+        assert len(fsm.transitions) == 3
+
+    def test_step(self):
+        fsm = parse_kiss(SAMPLE)
+        assert fsm.step("A", (1, 0)) == ("B", "1")
+        assert fsm.step("A", (0, 1)) == ("A", "0")
+        assert fsm.step("B", (1, 1)) == ("A", "0")
+
+    def test_incomplete_step_returns_none(self):
+        fsm = FSM("inc", 1, 1, ["S"], [Transition("1", "S", "S", "1")])
+        assert fsm.step("S", (0,)) == (None, None)
+
+    def test_determinism(self):
+        fsm = parse_kiss(SAMPLE)
+        assert fsm.is_deterministic()
+        overlapping = FSM(
+            "nd",
+            1,
+            1,
+            ["S"],
+            [Transition("-", "S", "S", "0"), Transition("1", "S", "S", "1")],
+        )
+        assert not overlapping.is_deterministic()
+
+    def test_reachability(self):
+        fsm = parse_kiss(SAMPLE)
+        assert fsm.reachable_states() == {"A", "B"}
+
+    def test_characteristics(self):
+        fsm = parse_kiss(SAMPLE)
+        assert fsm.characteristics() == {"PI": 2, "PO": 1, "States": 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FSM("bad", 2, 1, ["A"], [Transition("0", "A", "Z", "1")])
+        with pytest.raises(ValueError):
+            FSM("bad", 2, 1, ["A"], [Transition("0--", "A", "A", "1")])
+
+
+class TestKissIO:
+    def test_round_trip(self):
+        fsm = parse_kiss(SAMPLE, "tiny")
+        again = parse_kiss(write_kiss(fsm), "tiny")
+        assert again.num_states == fsm.num_states
+        assert again.transitions == fsm.transitions
+        assert again.reset_state == fsm.reset_state
+
+    def test_missing_directives(self):
+        with pytest.raises(KissError):
+            parse_kiss("0 A A 0\n.e\n")
+
+    def test_bad_field_count(self):
+        with pytest.raises(KissError):
+            parse_kiss(".i 1\n.o 1\n0 A A\n.e\n")
+
+    def test_state_count_mismatch(self):
+        text = ".i 1\n.o 1\n.s 5\n0 A A 0\n.e\n"
+        with pytest.raises(KissError):
+            parse_kiss(text)
+
+    def test_unknown_directive(self):
+        with pytest.raises(KissError):
+            parse_kiss(".q 1\n")

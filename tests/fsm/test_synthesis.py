@@ -1,0 +1,194 @@
+"""Tests for encodings, synthesis and the Table I benchmark machines."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuit import validate
+from repro.fsm import (
+    EXPLICIT_RESET,
+    TABLE1_PROFILES,
+    SynthesisError,
+    code_width,
+    encode,
+    mcnc_fsm,
+    parse_kiss,
+    synthesize,
+    table1,
+)
+from repro.fsm.mcnc import mcnc_encoding, synthesize_benchmark
+from repro.simulation import SequentialSimulator
+
+SMALL = """
+.i 2
+.o 2
+.s 4
+.r A
+0- A B 10
+1- A C 01
+-- B D 00
+-0 C A 11
+-1 C D 00
+-- D A 01
+.e
+"""
+
+
+class TestEncoding:
+    def test_code_width(self):
+        assert code_width(1) == 1
+        assert code_width(2) == 1
+        assert code_width(3) == 2
+        assert code_width(27) == 5
+        assert code_width(121) == 7
+
+    @pytest.mark.parametrize("style", ["natural", "ji", "jo", "jc"])
+    def test_codes_unique_and_reset_zero(self, style):
+        fsm = parse_kiss(SMALL, "small")
+        encoding = encode(fsm, style)
+        codes = list(encoding.code_of.values())
+        assert len(set(codes)) == len(codes)
+        assert encoding.code_of["A"] == (0, 0)
+
+    def test_unknown_style(self):
+        fsm = parse_kiss(SMALL)
+        with pytest.raises(ValueError):
+            encode(fsm, "zz")
+
+    def test_decode(self):
+        fsm = parse_kiss(SMALL)
+        encoding = encode(fsm, "jc")
+        for state, code in encoding.code_of.items():
+            assert encoding.decode(code) == state
+
+
+def _check_fsm_equivalence(fsm, result, seed, cycles=20):
+    """Synthesized circuit must track the symbolic machine from reset."""
+    circuit = result.circuit
+    encoding = result.encoding
+    rng = random.Random(seed)
+    sim = SequentialSimulator(circuit)
+    # Reset: explicit reset line or start from the reset state's encoding
+    # (mapped into the circuit's canonical register order).
+    symbolic = fsm.reset_state or fsm.states[0]
+    state = result.circuit_state(symbolic)
+    has_reset = result.explicit_reset
+    for _ in range(cycles):
+        vector_bits = [rng.randint(0, 1) for _ in range(fsm.num_inputs)]
+        next_symbolic, output_cube = fsm.step(symbolic, vector_bits)
+        if next_symbolic is None:
+            continue  # unspecified: circuit behaviour is free
+        inputs = {f"x{i}": bit for i, bit in enumerate(vector_bits)}
+        if has_reset:
+            inputs["rst"] = 0
+        vector = tuple(inputs[name] for name in circuit.input_names)
+        step = sim.step(state, vector)
+        # Outputs asserted by the cube must be 1; explicit 0s must be 0.
+        for k, literal in enumerate(output_cube):
+            po = circuit.output_names.index(f"z{k}")
+            if literal == "1":
+                assert step.outputs[po] == 1, (symbolic, vector_bits, k)
+            elif literal == "0":
+                assert step.outputs[po] == 0, (symbolic, vector_bits, k)
+        state = step.next_state
+        assert state == result.circuit_state(next_symbolic)
+        symbolic = next_symbolic
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("style", ["natural", "ji", "jo", "jc"])
+    @pytest.mark.parametrize("script", ["delay", "rugged"])
+    def test_small_machine_tracks_fsm(self, style, script):
+        fsm = parse_kiss(SMALL, "small")
+        result = synthesize(fsm, style, script)
+        validate(result.circuit)
+        assert result.circuit.num_registers() == 2
+        _check_fsm_equivalence(fsm, result, seed=7)
+
+    def test_explicit_reset_synchronizes(self):
+        fsm = parse_kiss(SMALL, "small")
+        result = synthesize(fsm, "jc", "delay", explicit_reset=True)
+        circuit = result.circuit
+        assert "rst" in circuit.input_names
+        sim = SequentialSimulator(circuit)
+        vector = tuple(
+            1 if name == "rst" else 0 for name in circuit.input_names
+        )
+        trace = sim.run([vector])
+        assert trace.final_state == result.circuit_state(fsm.reset_state)
+        assert set(trace.final_state) == {0}
+
+    def test_scripts_differ_on_benchmarks(self):
+        # On tiny machines the scripts can tie; the benchmark machines show
+        # the intended area/delay trade-off.
+        shallow = synthesize_benchmark("s820", "jc", "delay").circuit
+        compact = synthesize_benchmark("s820", "jc", "rugged").circuit
+        assert shallow.clock_period() < compact.clock_period()
+        assert compact.num_gates() < shallow.num_gates()
+
+    def test_gate_cap(self):
+        fsm = mcnc_fsm("scf")
+        with pytest.raises(SynthesisError):
+            synthesize(fsm, "jc", "delay", max_gates=10)
+
+    def test_unknown_script(self):
+        fsm = parse_kiss(SMALL)
+        with pytest.raises(SynthesisError):
+            synthesize(fsm, "jc", "fast")
+
+
+class TestBenchmarks:
+    def test_table1_matches_paper(self):
+        rows = {row["FSM"]: row for row in table1()}
+        assert rows["dk16"] == {"FSM": "dk16", "PI": 3, "PO": 3, "States": 27}
+        assert rows["pma"] == {"FSM": "pma", "PI": 9, "PO": 8, "States": 24}
+        assert rows["s510"] == {"FSM": "s510", "PI": 20, "PO": 7, "States": 47}
+        assert rows["s820"] == {"FSM": "s820", "PI": 18, "PO": 19, "States": 25}
+        assert rows["s832"] == {"FSM": "s832", "PI": 18, "PO": 19, "States": 25}
+        assert rows["scf"] == {"FSM": "scf", "PI": 27, "PO": 54, "States": 121}
+
+    @pytest.mark.parametrize("name", sorted(TABLE1_PROFILES))
+    def test_machines_deterministic_and_reachable(self, name):
+        fsm = mcnc_fsm(name)
+        assert fsm.is_deterministic()
+        assert fsm.reachable_states() == set(fsm.states)
+
+    def test_generation_deterministic_in_seed(self):
+        a = mcnc_fsm("pma", seed=1)
+        b = mcnc_fsm("pma", seed=1)
+        c = mcnc_fsm("pma", seed=2)
+        assert a.transitions == b.transitions
+        assert a.transitions != c.transitions
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError):
+            mcnc_fsm("s9234")
+
+    def test_dff_counts_match_paper(self):
+        """Original circuits carry exactly ceil(log2 states) flip-flops."""
+        expected = {"dk16": 5, "pma": 5, "s510": 6, "s820": 5, "s832": 5, "scf": 7}
+        for name, dffs in expected.items():
+            circuit = synthesize_benchmark(name, "jc", "rugged").circuit
+            assert circuit.num_registers() == dffs, name
+
+    def test_sync_input_for_no_reset_machines(self):
+        fsm = mcnc_fsm("s820")
+        # Asserting input 0 from any state returns to the reset state.
+        for state in fsm.states[:5]:
+            vector = [1] + [0] * (fsm.num_inputs - 1)
+            dst, _ = fsm.step(state, vector)
+            assert dst == fsm.states[0]
+
+    def test_cluster_encoding_reset_zero(self):
+        fsm = mcnc_fsm("s510")
+        for style in ["ji", "jo", "jc"]:
+            encoding = mcnc_encoding(fsm, style)
+            assert encoding.code_of[fsm.states[0]] == (0,) * encoding.width
+            codes = list(encoding.code_of.values())
+            assert len(set(codes)) == len(codes)
+
+    def test_benchmark_synthesis_styles_differ(self):
+        a = synthesize_benchmark("s820", "ji", "rugged").circuit
+        b = synthesize_benchmark("s820", "jo", "rugged").circuit
+        assert a.num_gates() != b.num_gates() or a.clock_period() != b.clock_period()

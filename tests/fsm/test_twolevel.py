@@ -1,0 +1,101 @@
+"""Tests for cube covers and two-level minimization."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsm.twolevel import (
+    cover_from_strings,
+    cover_to_strings,
+    cube_contains,
+    cube_from_string,
+    cube_matches_vector,
+    cube_to_string,
+    eval_cover,
+    minimize_cover,
+)
+
+
+class TestCubeBasics:
+    def test_string_round_trip(self):
+        for text in ["01-", "---", "111", "0-0"]:
+            assert cube_to_string(cube_from_string(text), len(text)) == text
+
+    def test_bad_literal(self):
+        with pytest.raises(ValueError):
+            cube_from_string("01z")
+
+    def test_matches_vector(self):
+        cube = cube_from_string("0-1")
+        assert cube_matches_vector(cube, 0b100)  # bit0=0, bit1=0, bit2=1
+        assert not cube_matches_vector(cube, 0b101)
+
+    def test_containment(self):
+        general = cube_from_string("0--")
+        specific = cube_from_string("01-")
+        assert cube_contains(general, specific)
+        assert not cube_contains(specific, general)
+        assert cube_contains(general, general)
+
+
+def _onset(cubes, width):
+    return {
+        bits
+        for bits in range(1 << width)
+        if eval_cover(cubes, bits)
+    }
+
+
+class TestMinimization:
+    def test_distance_one_merge(self):
+        cover = cover_from_strings(["00", "01"])
+        assert minimize_cover(cover) == cover_from_strings(["0-"])
+
+    def test_full_block_merge(self):
+        cover = cover_from_strings(["00", "01", "10", "11"])
+        assert minimize_cover(cover) == cover_from_strings(["--"])
+
+    def test_containment_removed(self):
+        cover = cover_from_strings(["0-", "01"])
+        assert minimize_cover(cover) == cover_from_strings(["0-"])
+
+    def test_no_spurious_merge(self):
+        cover = cover_from_strings(["00", "11"])
+        assert sorted(minimize_cover(cover)) == sorted(cover)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(2, 5),
+        st.data(),
+    )
+    def test_onset_preserved(self, width, data):
+        texts = data.draw(
+            st.lists(
+                st.text(alphabet="01-", min_size=width, max_size=width),
+                min_size=0,
+                max_size=12,
+            )
+        )
+        cover = cover_from_strings(texts)
+        minimized = minimize_cover(cover)
+        assert _onset(cover, width) == _onset(minimized, width)
+        assert len(minimized) <= len(set(cover))
+
+    def test_big_structured_cover_compresses(self):
+        """A complete subcube split into minterms collapses to one cube."""
+        width = 6
+        cover = cover_from_strings(
+            ["".join(bits) + "01" for bits in itertools.product("01", repeat=4)]
+        )
+        minimized = minimize_cover(cover)
+        assert minimized == cover_from_strings(["----01"])
+
+    def test_empty_cover(self):
+        assert minimize_cover([]) == []
+
+    def test_cover_to_strings(self):
+        cover = cover_from_strings(["0-1"])
+        assert cover_to_strings(cover, 3) == ["0-1"]

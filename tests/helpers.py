@@ -1,0 +1,198 @@
+"""Shared circuit fixtures for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Tuple
+
+from repro.circuit import Circuit, CircuitBuilder, GateType
+
+
+def feedback_and() -> Circuit:
+    """``g1 = AND(a, q); q = DFF(g1); z = g1`` -- one stem, one register."""
+    builder = CircuitBuilder("feedback_and")
+    builder.input("a")
+    builder.and_("g1", "a", "q")
+    builder.dff("q", "g1")
+    builder.output("z", "g1")
+    return builder.build()
+
+
+def toggle_counter() -> Circuit:
+    """Two-bit counter with enable: classic small sequential circuit."""
+    builder = CircuitBuilder("toggle_counter")
+    builder.input("en")
+    builder.xor("n0", "en", "q0")
+    builder.and_("carry", "en", "q0")
+    builder.xor("n1", "carry", "q1")
+    builder.dff("q0", "n0")
+    builder.dff("q1", "n1")
+    builder.output("z0", "q0")
+    builder.output("z1", "q1")
+    return builder.build()
+
+
+def resettable_counter() -> Circuit:
+    """Two-bit counter with synchronous reset (synchronizable from all-X).
+
+    ``rst=1`` forces both flip-flops to 0 regardless of state, so ``<1>`` on
+    ``rst`` is a structural synchronizing sequence.
+    """
+    builder = CircuitBuilder("resettable_counter")
+    builder.input("rst")
+    builder.input("en")
+    builder.not_("nrst", "rst")
+    builder.xor("t0", "en", "q0")
+    builder.and_("n0", "nrst", "t0")
+    builder.and_("carry", "en", "q0")
+    builder.xor("t1", "carry", "q1")
+    builder.and_("n1", "nrst", "t1")
+    builder.dff("q0", "n0")
+    builder.dff("q1", "n1")
+    builder.output("z0", "q0")
+    builder.output("z1", "q1")
+    return builder.build()
+
+
+def shift_register(depth: int = 3) -> Circuit:
+    """A ``depth``-deep shift register: d -> q1 -> ... -> qN -> z."""
+    builder = CircuitBuilder(f"shift{depth}")
+    builder.input("d")
+    previous = "d"
+    for stage in range(1, depth + 1):
+        previous = builder.dff(f"q{stage}", previous)
+    builder.buf("zbuf", previous)
+    builder.output("z", "zbuf")
+    return builder.build()
+
+
+def pipelined_logic() -> Circuit:
+    """Pipeline with registers between two logic levels and a fanout stem."""
+    builder = CircuitBuilder("pipelined_logic")
+    builder.input("a")
+    builder.input("b")
+    builder.input("c")
+    builder.and_("g1", "a", "b")
+    builder.dff("r1", "g1")
+    builder.or_("g2", "r1", "c")
+    builder.not_("g3", "r1")
+    builder.dff("r2", "g2")
+    builder.dff("r3", "g3")
+    builder.xor("g4", "r2", "r3")
+    builder.output("z", "g4")
+    return builder.build()
+
+
+def random_circuit(
+    seed: int,
+    num_inputs: int = 3,
+    num_gates: int = 10,
+    num_dffs: int = 3,
+    num_outputs: int = 2,
+) -> Circuit:
+    """A random valid sequential circuit (deterministic in ``seed``).
+
+    Gates read earlier signals; a subset of gate outputs is registered and
+    the register outputs are fed back as additional gate operands, so the
+    result is sequential with feedback but never has combinational cycles.
+    """
+    rng = random.Random(seed)
+    builder = CircuitBuilder(f"rand{seed}")
+    inputs = [builder.input(f"i{k}") for k in range(num_inputs)]
+    # Pre-declare flip-flop output names so gates can reference them.
+    dff_names = [f"q{k}" for k in range(num_dffs)]
+    available = inputs + dff_names
+    gate_types = [
+        GateType.AND,
+        GateType.OR,
+        GateType.NAND,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.NOT,
+    ]
+    gates: List[str] = []
+    for k in range(num_gates):
+        gate_type = rng.choice(gate_types)
+        arity = 1 if gate_type is GateType.NOT else rng.randint(2, 3)
+        operands = [rng.choice(available) for _ in range(arity)]
+        name = f"g{k}"
+        builder.gate(name, gate_type, operands)
+        gates.append(name)
+        available.append(name)
+    if len(gates) < num_dffs:
+        raise ValueError("need at least as many gates as flip-flops")
+    sources = rng.sample(gates, num_dffs)
+    for name, source in zip(dff_names, sources):
+        builder.dff(name, source)
+    observed = set()
+    for k in range(num_outputs):
+        choice = rng.choice(gates)
+        builder.output(f"z{k}", choice)
+        observed.add(choice)
+    # Attach any otherwise-dangling gate to an extra output so the circuit
+    # is strictly valid (no dead logic).
+    feeding = set()
+    for definition in builder._signals.values():
+        feeding.update(definition.operands)
+    extra = 0
+    for signal in gates + dff_names:
+        if signal not in feeding and signal not in observed:
+            builder.output(f"zx{extra}", signal)
+            observed.add(signal)
+            extra += 1
+    return builder.build()
+
+
+def resettable_random_circuit(
+    seed: int,
+    num_inputs: int = 2,
+    num_gates: int = 8,
+    num_dffs: int = 3,
+    num_outputs: int = 2,
+) -> Circuit:
+    """A random circuit whose flip-flops are gated by a synchronous reset.
+
+    ``rst = 1`` forces every flip-flop to 0, so the circuit is always
+    structurally synchronizable -- useful for theorem-level tests that
+    need synchronizing sequences to exist.
+    """
+    rng = random.Random(seed)
+    builder = CircuitBuilder(f"rrand{seed}")
+    builder.input("rst")
+    builder.not_("rst_n", "rst")
+    inputs = [builder.input(f"i{k}") for k in range(num_inputs)]
+    dff_names = [f"q{k}" for k in range(num_dffs)]
+    available = inputs + dff_names
+    gate_types = [GateType.AND, GateType.OR, GateType.NAND, GateType.XOR]
+    gates: List[str] = []
+    for k in range(num_gates):
+        gate_type = rng.choice(gate_types)
+        operands = [rng.choice(available) for _ in range(2)]
+        name = builder.gate(f"g{k}", gate_type, operands)
+        gates.append(name)
+        available.append(name)
+    sources = rng.sample(gates, num_dffs)
+    for name, source in zip(dff_names, sources):
+        gated = builder.and_(f"{name}_d", "rst_n", source)
+        builder.dff(name, gated)
+    observed = set()
+    for k in range(num_outputs):
+        choice = rng.choice(gates)
+        builder.output(f"z{k}", choice)
+        observed.add(choice)
+    feeding = set()
+    for definition in builder._signals.values():
+        feeding.update(definition.operands)
+    extra = 0
+    for signal in gates + dff_names:
+        if signal not in feeding and signal not in observed:
+            builder.output(f"zx{extra}", signal)
+            observed.add(signal)
+            extra += 1
+    return builder.build()
+
+
+def all_binary_vectors(width: int) -> List[Tuple[int, ...]]:
+    """All 2**width binary vectors, in lexicographic order."""
+    return list(itertools.product((0, 1), repeat=width))

@@ -1,0 +1,122 @@
+"""Unit tests for the dual-rail bit-parallel logic, cross-checked against the scalar algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.bitparallel import BitVec
+from repro.logic.three_valued import ONE, X, ZERO, t_and, t_not, t_or, t_xor
+
+trit_st = st.sampled_from((ZERO, ONE, X))
+trits_st = st.lists(trit_st, min_size=1, max_size=80)
+
+
+class TestConstruction:
+    def test_filled(self):
+        ones = BitVec.filled(ONE, 5)
+        assert list(ones.trits()) == [ONE] * 5
+        zeros = BitVec.filled(ZERO, 5)
+        assert list(zeros.trits()) == [ZERO] * 5
+        unknown = BitVec.filled(X, 5)
+        assert list(unknown.trits()) == [X] * 5
+
+    def test_from_trits_round_trip(self):
+        values = [ZERO, ONE, X, ONE, ZERO]
+        vec = BitVec.from_trits(values)
+        assert list(vec.trits()) == values
+
+    def test_overlapping_rails_rejected(self):
+        with pytest.raises(ValueError):
+            BitVec(1, 1, 1)
+
+    def test_rails_outside_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitVec(4, 0, 2)
+
+    def test_str(self):
+        assert str(BitVec.from_trits([ZERO, ONE, X])) == "01x"
+
+
+class TestAccess:
+    def test_get_and_with_bit(self):
+        vec = BitVec.filled(X, 4)
+        vec = vec.with_bit(2, ONE).with_bit(0, ZERO)
+        assert vec.get(0) == ZERO
+        assert vec.get(1) == X
+        assert vec.get(2) == ONE
+
+    def test_with_bit_clears(self):
+        vec = BitVec.filled(ONE, 3).with_bit(1, X)
+        assert vec.get(1) == X
+
+    def test_index_errors(self):
+        vec = BitVec.filled(X, 3)
+        with pytest.raises(IndexError):
+            vec.get(3)
+        with pytest.raises(IndexError):
+            vec.with_bit(-1, ONE)
+
+
+class TestGateSemantics:
+    """Every vector op must agree with the scalar algebra position-wise."""
+
+    @given(trits_st, trits_st)
+    def test_and(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        va = BitVec.from_trits(a + [X] * (n - len(a)))
+        va = BitVec(va.ones, va.zeros, n) if va.width != n else va
+        vb = BitVec.from_trits(b)
+        vb = BitVec(vb.ones, vb.zeros, n) if vb.width != n else vb
+        result = va & vb
+        for i in range(n):
+            assert result.get(i) == t_and(a[i], b[i])
+
+    @given(trits_st, trits_st)
+    def test_or(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        va = BitVec(BitVec.from_trits(a).ones, BitVec.from_trits(a).zeros, n)
+        vb = BitVec(BitVec.from_trits(b).ones, BitVec.from_trits(b).zeros, n)
+        result = va | vb
+        for i in range(n):
+            assert result.get(i) == t_or(a[i], b[i])
+
+    @given(trits_st, trits_st)
+    def test_xor(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        va = BitVec(BitVec.from_trits(a).ones, BitVec.from_trits(a).zeros, n)
+        vb = BitVec(BitVec.from_trits(b).ones, BitVec.from_trits(b).zeros, n)
+        result = va ^ vb
+        for i in range(n):
+            assert result.get(i) == t_xor(a[i], b[i])
+
+    @given(trits_st)
+    def test_not(self, a):
+        vec = BitVec.from_trits(a)
+        result = ~vec
+        for i in range(vec.width):
+            assert result.get(i) == t_not(vec.get(i))
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            BitVec.filled(ONE, 3) & BitVec.filled(ONE, 4)
+
+
+class TestMasks:
+    def test_known_mask(self):
+        vec = BitVec.from_trits([ZERO, X, ONE, X])
+        assert vec.known_mask() == 0b0101
+
+    def test_diff_mask_detection_semantics(self):
+        good = BitVec.from_trits([ZERO, ONE, X, ONE, ZERO])
+        bad = BitVec.from_trits([ONE, ONE, ONE, X, ZERO])
+        # Positions 0 differs (0 vs 1); 2 and 3 involve X -> no detection;
+        # 1 and 4 agree.
+        assert good.diff_mask(bad) == 0b00001
+
+    @given(trits_st)
+    def test_diff_mask_self_is_zero(self, values):
+        vec = BitVec.from_trits(values)
+        assert vec.diff_mask(vec) == 0

@@ -1,0 +1,179 @@
+"""Unit tests for the scalar three-valued algebra."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.three_valued import (
+    ONE,
+    X,
+    ZERO,
+    covers,
+    is_known,
+    merge,
+    t_and,
+    t_buf,
+    t_nand,
+    t_nor,
+    t_not,
+    t_or,
+    t_xnor,
+    t_xor,
+    trit_from_char,
+    trit_to_char,
+    trits_from_string,
+    trits_to_string,
+)
+
+TRITS = (ZERO, ONE, X)
+trit_st = st.sampled_from(TRITS)
+
+
+class TestTruthTables:
+    def test_and_binary(self):
+        assert t_and(ONE, ONE) == ONE
+        assert t_and(ONE, ZERO) == ZERO
+        assert t_and(ZERO, ZERO) == ZERO
+
+    def test_and_dominant_zero(self):
+        assert t_and(ZERO, X) == ZERO
+        assert t_and(X, ZERO) == ZERO
+
+    def test_and_unknown(self):
+        assert t_and(ONE, X) == X
+        assert t_and(X, X) == X
+
+    def test_or_binary(self):
+        assert t_or(ZERO, ZERO) == ZERO
+        assert t_or(ZERO, ONE) == ONE
+
+    def test_or_dominant_one(self):
+        assert t_or(ONE, X) == ONE
+        assert t_or(X, ONE) == ONE
+
+    def test_or_unknown(self):
+        assert t_or(ZERO, X) == X
+        assert t_or(X, X) == X
+
+    def test_not(self):
+        assert t_not(ZERO) == ONE
+        assert t_not(ONE) == ZERO
+        assert t_not(X) == X
+
+    def test_xor_with_x_is_x(self):
+        assert t_xor(X, ZERO) == X
+        assert t_xor(X, ONE) == X
+        assert t_xor(X, X) == X
+
+    def test_xor_binary(self):
+        assert t_xor(ZERO, ONE) == ONE
+        assert t_xor(ONE, ONE) == ZERO
+
+    def test_multi_input(self):
+        assert t_and(ONE, ONE, ONE, ZERO) == ZERO
+        assert t_or(ZERO, ZERO, ONE) == ONE
+        assert t_xor(ONE, ONE, ONE) == ONE
+
+    def test_buf_identity(self):
+        for value in TRITS:
+            assert t_buf(value) == value
+
+    def test_buf_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            t_buf(7)
+
+
+class TestDerivedGates:
+    @given(st.lists(trit_st, min_size=1, max_size=4))
+    def test_nand_is_not_and(self, values):
+        assert t_nand(*values) == t_not(t_and(*values))
+
+    @given(st.lists(trit_st, min_size=1, max_size=4))
+    def test_nor_is_not_or(self, values):
+        assert t_nor(*values) == t_not(t_or(*values))
+
+    @given(st.lists(trit_st, min_size=1, max_size=4))
+    def test_xnor_is_not_xor(self, values):
+        assert t_xnor(*values) == t_not(t_xor(*values))
+
+
+class TestAlgebraicLaws:
+    @given(trit_st, trit_st)
+    def test_and_commutative(self, a, b):
+        assert t_and(a, b) == t_and(b, a)
+
+    @given(trit_st, trit_st)
+    def test_or_commutative(self, a, b):
+        assert t_or(a, b) == t_or(b, a)
+
+    @given(trit_st, trit_st, trit_st)
+    def test_and_associative(self, a, b, c):
+        assert t_and(t_and(a, b), c) == t_and(a, t_and(b, c))
+
+    @given(trit_st, trit_st, trit_st)
+    def test_or_associative(self, a, b, c):
+        assert t_or(t_or(a, b), c) == t_or(a, t_or(b, c))
+
+    @given(trit_st, trit_st)
+    def test_de_morgan(self, a, b):
+        assert t_not(t_and(a, b)) == t_or(t_not(a), t_not(b))
+
+    @given(trit_st)
+    def test_double_negation(self, a):
+        assert t_not(t_not(a)) == a
+
+    @given(trit_st, trit_st)
+    def test_monotone_in_information(self, a, b):
+        """Replacing an X input by a binary value never flips a known output.
+
+        This is the conservativeness property that makes structural-based
+        sequences a sound under-approximation in the paper.
+        """
+        result_with_x = t_and(a, X)
+        refined = t_and(a, b)
+        if result_with_x != X:
+            assert refined == result_with_x
+
+
+class TestConversions:
+    def test_char_round_trip(self):
+        for char in "01x":
+            assert trit_to_char(trit_from_char(char)) == char
+
+    def test_aliases(self):
+        assert trit_from_char("X") == X
+        assert trit_from_char("u") == X
+        assert trit_from_char("-") == X
+
+    def test_bad_char(self):
+        with pytest.raises(ValueError):
+            trit_from_char("2")
+
+    def test_bad_trit(self):
+        with pytest.raises(ValueError):
+            trit_to_char(9)
+
+    def test_string_round_trip(self):
+        assert trits_to_string(trits_from_string("01x10")) == "01x10"
+
+
+class TestHelpers:
+    def test_is_known(self):
+        assert is_known(ZERO)
+        assert is_known(ONE)
+        assert not is_known(X)
+
+    def test_merge(self):
+        assert merge(ONE, ONE) == ONE
+        assert merge(ZERO, ZERO) == ZERO
+        assert merge(ZERO, ONE) == X
+        assert merge(ONE, X) == X
+
+    def test_covers(self):
+        assert covers(X, ZERO)
+        assert covers(X, ONE)
+        assert covers(ONE, ONE)
+        assert not covers(ONE, ZERO)
+        assert not covers(ZERO, X)

@@ -1,0 +1,56 @@
+"""Soundness of three-valued simulation as an abstraction (property tests).
+
+The conservativeness of ternary simulation underpins the paper's
+structural/functional distinction: whenever 3-valued simulation produces a
+binary value, every completion of the X inputs produces that same value.
+These properties are exercised through whole circuits here, not just single
+gates.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.logic.three_valued import X
+from repro.simulation import SequentialSimulator
+
+from tests.helpers import random_circuit, resettable_counter
+
+
+def _completions(vector):
+    choices = [(0, 1) if v == X else (v,) for v in vector]
+    return itertools.product(*choices)
+
+
+class TestAbstractionSoundness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_binary_outputs_agree_with_all_completions(self, seed):
+        circuit = random_circuit(seed + 8000, num_inputs=3, num_gates=10, num_dffs=2)
+        rng = random.Random(seed)
+        sim = SequentialSimulator(circuit)
+        for _ in range(10):
+            state = tuple(rng.choice((0, 1, X)) for _ in range(circuit.num_registers()))
+            vector = tuple(rng.choice((0, 1, X)) for _ in circuit.input_names)
+            abstract = sim.step(state, vector)
+            for concrete_state in _completions(state):
+                for concrete_vector in _completions(vector):
+                    concrete = sim.step(concrete_state, concrete_vector)
+                    for a, c in zip(abstract.outputs, concrete.outputs):
+                        if a != X:
+                            assert a == c
+                    for a, c in zip(abstract.next_state, concrete.next_state):
+                        if a != X:
+                            assert a == c
+
+    def test_monotone_refinement(self):
+        """Refining an X input never changes an already-binary output."""
+        circuit = resettable_counter()
+        sim = SequentialSimulator(circuit)
+        state = (X, X)
+        coarse = sim.step(state, (X, 1))  # rst asserted, en unknown
+        for en in (0, 1):
+            fine = sim.step(state, (en, 1))
+            for a, b in zip(coarse.next_state, fine.next_state):
+                if a != X:
+                    assert a == b

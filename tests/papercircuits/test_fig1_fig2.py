@@ -1,0 +1,111 @@
+"""Tests for Fig. 1 (atomic moves) and Fig. 2 (Lemma 1, Theorem 1)."""
+
+import pytest
+
+from repro.circuit import validate
+from repro.equivalence import (
+    classify,
+    extract_stg,
+    space_equivalent,
+    states_equivalent,
+)
+from repro.papercircuits import (
+    fig1_gate_pair,
+    fig1_stem_pair,
+    fig2_c1,
+    fig2_pair,
+)
+from repro.retiming.moves import can_move
+from repro.simulation import SequentialSimulator
+
+
+class TestFig1AtomicMoves:
+    def test_gate_move_register_counts(self):
+        k1, k2, retiming = fig1_gate_pair()
+        validate(k1)
+        validate(k2)
+        assert k1.num_registers() == 2
+        assert k2.num_registers() == 1  # two input registers merge into one
+        assert retiming.max_forward_moves() == 1
+
+    def test_gate_move_reversible(self):
+        k1, k2, retiming = fig1_gate_pair()
+        back = retiming.inverse(k2)
+        assert back.apply().weights() == k1.weights()
+
+    def test_gate_move_legality_conditions(self):
+        k1, _, _ = fig1_gate_pair()
+        assert can_move(k1, "G", "forward")
+        assert not can_move(k1, "G", "backward")  # no register on the output
+
+    def test_stem_move_register_counts(self):
+        k1, k2, retiming = fig1_stem_pair()
+        validate(k2)
+        assert k1.num_registers() == 1
+        assert k2.num_registers() == 2  # the shared register splits per branch
+        assert retiming.max_forward_moves_across_stems() == 1
+
+    def test_gate_move_space_equivalent(self):
+        """Lemma 1 on the atomic gate move: K1 ==s K2."""
+        k1, k2, _ = fig1_gate_pair()
+        assert space_equivalent(extract_stg(k1), extract_stg(k2))
+
+    def test_stem_move_not_space_equivalent(self):
+        """Forward stem moves create inconsistent states: K2 !=s K1."""
+        k1, k2, _ = fig1_stem_pair()
+        stg1, stg2 = extract_stg(k1), extract_stg(k2)
+        from repro.equivalence import space_contains
+
+        assert space_contains(stg2, stg1)       # K' superset_s K (B = 0)
+        assert not space_contains(stg1, stg2)   # inconsistent states in K'
+
+
+class TestFig2Lemma1:
+    def test_characteristics_match_paper(self):
+        c1, c2, _ = fig2_pair()
+        assert c1.num_registers() == 1
+        assert c2.num_registers() == 2
+        assert c1.clock_period() == 4
+        assert c2.clock_period() == 3
+
+    def test_space_equivalence(self):
+        """Lemma 1: retiming across single-output gates only => C1 ==s C2."""
+        c1, c2, retiming = fig2_pair()
+        # The move touches only gate g2 (no stem label).
+        assert retiming.max_forward_moves_across_stems() == 0
+        assert retiming.max_backward_moves_across_stems() == 0
+        assert space_equivalent(extract_stg(c1), extract_stg(c2))
+
+    def test_retiming_creates_equivalent_states(self):
+        _, c2, _ = fig2_pair()
+        stg = extract_stg(c2)
+        classes = classify([stg]).equivalence_classes(0)
+        sizes = sorted(len(states) for states in classes.values())
+        assert sizes == [1, 3]
+        big_class = next(s for s in classes.values() if len(s) == 3)
+        assert sorted(big_class) == [(0, 1), (1, 0), (1, 1)]
+
+    def test_c1_has_no_equivalent_states(self):
+        stg = extract_stg(fig2_c1())
+        classes = classify([stg]).equivalence_classes(0)
+        assert all(len(states) == 1 for states in classes.values())
+
+    def test_cross_machine_state_equivalence(self):
+        """{00} in C2 is equivalent to {0} in C1; {01,10,11} to {1}."""
+        c1, c2, _ = fig2_pair()
+        stg1, stg2 = extract_stg(c1), extract_stg(c2)
+        assert states_equivalent(stg1, (0,), stg2, (0, 0))
+        for state in [(0, 1), (1, 0), (1, 1)]:
+            assert states_equivalent(stg1, (1,), stg2, state)
+        assert not states_equivalent(stg1, (0,), stg2, (1, 1))
+
+    def test_theorem1_structural_sync_preserved(self):
+        """<11> synchronizes C1 and C2 to equivalent states."""
+        c1, c2, _ = fig2_pair()
+        sim1, sim2 = SequentialSimulator(c1), SequentialSimulator(c2)
+        final1 = sim1.run([(1, 1)]).final_state
+        final2 = sim2.run([(1, 1)]).final_state
+        assert 2 not in final1  # fully known: structural sync
+        assert 2 not in final2  # preserved on the retimed circuit
+        stg1, stg2 = extract_stg(c1), extract_stg(c2)
+        assert states_equivalent(stg1, final1, stg2, final2)

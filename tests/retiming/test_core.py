@@ -1,0 +1,117 @@
+"""Tests for retiming labels, legality and move counting."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, validate
+from repro.retiming import Retiming, RetimingError, identity_retiming, movable_nodes
+
+from tests.helpers import feedback_and, pipelined_logic, shift_register
+
+
+def correlator() -> "Circuit":
+    """Small pipeline with room to move registers both ways."""
+    builder = CircuitBuilder("correlator")
+    builder.input("x")
+    builder.dff("d1", "x")
+    builder.dff("d2", "d1")
+    builder.and_("g1", "x", "d1")
+    builder.and_("g2", "g1", "d2")
+    builder.output("z", "g2")
+    return builder.build()
+
+
+class TestLabels:
+    def test_identity(self):
+        retiming = identity_retiming(pipelined_logic())
+        assert retiming.is_legal()
+        assert retiming.is_identity()
+        assert retiming.apply().weights() == pipelined_logic().weights()
+
+    def test_fixed_vertices_rejected(self):
+        circuit = pipelined_logic()
+        with pytest.raises(RetimingError):
+            Retiming(circuit, {"a": 1})
+        with pytest.raises(RetimingError):
+            Retiming(circuit, {"z": -1})
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(RetimingError):
+            Retiming(pipelined_logic(), {"nope": 1})
+
+    def test_movable_nodes_excludes_interface(self):
+        circuit = pipelined_logic()
+        names = movable_nodes(circuit)
+        assert "a" not in names
+        assert "z" not in names
+        assert "g1" in names
+
+    def test_backward_move_weights(self):
+        circuit = correlator()
+        # g2 has inputs g1 (w0) and d2-chain (w2), output w0 to z.
+        # r(g2) = -1 -> forward move: takes a register from each input edge.
+        retiming = Retiming(circuit, {"g2": -1})
+        assert not retiming.is_legal()  # g1 -> g2 edge has weight 0
+        retiming = Retiming(circuit, {"g1": -1, "g2": -1})
+        # g1's inputs: x-branch (w0), d1-branch... depends on stem layout;
+        # legality is decided by the engine, we just check consistency.
+        assert retiming.is_legal() == all(
+            w >= 0 for w in retiming.retimed_weights()
+        )
+
+    def test_apply_rejects_illegal(self):
+        circuit = correlator()
+        bad = Retiming(circuit, {"g2": -1})
+        assert not bad.is_legal()
+        assert bad.illegal_edges()
+        with pytest.raises(RetimingError):
+            bad.apply()
+
+    def test_register_conservation_on_cycles(self):
+        """Retiming never changes the register count of any directed cycle."""
+        circuit = feedback_and()
+        stem = circuit.fanout_stems()[0]
+        retiming = Retiming(circuit, {"g1": 1, stem.name: 1})
+        if retiming.is_legal():
+            retimed = retiming.apply()
+            # The cycle g1 -> stem -> g1 keeps exactly one register.
+            cycle_weight = sum(
+                e.weight
+                for e in retimed.edges
+                if (e.source, e.sink) in {("g1", stem.name), (stem.name, "g1")}
+            )
+            assert cycle_weight == 1
+
+    def test_move_counts(self):
+        circuit = correlator()
+        retiming = Retiming(circuit, {"g1": 2, "g2": -1})
+        assert retiming.backward_moves("g1") == 2
+        assert retiming.forward_moves("g1") == 0
+        assert retiming.forward_moves("g2") == 1
+        assert retiming.max_forward_moves() == 1
+        assert retiming.max_backward_moves() == 2
+
+    def test_stem_move_counts(self):
+        circuit = feedback_and()
+        stem = circuit.fanout_stems()[0].name
+        retiming = Retiming(circuit, {stem: 1, "g1": 1})
+        assert retiming.max_backward_moves_across_stems() == 1
+        assert retiming.max_forward_moves_across_stems() == 0
+        assert retiming.time_equivalence_bound() == 1
+
+    def test_inverse_round_trips(self):
+        circuit = shift_register(depth=3)
+        retiming = Retiming(circuit, {"zbuf": 1})
+        if not retiming.is_legal():
+            pytest.skip("layout changed")
+        retimed = retiming.apply()
+        back = retiming.inverse(retimed)
+        assert back.apply().weights() == circuit.weights()
+
+    def test_register_delta(self):
+        circuit = correlator()
+        retiming = identity_retiming(circuit)
+        assert retiming.register_delta() == 0
+
+    def test_summary(self):
+        retiming = identity_retiming(correlator())
+        assert "F=0" in retiming.summary()

@@ -1,0 +1,110 @@
+"""Tests for atomic move decomposition and prefix lengths."""
+
+import pytest
+
+from repro.circuit import validate
+from repro.retiming import (
+    AtomicMove,
+    Retiming,
+    apply_move,
+    arbitrary_prefix,
+    can_move,
+    decompose,
+    min_period_retiming,
+    prefix_length_for_sync,
+    prefix_length_for_tests,
+    replay,
+)
+from repro.retiming.core import RetimingError
+from repro.papercircuits import fig1_gate_pair, fig1_stem_pair, fig5_pair
+
+from tests.helpers import pipelined_logic, random_circuit, shift_register
+
+
+class TestAtomicMoves:
+    def test_forward_gate_move(self):
+        k1, k2, _ = fig1_gate_pair()
+        moved = apply_move(k1, AtomicMove("G", "forward"))
+        assert moved.weights() == k2.weights()
+
+    def test_illegal_move_raises(self):
+        k1, _, _ = fig1_gate_pair()
+        with pytest.raises(RetimingError):
+            apply_move(k1, AtomicMove("G", "backward"))
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            AtomicMove("G", "sideways")
+
+    def test_interface_vertices_never_movable(self):
+        circuit = pipelined_logic()
+        assert not can_move(circuit, "a", "forward")
+        assert not can_move(circuit, "z", "backward")
+
+    def test_move_reversibility(self):
+        k1, _, _ = fig1_stem_pair()
+        stem = k1.fanout_stems()[0].name
+        there = apply_move(k1, AtomicMove(stem, "forward"))
+        back = apply_move(there, AtomicMove(stem, "backward"))
+        assert back.weights() == k1.weights()
+
+
+class TestDecomposition:
+    def test_single_move(self):
+        k1, k2, retiming = fig1_gate_pair()
+        moves = decompose(retiming)
+        assert moves == [AtomicMove("G", "forward")]
+
+    def test_replay_matches_apply(self):
+        n1, n2, retiming = fig5_pair()
+        moves = decompose(retiming)
+        stages = replay(n1, moves)
+        assert stages[-1].weights() == n2.weights()
+        for stage in stages:
+            validate(stage)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_retimings_decompose(self, seed):
+        circuit = random_circuit(seed + 500, num_inputs=2, num_gates=6, num_dffs=3)
+        retiming = min_period_retiming(circuit).retiming
+        moves = decompose(retiming)
+        assert len(moves) == sum(abs(v) for v in retiming.labels.values())
+        if moves:
+            stages = replay(circuit, moves)
+            assert stages[-1].weights() == retiming.apply().weights()
+
+    def test_identity_decomposes_empty(self):
+        circuit = shift_register(2)
+        assert decompose(Retiming(circuit, {})) == []
+
+    def test_multi_step_labels(self):
+        circuit = shift_register(3)
+        # zbuf has weight-3 in-edge; two backward moves are legal.
+        retiming = Retiming(circuit, {"zbuf": 0})
+        assert decompose(retiming) == []
+
+
+class TestPrefixes:
+    def test_prefix_lengths_fig5(self):
+        _, _, retiming = fig5_pair()
+        assert prefix_length_for_tests(retiming) == 1
+        assert prefix_length_for_sync(retiming) == 0
+
+    def test_arbitrary_prefix_default_fill(self):
+        prefix = arbitrary_prefix(3, 2)
+        assert prefix == [(0, 0, 0), (0, 0, 0)]
+
+    def test_arbitrary_prefix_random(self):
+        import random
+
+        prefix = arbitrary_prefix(4, 3, rng=random.Random(1))
+        assert len(prefix) == 3
+        assert all(len(v) == 4 for v in prefix)
+        assert all(bit in (0, 1) for v in prefix for bit in v)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            arbitrary_prefix(2, -1)
+
+    def test_zero_length(self):
+        assert arbitrary_prefix(2, 0) == []

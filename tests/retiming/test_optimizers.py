@@ -1,0 +1,207 @@
+"""Optimality and soundness tests for min-period and min-register retiming."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, validate
+from repro.retiming import (
+    Retiming,
+    feasible_retiming_for_period,
+    min_period_retiming,
+    min_register_retiming,
+    movable_nodes,
+    wd_matrices,
+)
+from repro.simulation import SequentialSimulator
+
+from tests.helpers import pipelined_logic, random_circuit
+
+
+def brute_force_optimum(circuit, objective, radius=1):
+    """Exhaustively search labels in [-radius, radius] for the best objective.
+
+    Exponential in the number of movable vertices -- callers must keep the
+    circuits tiny.  Legality is checked incrementally per assignment.
+    """
+    nodes = movable_nodes(circuit)
+    assert len(nodes) <= 12, "brute force requires a tiny circuit"
+    best = None
+    for values in itertools.product(range(-radius, radius + 1), repeat=len(nodes)):
+        retiming = Retiming(circuit, dict(zip(nodes, values)))
+        if not retiming.is_legal():
+            continue
+        score = objective(retiming)
+        if best is None or score < best:
+            best = score
+    return best
+
+
+def paper_fig2_like() -> "Circuit":
+    """A circuit whose period improves by moving a register backward.
+
+    The long path g1 -> g2 (delay 4) is broken by retiming the register
+    that sits after g2 backward across g2 (r(g2) = +1): the new period is
+    3 (the g2 -> g3 path).
+    """
+    builder = CircuitBuilder("fig2like")
+    builder.input("a")
+    builder.input("b")
+    builder.input("c")
+    builder.and_("g1", "a", "b")      # delay 2
+    builder.or_("g2", "g1", "c")      # delay 2
+    builder.dff("q", "g2")
+    builder.not_("g3", "q")           # delay 1
+    builder.output("z", "g3")
+    return builder.build()
+
+
+class TestMinPeriod:
+    def test_improves_fig2_like(self):
+        circuit = paper_fig2_like()
+        result = min_period_retiming(circuit)
+        assert result.period_before == 4
+        assert result.period_after == 3
+        retimed = result.retimed_circuit
+        validate(retimed)
+        assert retimed.clock_period() == result.period_after
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        circuit = random_circuit(seed, num_inputs=2, num_gates=5, num_dffs=2)
+        result = min_period_retiming(circuit)
+        brute = brute_force_optimum(circuit, lambda r: r.apply().clock_period())
+        # Brute force is radius-limited; the engine must never be worse.
+        assert result.period_after <= brute
+        validate(result.retimed_circuit)
+
+    def test_feasibility_check(self):
+        circuit = paper_fig2_like()
+        wd = wd_matrices(circuit)
+        assert feasible_retiming_for_period(circuit, 4, wd=wd) is not None
+        assert feasible_retiming_for_period(circuit, 1, wd=wd) is None
+
+    def test_forward_moves_possible(self):
+        """Registers trapped near the inputs must be able to move forward.
+
+        Both g1 inputs are registered, so r(g1) = -1 (a forward move) is
+        legal, placing a register on the long g1 -> g2 path.  No backward
+        move can achieve period 2 here (g2's output feeds the PO directly).
+        """
+        builder = CircuitBuilder("fwd")
+        builder.input("a")
+        builder.input("b")
+        builder.input("c")
+        builder.dff("qa", "a")
+        builder.dff("qb", "b")
+        builder.and_("g1", "qa", "qb")  # delay 2
+        builder.or_("g2", "g1", "c")    # delay 2 -> path g1,g2 delay 4
+        builder.output("z", "g2")
+        circuit = builder.build()
+        assert circuit.clock_period() == 4
+        result = min_period_retiming(circuit)
+        assert result.period_after == 2
+        assert result.retiming.max_forward_moves() >= 1
+
+    def test_identity_when_already_optimal(self):
+        builder = CircuitBuilder("opt")
+        builder.input("a")
+        builder.not_("g", "a")
+        builder.output("z", "g")
+        circuit = builder.build()
+        result = min_period_retiming(circuit)
+        assert result.period_after == result.period_before == 1
+
+    def test_wd_matrix_values(self):
+        circuit = paper_fig2_like()
+        wd = wd_matrices(circuit)
+        # Path g1 -> g2 is register free, total delay 2 + 2.
+        assert wd.w_between("g1", "g2") == 0
+        assert wd.d_between("g1", "g2") == 4
+        # g2 -> g3 passes through the register.
+        assert wd.w_between("g2", "g3") == 1
+        # No path from g3 back to g1 (feed-forward circuit).
+        assert wd.w_between("g3", "g1") is None
+
+
+class TestMinRegister:
+    def test_reduces_duplicated_registers(self):
+        # Two parallel registers fed by the same signal can merge into one
+        # shared register before the fanout point (r = +1 on the stem).
+        builder = CircuitBuilder("mergeable")
+        builder.input("a")
+        builder.buf("s", "a")
+        builder.dff("qa", "s")
+        builder.dff("qb", "s")
+        builder.not_("ga", "qa")
+        builder.buf("gb", "qb")
+        builder.output("za", "ga")
+        builder.output("zb", "gb")
+        circuit = builder.build()
+        assert circuit.num_registers() == 2
+        result = min_register_retiming(circuit)
+        assert result.registers_after == 1
+        validate(result.retimed_circuit)
+        assert result.retimed_circuit.num_registers() == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        circuit = random_circuit(seed + 20, num_inputs=2, num_gates=5, num_dffs=2)
+        result = min_register_retiming(circuit)
+        brute = brute_force_optimum(circuit, lambda r: sum(r.retimed_weights()))
+        assert result.registers_after <= brute
+        assert result.registers_after == result.retimed_circuit.num_registers()
+        validate(result.retimed_circuit)
+
+    def test_period_bound_respected(self):
+        circuit = paper_fig2_like()
+        best_period = min_period_retiming(circuit).period_after
+        result = min_register_retiming(circuit, max_period=best_period)
+        assert result.retimed_circuit.clock_period() <= best_period
+
+    def test_unconstrained_never_worse_than_constrained(self):
+        circuit = paper_fig2_like()
+        best_period = min_period_retiming(circuit).period_after
+        free = min_register_retiming(circuit)
+        bound = min_register_retiming(circuit, max_period=best_period)
+        assert free.registers_after <= bound.registers_after
+
+
+class TestBehaviourPreservation:
+    """Structural simulation of K and K' agrees wherever both are known.
+
+    Retiming only re-times when values arrive at nodes; primary outputs
+    keep r = 0, so whenever three-valued simulation from the all-X state
+    produces a *binary* value on the same output at the same cycle in both
+    circuits, the values must be equal.
+    """
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_minperiod_outputs_agree(self, seed):
+        circuit = random_circuit(seed + 40, num_inputs=3, num_gates=10, num_dffs=3)
+        result = min_period_retiming(circuit)
+        self._check_agreement(circuit, result.retimed_circuit, seed)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_minregister_outputs_agree(self, seed):
+        circuit = random_circuit(seed + 60, num_inputs=3, num_gates=10, num_dffs=3)
+        result = min_register_retiming(circuit)
+        self._check_agreement(circuit, result.retimed_circuit, seed)
+
+    @staticmethod
+    def _check_agreement(original, retimed, seed, length=12, runs=4):
+        rng = random.Random(seed)
+        sim_a = SequentialSimulator(original)
+        sim_b = SequentialSimulator(retimed)
+        for _ in range(runs):
+            vectors = [
+                tuple(rng.randint(0, 1) for _ in original.input_names)
+                for _ in range(length)
+            ]
+            trace_a = sim_a.run(vectors)
+            trace_b = sim_b.run(vectors)
+            for t in range(length):
+                for va, vb in zip(trace_a.outputs[t], trace_b.outputs[t]):
+                    if va != 2 and vb != 2:
+                        assert va == vb, f"cycle {t}: {va} vs {vb}"

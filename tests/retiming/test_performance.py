@@ -1,0 +1,99 @@
+"""Tests for the performance-style (register-redistribution) retiming."""
+
+import pytest
+
+from repro.circuit import validate
+from repro.retiming import (
+    Retiming,
+    backward_cut_retiming,
+    performance_retiming,
+    register_fanin_cone,
+    state_stems,
+)
+from repro.simulation import SequentialSimulator
+
+from tests.helpers import pipelined_logic, random_circuit, resettable_counter
+
+
+class TestRegisterFaninCone:
+    def test_counter_cone(self):
+        circuit = resettable_counter()
+        cone = register_fanin_cone(circuit)
+        # The AND gates feeding the flip-flops are in the cone; the output
+        # side (z0/z1 observation) is not.
+        assert "n0" in cone
+        assert "n1" in cone
+
+    def test_depth_truncation_monotone(self):
+        circuit = resettable_counter()
+        shallow = register_fanin_cone(circuit, depth=1)
+        deep = register_fanin_cone(circuit, depth=3)
+        full = register_fanin_cone(circuit)
+        assert shallow <= deep <= full
+
+    def test_blocked_vertices_excluded(self):
+        circuit = resettable_counter()
+        full = register_fanin_cone(circuit)
+        victim = next(iter(full))
+        cone = register_fanin_cone(circuit, blocked={victim})
+        assert victim not in cone
+
+    def test_cut_is_always_legal(self):
+        for seed in range(5):
+            circuit = random_circuit(seed + 900, num_gates=10, num_dffs=3)
+            retiming = backward_cut_retiming(circuit)
+            assert retiming.is_legal(), seed
+
+
+class TestPerformanceRetiming:
+    def test_register_growth(self):
+        circuit = resettable_counter()
+        result = performance_retiming(circuit, backward_passes=2)
+        assert result.retimed_circuit.num_registers() > circuit.num_registers()
+        validate(result.retimed_circuit)
+
+    def test_composition_is_single_retiming(self):
+        circuit = resettable_counter()
+        result = performance_retiming(circuit, backward_passes=2)
+        # Applying the composed labels directly must reproduce the circuit.
+        again = result.retiming.apply()
+        assert again.weights() == result.retimed_circuit.weights()
+
+    def test_forward_stem_moves_recorded(self):
+        circuit = pipelined_logic()
+        result = performance_retiming(
+            circuit, backward_passes=1, forward_stem_moves=1
+        )
+        if result.forward_stem_moves:
+            assert result.retiming.max_forward_moves() >= 1
+
+    def test_zero_passes_identity_without_forward(self):
+        circuit = resettable_counter()
+        result = performance_retiming(circuit, backward_passes=0)
+        assert result.retiming.is_identity()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_behaviour_preserved(self, seed):
+        """Outputs agree wherever both simulations are binary."""
+        circuit = random_circuit(seed + 950, num_inputs=3, num_gates=10, num_dffs=3)
+        result = performance_retiming(circuit, backward_passes=2)
+        import random as _random
+
+        rng = _random.Random(seed)
+        sim_a = SequentialSimulator(circuit)
+        sim_b = SequentialSimulator(result.retimed_circuit)
+        vectors = [
+            tuple(rng.randint(0, 1) for _ in circuit.input_names)
+            for _ in range(12)
+        ]
+        trace_a, trace_b = sim_a.run(vectors), sim_b.run(vectors)
+        for t in range(len(vectors)):
+            for va, vb in zip(trace_a.outputs[t], trace_b.outputs[t]):
+                if va != 2 and vb != 2:
+                    assert va == vb
+
+    def test_state_stem_candidates_ordered(self):
+        circuit = pipelined_logic()
+        stems = state_stems(circuit)
+        fanouts = [len(circuit.out_edges(s)) for s in stems]
+        assert fanouts == sorted(fanouts)

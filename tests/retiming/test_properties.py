@@ -1,0 +1,111 @@
+"""Property-based tests of retiming invariants (hypothesis)."""
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.retiming import Retiming, movable_nodes
+from repro.testset import TestSet, derive_retimed_test_set
+
+from tests.helpers import random_circuit
+
+
+def _circuit(seed):
+    return random_circuit(seed, num_inputs=2, num_gates=8, num_dffs=3)
+
+
+@st.composite
+def circuit_and_labels(draw):
+    seed = draw(st.integers(0, 30))
+    circuit = _circuit(seed + 2000)
+    nodes = movable_nodes(circuit)
+    labels = {
+        name: draw(st.integers(-2, 2))
+        for name in nodes
+        if draw(st.booleans())
+    }
+    return circuit, Retiming(circuit, labels)
+
+
+class TestRetimingInvariants:
+    @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(circuit_and_labels())
+    def test_weight_formula(self, pair):
+        circuit, retiming = pair
+        weights = retiming.retimed_weights()
+        for edge, weight in zip(circuit.edges, weights):
+            expected = (
+                edge.weight
+                + retiming.label(edge.sink)
+                - retiming.label(edge.source)
+            )
+            assert weight == expected
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(circuit_and_labels())
+    def test_cycle_registers_invariant(self, pair):
+        """Retiming never changes the register count of any directed cycle."""
+        circuit, retiming = pair
+        if not retiming.is_legal():
+            return
+        retimed = retiming.apply()
+        graph = nx.MultiDiGraph()
+        for edge in circuit.edges:
+            graph.add_edge(edge.source, edge.sink, index=edge.index)
+        try:
+            cycles = list(nx.simple_cycles(graph))[:10]
+        except nx.NetworkXNoCycle:
+            cycles = []
+        for cycle in cycles:
+            cycle_edges = [
+                e.index
+                for e in circuit.edges
+                if e.source in cycle
+                and e.sink in cycle
+                and cycle[(cycle.index(e.source) + 1) % len(cycle)] == e.sink
+            ]
+            before = sum(circuit.edges[i].weight for i in cycle_edges)
+            after = sum(retimed.edges[i].weight for i in cycle_edges)
+            assert before == after
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(circuit_and_labels())
+    def test_inverse_round_trip(self, pair):
+        circuit, retiming = pair
+        if not retiming.is_legal():
+            return
+        retimed = retiming.apply()
+        back = retiming.inverse(retimed)
+        assert back.is_legal()
+        assert back.apply().weights() == circuit.weights()
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(circuit_and_labels())
+    def test_move_counts_consistent(self, pair):
+        circuit, retiming = pair
+        assert retiming.max_forward_moves() >= retiming.max_forward_moves_across_stems()
+        assert retiming.max_backward_moves() >= retiming.max_backward_moves_across_stems()
+        inverse = Retiming(circuit, {k: -v for k, v in retiming.labels.items()})
+        assert inverse.max_forward_moves() == retiming.max_backward_moves()
+
+
+class TestDerivedTestSetProperties:
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        circuit_and_labels(),
+        st.lists(
+            st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=1, max_size=4),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+    def test_prefix_arithmetic(self, pair, sequences):
+        circuit, retiming = pair
+        test_set = TestSet.from_lists(circuit.name, 2, sequences)
+        derived = derive_retimed_test_set(test_set, retiming)
+        prefix = retiming.max_forward_moves()
+        assert derived.num_sequences == test_set.num_sequences
+        assert derived.num_vectors == test_set.num_vectors + prefix * len(sequences)
+        for old, new in zip(test_set.sequences, derived.sequences):
+            assert new[prefix:] == old

@@ -1,0 +1,83 @@
+"""Cross-checks of the code-generated stepper against the reference simulator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import full_fault_universe
+from repro.simulation import SequentialSimulator
+from repro.simulation.codegen import FastStepper
+
+from tests.helpers import (
+    feedback_and,
+    pipelined_logic,
+    random_circuit,
+    resettable_counter,
+    toggle_counter,
+)
+
+
+def _agree(circuit, fault, seed, cycles=8):
+    rng = random.Random(seed)
+    reference = SequentialSimulator(circuit, fault=fault)
+    fast = FastStepper(circuit, fault=fault)
+    state = reference.unknown_state()
+    for _ in range(cycles):
+        vector = tuple(rng.choice((0, 1, 2)) for _ in circuit.input_names)
+        ref = reference.step(state, vector)
+        outputs, next_state, values = fast.step(state, vector)
+        assert outputs == ref.outputs
+        assert next_state == ref.next_state
+        assert values == tuple(ref.node_values)
+        state = ref.next_state
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize(
+        "factory",
+        [feedback_and, toggle_counter, resettable_counter, pipelined_logic],
+    )
+    def test_fixed_circuits(self, factory):
+        _agree(factory(), None, seed=3)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_circuits(self, seed):
+        circuit = random_circuit(seed + 700, num_inputs=3, num_gates=14, num_dffs=4)
+        _agree(circuit, None, seed=seed)
+
+
+class TestWithFaults:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_faults(self, seed):
+        circuit = random_circuit(seed + 800, num_inputs=3, num_gates=12, num_dffs=3)
+        rng = random.Random(seed)
+        faults = full_fault_universe(circuit)
+        for fault in rng.sample(faults, min(8, len(faults))):
+            _agree(circuit, fault, seed=seed + 1)
+
+    def test_every_fault_site_on_small_circuit(self):
+        circuit = resettable_counter()
+        for fault in full_fault_universe(circuit):
+            _agree(circuit, fault, seed=11, cycles=4)
+
+
+class TestConvenience:
+    def test_run_matches_reference(self):
+        circuit = resettable_counter()
+        fast = FastStepper(circuit)
+        reference = SequentialSimulator(circuit)
+        vectors = [(1, 0), (0, 1), (1, 1), (0, 0)]
+        outputs, final = fast.run(vectors)
+        trace = reference.run(vectors)
+        assert tuple(outputs) == trace.outputs
+        assert final == trace.final_state
+
+    def test_unknown_state(self):
+        fast = FastStepper(resettable_counter())
+        assert fast.unknown_state() == (2, 2)
+
+    def test_source_is_valid_python(self):
+        fast = FastStepper(resettable_counter())
+        assert "def step(state, vector):" in fast._source

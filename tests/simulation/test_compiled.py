@@ -1,0 +1,60 @@
+"""Tests for the compiled-circuit lowering shared by all simulators."""
+
+from repro.circuit import LineRef, NodeKind
+from repro.simulation import CompiledCircuit
+
+from tests.helpers import pipelined_logic, shift_register
+
+
+class TestCompiledCircuit:
+    def test_slots_cover_all_nodes(self):
+        circuit = pipelined_logic()
+        compiled = CompiledCircuit(circuit)
+        assert compiled.num_slots == len(circuit.nodes)
+        assert len(compiled.ops) == len(circuit.nodes)
+
+    def test_register_layout_matches_circuit(self):
+        circuit = pipelined_logic()
+        compiled = CompiledCircuit(circuit)
+        assert compiled.register_refs == circuit.registers()
+        assert len(compiled.register_loads) == circuit.num_registers()
+
+    def test_reads_are_line_tagged(self):
+        circuit = shift_register(depth=2)
+        compiled = CompiledCircuit(circuit)
+        chain_edge = circuit.in_edges("zbuf")[0]
+        # The buffer reads the sink-side line of the weight-2 edge.
+        buf_op = next(
+            op for op in compiled.ops if op.kind is NodeKind.GATE
+        )
+        assert buf_op.reads[0].line == LineRef(chain_edge.index, 3)
+        assert buf_op.reads[0].from_register
+
+    def test_register_loads_read_upstream_lines(self):
+        circuit = shift_register(depth=2)
+        compiled = CompiledCircuit(circuit)
+        chain_edge = circuit.in_edges("zbuf")[0]
+        loads = {
+            ref: read
+            for ref, read in zip(compiled.register_refs, compiled.register_loads)
+        }
+        from repro.circuit import RegisterRef
+
+        first = loads[RegisterRef(chain_edge.index, 1)]
+        second = loads[RegisterRef(chain_edge.index, 2)]
+        assert first.line == LineRef(chain_edge.index, 1)
+        assert not first.from_register
+        assert second.line == LineRef(chain_edge.index, 2)
+        assert second.from_register
+
+    def test_line_consumer_reads_total(self):
+        circuit = pipelined_logic()
+        compiled = CompiledCircuit(circuit)
+        consumers = compiled.line_consumer_reads()
+        # Every consumed line has at least one consumer entry; the PO line
+        # appears both as the OUTPUT op read and as the output observation.
+        assert consumers
+        for line, entries in consumers.items():
+            assert entries
+            edge = circuit.edge(line.edge_index)
+            assert 1 <= line.segment <= edge.num_lines

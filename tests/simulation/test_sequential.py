@@ -1,0 +1,169 @@
+"""Tests for the scalar three-valued sequential simulator."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, LineRef
+from repro.logic.three_valued import ONE, X, ZERO
+from repro.simulation import SequentialSimulator, simulate
+
+from tests.helpers import feedback_and, shift_register, toggle_counter
+
+
+class TestCombinationalBehaviour:
+    def test_and_gate(self):
+        builder = CircuitBuilder("c")
+        builder.input("a")
+        builder.input("b")
+        builder.and_("g", "a", "b")
+        builder.output("z", "g")
+        circuit = builder.build()
+        sim = SequentialSimulator(circuit)
+        state = sim.unknown_state()
+        for a, b, expect in [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)]:
+            assert sim.step(state, (a, b)).outputs == (expect,)
+
+    def test_unknown_propagation(self):
+        builder = CircuitBuilder("c")
+        builder.input("a")
+        builder.input("b")
+        builder.or_("g", "a", "b")
+        builder.output("z", "g")
+        circuit = builder.build()
+        sim = SequentialSimulator(circuit)
+        state = sim.unknown_state()
+        assert sim.step(state, (X, ZERO)).outputs == (X,)
+        assert sim.step(state, (X, ONE)).outputs == (ONE,)
+
+
+class TestSequentialBehaviour:
+    def test_shift_register_delays(self):
+        circuit = shift_register(depth=3)
+        trace = simulate(circuit, [(1,), (0,), (1,), (1,), (0,), (0,)])
+        # Output is the input delayed by 3; first 3 cycles observe X.
+        assert [o[0] for o in trace.outputs] == [X, X, X, 1, 0, 1]
+
+    def test_toggle_counter_counts(self):
+        circuit = toggle_counter()
+        sim = SequentialSimulator(circuit)
+        state = sim.state_from_string("00")
+        seen = []
+        for _ in range(5):
+            result = sim.step(state, (1,))
+            seen.append(result.outputs)
+            state = result.next_state
+        # Outputs observe the *current* state (q0, q1) each cycle.
+        assert seen == [(0, 0), (1, 0), (0, 1), (1, 1), (0, 0)]
+
+    def test_counter_hold(self):
+        circuit = toggle_counter()
+        sim = SequentialSimulator(circuit)
+        state = sim.state_from_string("10")
+        result = sim.step(state, (0,))
+        assert result.next_state == state
+
+    def test_feedback_and_synchronizes_with_zero(self):
+        circuit = feedback_and()
+        sim = SequentialSimulator(circuit)
+        # a=0 forces g1=0 regardless of q: structural synchronization.
+        assert sim.is_synchronizing([(0,)])
+        # a=1 leaves g1 = X AND 1 = X: not synchronizing.
+        assert not sim.is_synchronizing([(1,)])
+
+    def test_trace_shapes(self):
+        circuit = toggle_counter()
+        trace = simulate(circuit, [(1,), (1,)])
+        assert len(trace.states) == 3
+        assert len(trace.outputs) == 2
+        assert trace.final_state == trace.states[-1]
+
+
+class TestFaultInjection:
+    def test_output_line_stuck(self):
+        builder = CircuitBuilder("c")
+        builder.input("a")
+        builder.buf("g", "a")
+        builder.output("z", "g")
+        circuit = builder.build()
+        # Edge g -> z is the last edge; find it.
+        po_edge = circuit.in_edges("z")[0]
+        sim = SequentialSimulator(circuit, fault=(LineRef(po_edge.index, 1), ZERO))
+        assert sim.step(sim.unknown_state(), (1,)).outputs == (ZERO,)
+
+    def test_branch_fault_is_local(self):
+        builder = CircuitBuilder("c")
+        builder.input("a")
+        builder.buf("g", "a")
+        builder.output("z1", "g")
+        builder.output("z2", "g")
+        circuit = builder.build()
+        stem = circuit.fanout_stems()[0]
+        branch_to_z1 = next(
+            e for e in circuit.out_edges(stem.name) if e.sink == "z1"
+        )
+        sim = SequentialSimulator(circuit, fault=(LineRef(branch_to_z1.index, 1), ZERO))
+        outputs = sim.step(sim.unknown_state(), (1,)).outputs
+        z1_pos = circuit.output_names.index("z1")
+        z2_pos = circuit.output_names.index("z2")
+        assert outputs[z1_pos] == ZERO
+        assert outputs[z2_pos] == ONE
+
+    def test_stem_fault_is_global(self):
+        builder = CircuitBuilder("c")
+        builder.input("a")
+        builder.buf("g", "a")
+        builder.output("z1", "g")
+        builder.output("z2", "g")
+        circuit = builder.build()
+        stem = circuit.fanout_stems()[0]
+        stem_in = circuit.in_edges(stem.name)[0]
+        sim = SequentialSimulator(circuit, fault=(LineRef(stem_in.index, 1), ZERO))
+        outputs = sim.step(sim.unknown_state(), (1,)).outputs
+        assert outputs == (ZERO, ZERO)
+
+    def test_fault_before_vs_after_register(self):
+        circuit = shift_register(depth=1)
+        chain_edge = circuit.in_edges("zbuf")[0]
+        assert chain_edge.weight == 1
+        # Segment 1: between input and register -- effect appears one cycle later.
+        sim_before = SequentialSimulator(
+            circuit, fault=(LineRef(chain_edge.index, 1), ONE)
+        )
+        trace = sim_before.run([(0,), (0,)], state=(0,))
+        assert [o[0] for o in trace.outputs] == [0, 1]
+        # Segment 2: between register and buffer -- effect is immediate.
+        sim_after = SequentialSimulator(
+            circuit, fault=(LineRef(chain_edge.index, 2), ONE)
+        )
+        trace = sim_after.run([(0,), (0,)], state=(0,))
+        assert [o[0] for o in trace.outputs] == [1, 1]
+
+    def test_fault_on_missing_line_rejected(self):
+        circuit = shift_register(depth=1)
+        chain_edge = circuit.in_edges("zbuf")[0]
+        with pytest.raises(ValueError):
+            SequentialSimulator(circuit, fault=(LineRef(chain_edge.index, 5), ONE))
+
+    def test_stuck_value_must_be_binary(self):
+        circuit = feedback_and()
+        with pytest.raises(ValueError):
+            SequentialSimulator(circuit, fault=(LineRef(0, 1), X))
+
+
+class TestValidation:
+    def test_vector_length_checked(self):
+        circuit = toggle_counter()
+        sim = SequentialSimulator(circuit)
+        with pytest.raises(ValueError):
+            sim.step(sim.unknown_state(), (1, 0))
+
+    def test_state_length_checked(self):
+        circuit = toggle_counter()
+        sim = SequentialSimulator(circuit)
+        with pytest.raises(ValueError):
+            sim.step((X,), (1,))
+
+    def test_state_from_string_length(self):
+        circuit = toggle_counter()
+        sim = SequentialSimulator(circuit)
+        with pytest.raises(ValueError):
+            sim.state_from_string("0")

@@ -1,0 +1,126 @@
+"""Cross-checks of the bit-parallel simulator against the scalar reference."""
+
+import random
+
+import pytest
+
+from repro.circuit import LineRef
+from repro.logic.bitparallel import BitVec
+from repro.logic.three_valued import ONE, X, ZERO
+from repro.simulation import SequentialSimulator, VectorSimulator
+
+from tests.helpers import (
+    feedback_and,
+    pipelined_logic,
+    random_circuit,
+    toggle_counter,
+)
+
+
+def _random_scalar_vectors(rng, num_inputs, length, allow_x=False):
+    choices = (ZERO, ONE, X) if allow_x else (ZERO, ONE)
+    return [
+        tuple(rng.choice(choices) for _ in range(num_inputs)) for _ in range(length)
+    ]
+
+
+class TestPatternParallelAgreesWithScalar:
+    @pytest.mark.parametrize("factory", [feedback_and, toggle_counter, pipelined_logic])
+    def test_fixed_circuits(self, factory):
+        circuit = factory()
+        self._check(circuit, seed=1)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_circuits(self, seed):
+        circuit = random_circuit(seed, num_inputs=3, num_gates=12, num_dffs=3)
+        self._check(circuit, seed=seed + 100)
+
+    def _check(self, circuit, seed, width=8, length=6):
+        rng = random.Random(seed)
+        scalar = SequentialSimulator(circuit)
+        vector = VectorSimulator(circuit, width)
+        sequences = [
+            _random_scalar_vectors(rng, len(circuit.input_names), length, allow_x=True)
+            for _ in range(width)
+        ]
+        packed_per_cycle = [
+            vector.pack_vectors([sequences[bit][t] for bit in range(width)])
+            for t in range(length)
+        ]
+        outputs, final = vector.run(packed_per_cycle)
+        for bit in range(width):
+            trace = scalar.run(sequences[bit])
+            for t in range(length):
+                got = tuple(o.get(bit) for o in outputs[t])
+                assert got == trace.outputs[t], f"bit {bit} cycle {t}"
+            assert tuple(s.get(bit) for s in final) == trace.final_state
+
+
+class TestFaultParallelAgreesWithScalar:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuit_random_faults(self, seed):
+        circuit = random_circuit(seed, num_inputs=3, num_gates=10, num_dffs=3)
+        rng = random.Random(seed + 7)
+        lines = circuit.lines()
+        picks = [
+            (rng.choice(lines), rng.choice((ZERO, ONE)))
+            for _ in range(min(6, len(lines)))
+        ]
+        width = len(picks) + 1  # bit 0 is fault-free
+        injections = {}
+        for bit, (line, value) in enumerate(picks, start=1):
+            sa1, sa0 = injections.get(line, (0, 0))
+            if value == ONE:
+                sa1 |= 1 << bit
+            else:
+                sa0 |= 1 << bit
+            injections[line] = (sa1, sa0)
+        vector = VectorSimulator(circuit, width, injections)
+        length = 5
+        scalar_vectors = _random_scalar_vectors(
+            rng, len(circuit.input_names), length
+        )
+        packed = [vector.broadcast_vector(v) for v in scalar_vectors]
+        outputs, final = vector.run(packed)
+        # Bit 0: fault-free reference.
+        good = SequentialSimulator(circuit).run(scalar_vectors)
+        for t in range(length):
+            assert tuple(o.get(0) for o in outputs[t]) == good.outputs[t]
+        # Other bits: scalar faulty simulation must agree.
+        for bit, (line, value) in enumerate(picks, start=1):
+            faulty = SequentialSimulator(circuit, fault=(line, value)).run(
+                scalar_vectors
+            )
+            for t in range(length):
+                got = tuple(o.get(bit) for o in outputs[t])
+                assert got == faulty.outputs[t], f"fault {line} s-a-{value} cycle {t}"
+
+
+class TestVectorApi:
+    def test_broadcast_state(self):
+        circuit = toggle_counter()
+        sim = VectorSimulator(circuit, 4)
+        state = sim.broadcast_state((ONE, ZERO))
+        assert [s.get(2) for s in state] == [ONE, ZERO]
+
+    def test_overlapping_injection_rejected(self):
+        circuit = feedback_and()
+        line = circuit.lines()[0]
+        with pytest.raises(ValueError):
+            VectorSimulator(circuit, 2, {line: (0b10, 0b10)})
+
+    def test_injection_outside_width_rejected(self):
+        circuit = feedback_and()
+        line = circuit.lines()[0]
+        with pytest.raises(ValueError):
+            VectorSimulator(circuit, 2, {line: (0b100, 0)})
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            VectorSimulator(feedback_and(), 0)
+
+    def test_pack_vectors_needs_width_rows(self):
+        circuit = toggle_counter()
+        sim = VectorSimulator(circuit, 3)
+        with pytest.raises(ValueError):
+            sim.pack_vectors([(0,), (1,)])

@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_no_args_prints_usage(self, capsys):
+        assert main([]) == 2
+        assert "Commands" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "dk16" in out and "121" in out
+
+    def test_synth_emits_bench(self, capsys):
+        assert main(["synth", "s820", "jc", "rugged"]) == 0
+        out = capsys.readouterr().out
+        assert "INPUT(" in out and "= DFF(" in out
+
+    def test_synth_accepts_script_codes(self, capsys):
+        assert main(["synth", "s820", "jc", "sr"]) == 0
+        assert "OUTPUT(" in capsys.readouterr().out
+
+    def test_retime_reports_prefix(self, capsys):
+        assert main(["retime", "pma", "jo", "delay"]) == 0
+        out = capsys.readouterr().out
+        assert "prefix |P| = 1" in out
+
+    def test_missing_args(self, capsys):
+        assert main(["synth"]) == 2
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+
+    def test_atpg_emits_testset(self, capsys):
+        assert main(["atpg", "dk16", "ji", "sd", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "# testset" in captured.out
+        assert "FC" in captured.err

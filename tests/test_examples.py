@@ -1,0 +1,31 @@
+"""Smoke tests: the fast example scripts must run to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "sync_preservation.py",
+    "fault_correspondence_tour.py",
+    "compact_and_verify.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_slow_examples_importable():
+    """The heavyweight studies must at least parse and expose main()."""
+    for script in ["atpg_cost_study.py", "retime_for_testability.py"]:
+        namespace = runpy.run_path(str(EXAMPLES / script), run_name="not_main")
+        assert "main" in namespace

@@ -1,0 +1,55 @@
+"""Smoke tests of the public package surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+MODULES = [
+    "repro.logic",
+    "repro.circuit",
+    "repro.simulation",
+    "repro.faults",
+    "repro.faultsim",
+    "repro.retiming",
+    "repro.fsm",
+    "repro.equivalence",
+    "repro.testset",
+    "repro.atpg",
+    "repro.core",
+    "repro.papercircuits",
+]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_public_symbols_documented():
+    """Every public callable/class exported by the subpackages has a docstring."""
+    import inspect
+
+    undocumented = []
+    for name in MODULES:
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol)
+            if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+                continue  # constants and type aliases
+            if not getattr(obj, "__doc__", None):
+                undocumented.append(f"{name}.{symbol}")
+    assert not undocumented, undocumented

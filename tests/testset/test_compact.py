@@ -1,0 +1,56 @@
+"""Tests for static test-set compaction."""
+
+import pytest
+
+from repro.atpg import AtpgBudget, run_atpg
+from repro.faultsim import fault_simulate
+from repro.testset import TestSet, compact_test_set
+
+from tests.helpers import resettable_counter
+
+
+@pytest.fixture(scope="module")
+def circuit_and_tests():
+    circuit = resettable_counter()
+    result = run_atpg(
+        circuit, budget=AtpgBudget(total_seconds=8, random_sequences=24)
+    )
+    return circuit, result.test_set
+
+
+class TestCompaction:
+    def test_coverage_preserved(self, circuit_and_tests):
+        circuit, test_set = circuit_and_tests
+        result = compact_test_set(circuit, test_set)
+        before = fault_simulate(circuit, test_set.as_lists())
+        after = fault_simulate(circuit, result.compacted.as_lists())
+        assert set(after.detections) == set(before.detections)
+
+    def test_never_grows(self, circuit_and_tests):
+        circuit, test_set = circuit_and_tests
+        result = compact_test_set(circuit, test_set)
+        assert result.sequences_after <= result.sequences_before
+        assert result.vectors_after <= result.vectors_before
+
+    def test_redundant_sequences_dropped(self, circuit_and_tests):
+        circuit, test_set = circuit_and_tests
+        # Duplicate every sequence: at least half must be dropped.
+        doubled = test_set.extended(test_set)
+        result = compact_test_set(circuit, doubled)
+        assert result.sequences_after <= test_set.num_sequences
+
+    def test_kept_indices_consistent(self, circuit_and_tests):
+        circuit, test_set = circuit_and_tests
+        result = compact_test_set(circuit, test_set)
+        rebuilt = tuple(test_set.sequences[i] for i in result.kept_indices)
+        assert rebuilt == result.compacted.sequences
+
+    def test_empty_test_set(self):
+        circuit = resettable_counter()
+        empty = TestSet(circuit.name, 2, ())
+        result = compact_test_set(circuit, empty)
+        assert result.sequences_after == 0
+
+    def test_summary(self, circuit_and_tests):
+        circuit, test_set = circuit_and_tests
+        assert "sequences" in compact_test_set(circuit, test_set).summary()

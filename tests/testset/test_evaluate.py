@@ -1,0 +1,72 @@
+"""Tests for test-set evaluation and original-vs-retimed comparison."""
+
+import pytest
+
+from repro.atpg import AtpgBudget, run_atpg
+from repro.retiming import performance_retiming
+from repro.testset import (
+    CoverageComparison,
+    TestSet,
+    compare_coverage,
+    derive_retimed_test_set,
+    derived_prefix_length,
+    evaluate_test_set,
+)
+
+from tests.helpers import resettable_counter
+
+
+@pytest.fixture(scope="module")
+def counter_test_set():
+    circuit = resettable_counter()
+    result = run_atpg(
+        circuit, budget=AtpgBudget(total_seconds=8, random_sequences=16)
+    )
+    return circuit, result.test_set
+
+
+class TestEvaluate:
+    def test_matches_atpg_coverage(self, counter_test_set):
+        circuit, test_set = counter_test_set
+        result = evaluate_test_set(circuit, test_set)
+        assert result.fault_coverage > 80.0
+
+    def test_restricted_fault_list(self, counter_test_set):
+        circuit, test_set = counter_test_set
+        from repro.faults import collapse_faults
+
+        some = collapse_faults(circuit).representatives[:5]
+        result = evaluate_test_set(circuit, test_set, faults=some)
+        assert result.num_faults == 5
+
+
+class TestCompare:
+    def test_table3_style_comparison(self, counter_test_set):
+        circuit, test_set = counter_test_set
+        retiming = performance_retiming(circuit, backward_passes=1)
+        retimed = retiming.retimed_circuit
+        derived = derive_retimed_test_set(test_set, retiming.retiming)
+        comparison = compare_coverage(circuit, retimed, test_set, derived)
+        assert isinstance(comparison, CoverageComparison)
+        assert comparison.retimed_faults > comparison.original_faults
+        # Theorem 4 shape: derived coverage tracks the original's.
+        assert comparison.retimed_coverage >= comparison.original_coverage - 10.0
+
+    def test_coverage_properties(self):
+        comparison = CoverageComparison("c", 100, 10, 120, 12)
+        assert comparison.original_coverage == 90.0
+        assert comparison.retimed_coverage == 90.0
+
+    def test_empty_fault_lists(self):
+        comparison = CoverageComparison("c", 0, 0, 0, 0)
+        assert comparison.original_coverage == 100.0
+        assert comparison.retimed_coverage == 100.0
+
+
+class TestPrefixLength:
+    def test_derived_prefix_length(self):
+        circuit = resettable_counter()
+        retiming = performance_retiming(
+            circuit, backward_passes=1
+        ).retiming
+        assert derived_prefix_length(retiming) == retiming.max_forward_moves()

@@ -1,0 +1,75 @@
+"""Tests for the test-set model and serialization."""
+
+import pytest
+
+from repro.testset import TestSet
+
+
+def sample() -> TestSet:
+    return TestSet.from_lists(
+        "sample", 2, [[(0, 1), (1, 1)], [(1, 0)], [(2, 0), (0, 0)]]
+    )
+
+
+class TestModel:
+    def test_counts(self):
+        ts = sample()
+        assert ts.num_sequences == 3
+        assert ts.num_vectors == 5
+
+    def test_vector_width_checked(self):
+        with pytest.raises(ValueError):
+            TestSet.from_lists("bad", 2, [[(0, 1, 1)]])
+
+    def test_with_prefix(self):
+        ts = sample()
+        prefixed = ts.with_prefix([(0, 0)])
+        assert prefixed.num_sequences == 3
+        assert prefixed.num_vectors == 8
+        assert all(seq[0] == (0, 0) for seq in prefixed.sequences)
+
+    def test_prefix_width_checked(self):
+        with pytest.raises(ValueError):
+            sample().with_prefix([(0,)])
+
+    def test_extended(self):
+        ts = sample()
+        combined = ts.extended(ts)
+        assert combined.num_sequences == 6
+
+    def test_extended_width_mismatch(self):
+        other = TestSet.from_lists("o", 3, [[(0, 0, 0)]])
+        with pytest.raises(ValueError):
+            sample().extended(other)
+
+    def test_as_lists_round_trip(self):
+        ts = sample()
+        rebuilt = TestSet.from_lists(ts.circuit_name, ts.num_inputs, ts.as_lists())
+        assert rebuilt == ts
+
+    def test_str(self):
+        assert "3 sequences" in str(sample())
+
+
+class TestTextFormat:
+    def test_round_trip(self):
+        ts = sample()
+        parsed = TestSet.from_text(ts.to_text())
+        assert parsed == ts
+
+    def test_x_values_preserved(self):
+        ts = TestSet.from_lists("x", 2, [[(2, 1)]])
+        text = ts.to_text()
+        assert "x1" in text
+        assert TestSet.from_text(text) == ts
+
+    def test_parse_headerless(self):
+        parsed = TestSet.from_text("01\n10\n")
+        assert parsed.num_inputs == 2
+        assert parsed.num_sequences == 1
+        assert parsed.sequences[0] == ((0, 1), (1, 0))
+
+    def test_empty(self):
+        parsed = TestSet.from_text("# testset t inputs=3\n")
+        assert parsed.num_inputs == 3
+        assert parsed.num_sequences == 0
