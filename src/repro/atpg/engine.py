@@ -32,7 +32,8 @@ from repro.circuit.netlist import Circuit, LineRef
 from repro.faults.collapse import collapse_faults
 from repro.faults.model import StuckAtFault
 from repro.faultsim.parallel import parallel_fault_simulate
-from repro.simulation.sequential import SequentialSimulator
+from repro.simulation.cache import fast_stepper
+from repro.simulation.codegen import FastStepper
 from repro.testset.model import TestSet
 
 
@@ -103,7 +104,7 @@ def structurally_untestable(circuit: Circuit) -> Set[StuckAtFault]:
 
 
 def _synchronizing_walk(
-    simulator: "SequentialSimulator",
+    stepper,
     rng: random.Random,
     budget: AtpgBudget,
     num_inputs: int,
@@ -121,7 +122,14 @@ def _synchronizing_walk(
     from repro.logic.three_valued import X
 
     weights = [rng.choice((0.05, 0.2, 0.5, 0.8, 0.95)) for _ in range(num_inputs)]
-    state = simulator.unknown_state()
+    state = stepper.unknown_state()
+    # Accept both the code-generated stepper (returns a plain tuple) and the
+    # reference SequentialSimulator (returns a StepResult).
+    raw_step = stepper.step
+    if isinstance(stepper, FastStepper):
+        step = lambda s, v: raw_step(s, v)[1]  # noqa: E731
+    else:
+        step = lambda s, v: raw_step(s, v).next_state  # noqa: E731
     sequence: List[Tuple[int, ...]] = []
     for _ in range(budget.random_length):
         best_vector = None
@@ -132,7 +140,7 @@ def _synchronizing_walk(
             vector = tuple(
                 1 if rng.random() < weights[i] else 0 for i in range(num_inputs)
             )
-            next_state = simulator.step(state, vector).next_state
+            next_state = step(state, vector)
             unknowns = sum(1 for v in next_state if v == X)
             if best_unknowns is None or unknowns < best_unknowns:
                 best_vector, best_state, best_unknowns = vector, next_state, unknowns
@@ -168,7 +176,7 @@ def run_atpg(
     random_detected = 0
     stale = 0
     num_inputs = len(circuit.input_names)
-    walker = SequentialSimulator(circuit)
+    walker = fast_stepper(circuit)
     for _ in range(budget.random_sequences):
         if meter.out_of_time() or not remaining or stale >= budget.random_stale_limit:
             break

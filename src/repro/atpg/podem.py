@@ -34,8 +34,8 @@ from repro.circuit.types import GateType, NodeKind
 from repro.faults.model import StuckAtFault
 from repro.logic.three_valued import ONE, Trit, X, ZERO, t_not
 from repro.atpg.budget import EffortMeter
+from repro.simulation.cache import compiled_circuit, fast_stepper
 from repro.simulation.codegen import FastStepper
-from repro.simulation.compiled import CompiledCircuit
 from repro.simulation.sequential import SequentialSimulator  # noqa: F401 (re-exported for callers)
 
 
@@ -55,8 +55,8 @@ class PodemEngine:
 
     def __init__(self, circuit: Circuit):
         self.circuit = circuit
-        self.compiled = CompiledCircuit(circuit)
-        self.good_step = FastStepper(circuit, compiled=self.compiled).step
+        self.compiled = compiled_circuit(circuit)
+        self.good_step = fast_stepper(circuit).step
         self.num_inputs = len(circuit.input_names)
         self.num_registers = self.compiled.num_registers
         self._pi_index = {name: i for i, name in enumerate(circuit.input_names)}

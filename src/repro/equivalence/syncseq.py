@@ -21,24 +21,28 @@ from repro.circuit.netlist import Circuit
 from repro.equivalence.explicit import ExplicitSTG, State, Vector, all_vectors
 from repro.equivalence.relations import StateClassification, classify
 from repro.logic.three_valued import Trit, X
-from repro.simulation.sequential import SequentialSimulator
+from repro.simulation.cache import fast_stepper
 
 
 # -- structural (three-valued) ------------------------------------------------
+#
+# These checks sit inside retiming/verification loops, so they run on the
+# cached code-generated stepper rather than the interpreted reference
+# simulator (identical semantics, cross-checked by the test suite).
 
 
 def is_structural_sync_sequence(
     circuit: Circuit, vectors: Sequence[Sequence[Trit]]
 ) -> bool:
     """Three-valued simulation from all-X ends in a fully binary state."""
-    return SequentialSimulator(circuit).is_synchronizing(vectors)
+    return all(value != X for value in structural_final_state(circuit, vectors))
 
 
 def structural_final_state(
     circuit: Circuit, vectors: Sequence[Sequence[Trit]]
 ) -> Tuple[Trit, ...]:
     """The ternary state reached from all-X (binary iff synchronizing)."""
-    return SequentialSimulator(circuit).run(vectors).final_state
+    return fast_stepper(circuit).run(vectors)[1]
 
 
 def find_structural_sync_sequence(
@@ -51,9 +55,10 @@ def find_structural_sync_sequence(
     Returns None when no sequence of length <= ``max_length`` exists (or the
     search budget is exhausted).
     """
-    simulator = SequentialSimulator(circuit)
+    stepper = fast_stepper(circuit)
+    step = stepper.step
     alphabet = all_vectors(len(circuit.input_names))
-    start = simulator.unknown_state()
+    start = stepper.unknown_state()
     if X not in start:
         return []
     visited: Set[Tuple[Trit, ...]] = {start}
@@ -63,7 +68,7 @@ def find_structural_sync_sequence(
         if len(path) >= max_length:
             continue
         for vector in alphabet:
-            next_state = simulator.step(state, vector).next_state
+            next_state = step(state, vector)[1]
             new_path = path + [vector]
             if X not in next_state:
                 return new_path
@@ -103,7 +108,7 @@ def synchronizes_up_to_equivalence(
     from repro.equivalence.explicit import extract_stg
     from repro.equivalence.relations import classify
 
-    final = SequentialSimulator(circuit).run(vectors).final_state
+    final = structural_final_state(circuit, vectors)
     if X not in final:
         return True
     stg = extract_stg(circuit)

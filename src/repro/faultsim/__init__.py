@@ -7,9 +7,14 @@ from typing import Optional, Sequence
 
 from repro.circuit.netlist import Circuit
 from repro.faults.model import StuckAtFault
-from repro.faultsim.parallel import parallel_fault_simulate
+from repro.faultsim.parallel import (
+    DEFAULT_GROUP_SIZE,
+    parallel_fault_simulate,
+)
 from repro.faultsim.result import Detection, FaultSimResult
 from repro.faultsim.serial import TestSequence, serial_fault_simulate
+
+ENGINES = ("parallel", "parallel-interpreted", "serial")
 
 
 def fault_simulate(
@@ -18,18 +23,36 @@ def fault_simulate(
     faults: Optional[Sequence[StuckAtFault]] = None,
     engine: str = "parallel",
     drop: bool = True,
+    group_size: int = DEFAULT_GROUP_SIZE,
 ) -> FaultSimResult:
     """Fault-simulate a test set (a list of test sequences).
 
     Each sequence is applied from the all-unknown state, mirroring the
-    paper's no-global-reset setting.  ``engine`` selects ``"parallel"``
-    (PROOFS-style, default) or ``"serial"`` (reference).
+    paper's no-global-reset setting.  ``engine`` selects:
+
+    * ``"parallel"`` -- PROOFS-style on the code-generated bit-parallel
+      kernel (default);
+    * ``"parallel-interpreted"`` -- PROOFS-style on the interpreted
+      ``VectorSimulator`` (reference for the compiled kernel);
+    * ``"serial"`` -- one scalar faulty machine per fault (the reference
+      engine).
     """
     if engine == "parallel":
-        return parallel_fault_simulate(circuit, sequences, faults, drop=drop)
+        return parallel_fault_simulate(
+            circuit, sequences, faults, drop=drop, group_size=group_size
+        )
+    if engine == "parallel-interpreted":
+        return parallel_fault_simulate(
+            circuit,
+            sequences,
+            faults,
+            drop=drop,
+            group_size=group_size,
+            kernel="interpreted",
+        )
     if engine == "serial":
         return serial_fault_simulate(circuit, sequences, faults, drop=drop)
-    raise ValueError(f"unknown engine {engine!r}")
+    raise ValueError(f"unknown engine {engine!r} (expected one of {ENGINES})")
 
 
 __all__ = [
@@ -39,4 +62,6 @@ __all__ = [
     "FaultSimResult",
     "Detection",
     "TestSequence",
+    "ENGINES",
+    "DEFAULT_GROUP_SIZE",
 ]

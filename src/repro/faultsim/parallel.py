@@ -4,12 +4,28 @@ Following Niermann/Cheng/Patel's PROOFS (reference [9] of the paper), faults
 are packed into machine words -- bit 0 carries the fault-free machine, every
 other bit position an independent faulty machine with its stuck-at injection
 applied at its own line -- and the whole group is simulated in one
-bit-parallel pass per test sequence.  Detected faults are dropped from
-subsequent groups.
+bit-parallel pass per test sequence.  Detected faults are dropped as soon as
+they are found: they are skipped when later groups of the same sequence are
+formed and removed from the pending list before the next sequence.
 
-The word width is arbitrary (Python integers), defaulting to 64 positions
-per group, which keeps the per-gate cost at a handful of integer operations
-for 63 faults at a time.
+Two kernels implement the group step:
+
+* ``"compiled"`` (default) -- the code-generated
+  :class:`~repro.simulation.vector_codegen.VectorFastStepper`: straight-line
+  dual-rail integer code with the group's stuck-at masks passed as runtime
+  parameters, so one compiled function (cached module-wide, see
+  :mod:`repro.simulation.cache`) serves every fault group;
+* ``"interpreted"`` -- the original
+  :class:`~repro.simulation.vector.VectorSimulator` loop, kept as a
+  reference point for the cross-engine tests and the performance harness.
+
+The word width is arbitrary (Python integers).  The default of 1024
+positions per group sits at the knee of the width sweep recorded in
+``BENCH_faultsim.json`` (see ``benchmarks/perf_faultsim.py``): wider groups
+amortize per-cycle costs over more faults with no recompilation, and on the
+Table II circuits the gain saturates around 1024 (the collapsed fault lists
+fit in one or two groups; beyond that, big-integer word operations stop
+being effectively constant-time).
 """
 
 from __future__ import annotations
@@ -22,8 +38,13 @@ from repro.faults.model import StuckAtFault
 from repro.faultsim.result import Detection, FaultSimResult
 from repro.faultsim.serial import TestSequence
 from repro.logic.three_valued import ONE, Trit, ZERO
-from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.cache import compiled_circuit, vector_fast_stepper
 from repro.simulation.vector import VectorSimulator
+from repro.simulation.vector_codegen import VectorFastStepper
+
+DEFAULT_GROUP_SIZE = 1024
+
+KERNELS = ("compiled", "interpreted")
 
 
 def parallel_fault_simulate(
@@ -31,20 +52,31 @@ def parallel_fault_simulate(
     sequences: Sequence[TestSequence],
     faults: Optional[Sequence[StuckAtFault]] = None,
     drop: bool = True,
-    group_size: int = 64,
+    group_size: int = DEFAULT_GROUP_SIZE,
+    kernel: str = "compiled",
 ) -> FaultSimResult:
     """Fault-simulate ``sequences`` with fault-parallel words.
 
     Semantics are identical to :func:`repro.faultsim.serial.
     serial_fault_simulate` (the test suite cross-checks them); only the
-    engine differs.
+    engine differs.  ``kernel`` selects the compiled bit-parallel stepper
+    (default) or the interpreted ``VectorSimulator`` reference loop.
     """
     if group_size < 2:
         raise ValueError("group_size must leave room for the fault-free bit")
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r} (expected one of {KERNELS})")
     if faults is None:
         faults = collapse_faults(circuit).representatives
-    compiled = CompiledCircuit(circuit)
     result = FaultSimResult(circuit.name, "parallel", tuple(faults))
+    if kernel == "compiled":
+        stepper = vector_fast_stepper(circuit)
+        _validate_fault_lines(circuit, faults, stepper)
+        simulate_group = _make_compiled_group(stepper)
+    else:
+        compiled = compiled_circuit(circuit)
+        simulate_group = _make_interpreted_group(circuit, compiled)
+
     remaining: List[StuckAtFault] = list(faults)
     output_names = circuit.output_names
 
@@ -55,78 +87,159 @@ def parallel_fault_simulate(
         pending = remaining if drop else list(faults)
         position = 0
         while position < len(pending):
-            group = pending[position : position + group_size - 1]
-            position += len(group)
-            detected_in_group = _simulate_group(
-                circuit, compiled, vectors, group, seq_index, output_names, result, drop
-            )
-            if drop and detected_in_group:
-                # pending aliases `remaining`; drop detected faults that sit
-                # at or beyond the current scan position is unnecessary --
-                # they were just simulated -- but they must not survive to
-                # later sequences.
-                pass
+            group: List[StuckAtFault] = []
+            while position < len(pending) and len(group) < group_size - 1:
+                fault = pending[position]
+                position += 1
+                # Skip faults another group of this same sequence already
+                # detected (with dropping, re-simulating them is pure waste).
+                if drop and fault in result.detections:
+                    continue
+                group.append(fault)
+            if group:
+                simulate_group(vectors, group, seq_index, output_names, result, drop)
         if drop:
             remaining = [f for f in remaining if f not in result.detections]
     return result
 
 
-def _simulate_group(
+def _validate_fault_lines(
     circuit: Circuit,
-    compiled: CompiledCircuit,
-    vectors: Sequence[Tuple[Trit, ...]],
+    faults: Sequence[StuckAtFault],
+    stepper: VectorFastStepper,
+) -> None:
+    """Reject faults on lines that do not exist on their edge."""
+    for fault in faults:
+        if fault.line not in stepper.line_slot:
+            edge = circuit.edge(fault.line.edge_index)
+            raise ValueError(f"line {fault.line} does not exist on edge {edge}")
+
+
+def _record_group_observations(
+    ones: int,
+    zeros: int,
+    live_mask: int,
     group: Sequence[StuckAtFault],
     seq_index: int,
-    output_names: Sequence[str],
+    cycle: int,
+    output_name: str,
     result: FaultSimResult,
     drop: bool,
-) -> bool:
-    """Simulate one fault group over one sequence; record detections."""
-    width = len(group) + 1
-    injections: Dict[LineRef, Tuple[int, int]] = {}
-    for bit, fault in enumerate(group, start=1):
-        sa1, sa0 = injections.get(fault.line, (0, 0))
-        if fault.value == ONE:
-            sa1 |= 1 << bit
-        else:
-            sa0 |= 1 << bit
-        injections[fault.line] = (sa1, sa0)
-    simulator = VectorSimulator(circuit, width, injections, compiled=compiled)
-    state = simulator.unknown_state()
-    live_mask = ((1 << width) - 1) & ~1  # faulty bits not yet detected
-    found = False
-    for cycle, vector in enumerate(vectors):
-        packed = simulator.broadcast_vector(vector)
-        step = simulator.step(state, packed)
-        state = step.next_state
-        for out_pos, value in enumerate(step.outputs):
-            good = value.get(0)
-            if good == ONE:
-                detecting = value.zeros & live_mask
-            elif good == ZERO:
-                detecting = value.ones & live_mask
+) -> int:
+    """Record detections/potentials for one output word; returns the new
+    live mask (bits of still-undetected faults)."""
+    if ones & 1:
+        detecting = zeros & live_mask
+    elif zeros & 1:
+        detecting = ones & live_mask
+    else:
+        return live_mask
+    # Potential detections: good binary, faulty unknown (PROOFS'
+    # "potentially detected" class).
+    unknown = ~(ones | zeros) & live_mask
+    while unknown:
+        bit = (unknown & -unknown).bit_length() - 1
+        unknown &= unknown - 1
+        result.potential.add(group[bit - 1])
+    while detecting:
+        bit = (detecting & -detecting).bit_length() - 1
+        detecting &= detecting - 1
+        fault = group[bit - 1]
+        result.detections.setdefault(
+            fault, Detection(seq_index, cycle, output_name)
+        )
+        if drop:
+            live_mask &= ~(1 << bit)
+    return live_mask
+
+
+def _make_compiled_group(stepper: VectorFastStepper):
+    """Group simulation on the code-generated bit-parallel kernel."""
+
+    def simulate_group(
+        vectors: Sequence[Tuple[Trit, ...]],
+        group: Sequence[StuckAtFault],
+        seq_index: int,
+        output_names: Sequence[str],
+        result: FaultSimResult,
+        drop: bool,
+    ) -> None:
+        width = len(group) + 1
+        mask = (1 << width) - 1
+        sa1, sa0 = stepper.blank_injection_masks()
+        line_slot = stepper.line_slot
+        for bit, fault in enumerate(group, start=1):
+            slot = line_slot[fault.line]
+            if fault.value == ONE:
+                sa1[slot] |= 1 << bit
             else:
-                continue
-            # Potential detections: good binary, faulty unknown (PROOFS'
-            # "potentially detected" class).
-            unknown = ~(value.ones | value.zeros) & live_mask
-            while unknown:
-                bit = (unknown & -unknown).bit_length() - 1
-                unknown &= unknown - 1
-                result.potential.add(group[bit - 1])
-            while detecting:
-                bit = (detecting & -detecting).bit_length() - 1
-                detecting &= detecting - 1
-                fault = group[bit - 1]
-                result.detections.setdefault(
-                    fault, Detection(seq_index, cycle, output_names[out_pos])
+                sa0[slot] |= 1 << bit
+        state = stepper.unknown_state()
+        live_mask = mask & ~1  # faulty bits not yet detected
+        step = stepper.step_inject
+        broadcast = stepper.broadcast_vector
+        for cycle, vector in enumerate(vectors):
+            outputs, state = step(state, broadcast(vector, width), mask, sa1, sa0)
+            for out_pos, (ones, zeros) in enumerate(outputs):
+                live_mask = _record_group_observations(
+                    ones,
+                    zeros,
+                    live_mask,
+                    group,
+                    seq_index,
+                    cycle,
+                    output_names[out_pos],
+                    result,
+                    drop,
                 )
-                found = True
-                if drop:
-                    live_mask &= ~(1 << bit)
-        if drop and not live_mask:
-            break
-    return found
+            if drop and not live_mask:
+                break
+
+    return simulate_group
 
 
-__all__ = ["parallel_fault_simulate"]
+def _make_interpreted_group(circuit: Circuit, compiled):
+    """Group simulation on the interpreted ``VectorSimulator`` (reference)."""
+
+    def simulate_group(
+        vectors: Sequence[Tuple[Trit, ...]],
+        group: Sequence[StuckAtFault],
+        seq_index: int,
+        output_names: Sequence[str],
+        result: FaultSimResult,
+        drop: bool,
+    ) -> None:
+        width = len(group) + 1
+        injections: Dict[LineRef, Tuple[int, int]] = {}
+        for bit, fault in enumerate(group, start=1):
+            sa1, sa0 = injections.get(fault.line, (0, 0))
+            if fault.value == ONE:
+                sa1 |= 1 << bit
+            else:
+                sa0 |= 1 << bit
+            injections[fault.line] = (sa1, sa0)
+        simulator = VectorSimulator(circuit, width, injections, compiled=compiled)
+        state = simulator.unknown_state()
+        live_mask = ((1 << width) - 1) & ~1
+        for cycle, vector in enumerate(vectors):
+            step = simulator.step(state, simulator.broadcast_vector(vector))
+            state = step.next_state
+            for out_pos, value in enumerate(step.outputs):
+                live_mask = _record_group_observations(
+                    value.ones,
+                    value.zeros,
+                    live_mask,
+                    group,
+                    seq_index,
+                    cycle,
+                    output_names[out_pos],
+                    result,
+                    drop,
+                )
+            if drop and not live_mask:
+                break
+
+    return simulate_group
+
+
+__all__ = ["parallel_fault_simulate", "DEFAULT_GROUP_SIZE", "KERNELS"]

@@ -20,7 +20,7 @@ from repro.faults.collapse import collapse_faults
 from repro.faults.model import StuckAtFault
 from repro.faultsim.result import Detection, FaultSimResult
 from repro.logic.three_valued import Trit, X
-from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.cache import compiled_circuit
 from repro.simulation.sequential import SequentialSimulator
 
 TestSequence = Sequence[Sequence[Trit]]
@@ -43,7 +43,7 @@ def serial_fault_simulate(
     """
     if faults is None:
         faults = collapse_faults(circuit).representatives
-    compiled = CompiledCircuit(circuit)
+    compiled = compiled_circuit(circuit)
     good_sim = SequentialSimulator(circuit, compiled=compiled)
     output_names = circuit.output_names
     result = FaultSimResult(circuit.name, "serial", tuple(faults))

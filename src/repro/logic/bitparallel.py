@@ -19,7 +19,7 @@ handful of bitwise integer operations regardless of width.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
 from repro.logic.three_valued import ONE, Trit, X, ZERO
 
@@ -54,11 +54,16 @@ class BitVec:
         raise ValueError(f"not a trit: {value!r}")
 
     @classmethod
-    def from_trits(cls, values: Iterable[Trit]) -> "BitVec":
-        """Pack an iterable of trits, first item in bit 0."""
+    def from_trits(cls, values: Iterable[Trit], width: Optional[int] = None) -> "BitVec":
+        """Pack an iterable of trits, first item in bit 0.
+
+        With an explicit ``width``, the iterable may be shorter (the
+        remaining positions are X) but not longer; without one, the width
+        is the number of items consumed.
+        """
         ones = 0
         zeros = 0
-        width = 0
+        count = 0
         for index, value in enumerate(values):
             if value == ONE:
                 ones |= 1 << index
@@ -66,7 +71,11 @@ class BitVec:
                 zeros |= 1 << index
             elif value != X:
                 raise ValueError(f"not a trit: {value!r}")
-            width = index + 1
+            count = index + 1
+        if width is None:
+            width = count
+        elif count > width:
+            raise ValueError(f"got {count} trits for declared width {width}")
         return cls(ones, zeros, width)
 
     # -- element access ---------------------------------------------------

@@ -1,0 +1,161 @@
+"""Module-level compile cache for lowered circuits and code-generated steppers.
+
+The ATPG, fault-simulation and verification flows all lower the same
+:class:`~repro.circuit.netlist.Circuit` -- often many times per run: the
+random phase fault-simulates per candidate sequence, PODEM re-creates its
+good-machine stepper per engine, the benchmark rows simulate the same pair
+with several engines.  Re-lowering (topological ordering + read resolution)
+and re-``exec``-ing generated source on every call is pure waste, so the
+artifacts are cached and shared by every flow:
+
+* :func:`compiled_circuit` -- the :class:`CompiledCircuit` lowering;
+* :func:`fast_stepper` -- the fault-free scalar :class:`FastStepper`;
+* :func:`vector_fast_stepper` -- the bit-parallel :class:`VectorFastStepper`.
+
+Circuits are "immutable by convention" (retiming materializes *new*
+instances via ``with_weights``), so the cache key is object identity.  The
+artifacts are stashed on the circuit instance itself: a compiled artifact
+necessarily holds a strong reference back to its circuit, so any external
+registry that owned the artifacts would keep every circuit ever lowered
+alive.  Instance stashing ties each cache entry's lifetime to its circuit
+-- a retiming sweep materializing thousands of candidate circuits leaks
+nothing once the candidates are dropped.  A registry of *weak* references
+is kept purely for accounting (:func:`compile_cache_stats`) and bulk
+clearing (:func:`clear_compile_cache`).
+
+Per-fault steppers (PODEM's faulty machines) are deliberately *not* cached
+-- each is used once per targeted fault and would only bloat the cache.
+
+All bookkeeping is guarded by a lock so concurrent callers (e.g. a thread
+pool fault-simulating independent circuits) are safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Callable, Dict, Optional, TypeVar
+
+from repro.circuit.netlist import Circuit
+from repro.simulation.codegen import FastStepper
+from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.vector_codegen import VectorFastStepper
+
+_T = TypeVar("_T")
+
+_ATTR = "_simulation_compile_cache"
+
+# Reentrant: a weakref _forget callback can fire from garbage collection
+# triggered *while* the cache lock is held by the same thread (e.g. an
+# allocation inside a build step collects a dead circuit's cycle); a plain
+# Lock would deadlock there.
+_LOCK = threading.RLock()
+_REGISTRY: Dict[int, "weakref.ref[Circuit]"] = {}
+_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+class _Entry:
+    __slots__ = ("compiled", "fast", "vector_fast")
+
+    def __init__(self) -> None:
+        self.compiled: Optional[CompiledCircuit] = None
+        self.fast: Optional[FastStepper] = None
+        self.vector_fast: Optional[VectorFastStepper] = None
+
+
+def _entry_for(circuit: Circuit) -> _Entry:
+    """The cache entry stashed on ``circuit`` (caller holds the lock)."""
+    entry = getattr(circuit, _ATTR, None)
+    if entry is not None:
+        return entry
+    entry = _Entry()
+    setattr(circuit, _ATTR, entry)
+    key = id(circuit)
+
+    # Globals are bound as defaults so the callback stays valid during
+    # interpreter shutdown, when module globals may already be cleared.
+    def _forget(
+        dead_ref: "weakref.ref[Circuit]",
+        key: int = key,
+        lock: threading.RLock = _LOCK,
+        registry: Dict[int, "weakref.ref[Circuit]"] = _REGISTRY,
+        stats: Dict[str, int] = _STATS,
+    ) -> None:
+        with lock:
+            if registry.get(key) is dead_ref:
+                del registry[key]
+                stats["evictions"] += 1
+
+    _REGISTRY[key] = weakref.ref(circuit, _forget)
+    return entry
+
+
+def _get(circuit: Circuit, attr: str, build: Callable[[_Entry], _T]) -> _T:
+    with _LOCK:
+        entry = _entry_for(circuit)
+        artifact = getattr(entry, attr)
+        if artifact is not None:
+            _STATS["hits"] += 1
+            return artifact
+        _STATS["misses"] += 1
+        artifact = build(entry)
+        setattr(entry, attr, artifact)
+        return artifact
+
+
+def compiled_circuit(circuit: Circuit) -> CompiledCircuit:
+    """The cached :class:`CompiledCircuit` lowering of ``circuit``."""
+    return _get(circuit, "compiled", lambda entry: CompiledCircuit(circuit))
+
+
+def fast_stepper(circuit: Circuit) -> FastStepper:
+    """The cached fault-free scalar :class:`FastStepper` for ``circuit``."""
+
+    def build(entry: _Entry) -> FastStepper:
+        if entry.compiled is None:
+            entry.compiled = CompiledCircuit(circuit)
+        return FastStepper(circuit, compiled=entry.compiled)
+
+    return _get(circuit, "fast", build)
+
+
+def vector_fast_stepper(circuit: Circuit) -> VectorFastStepper:
+    """The cached bit-parallel :class:`VectorFastStepper` for ``circuit``."""
+
+    def build(entry: _Entry) -> VectorFastStepper:
+        if entry.compiled is None:
+            entry.compiled = CompiledCircuit(circuit)
+        return VectorFastStepper(circuit, compiled=entry.compiled)
+
+    return _get(circuit, "vector_fast", build)
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached artifact (tests and long-running services)."""
+    with _LOCK:
+        # Snapshot: breaking an entry's circuit<->artifact cycle can free the
+        # circuit, firing its _forget callback, which mutates the registry.
+        for ref in list(_REGISTRY.values()):
+            circuit = ref()
+            if circuit is not None and hasattr(circuit, _ATTR):
+                delattr(circuit, _ATTR)
+        _REGISTRY.clear()
+        for key in _STATS:
+            _STATS[key] = 0
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """A snapshot of cache counters: hits, misses, evictions, entries."""
+    with _LOCK:
+        stats = dict(_STATS)
+        stats["entries"] = sum(1 for ref in _REGISTRY.values() if ref() is not None)
+        return stats
+
+
+__all__ = [
+    "compiled_circuit",
+    "fast_stepper",
+    "vector_fast_stepper",
+    "clear_compile_cache",
+    "compile_cache_stats",
+]

@@ -31,6 +31,45 @@ _RAILS = ((0, 1), (1, 0), (0, 0))
 _TRIT = ((2, 0), (1, 1))
 
 
+def gate_rail_exprs(
+    gate_type: GateType, reads: List[Tuple[str, str]]
+) -> Tuple[str, str]:
+    """Dual-rail ``(one_expr, zero_expr)`` source for one gate evaluation.
+
+    ``reads`` are the operand rail expressions as ``(one, zero)`` source
+    strings.  The formulas are width-agnostic: they are correct whether the
+    rails are single bits (scalar stepper) or arbitrary-width integer masks
+    (bit-parallel stepper), which is why both code generators share them.
+    """
+    ones = [r[0] for r in reads]
+    zeros = [r[1] for r in reads]
+    if gate_type in (GateType.AND, GateType.NAND):
+        one_expr = " & ".join(ones)
+        zero_expr = " | ".join(zeros)
+        if gate_type is GateType.NAND:
+            one_expr, zero_expr = zero_expr, one_expr
+    elif gate_type in (GateType.OR, GateType.NOR):
+        one_expr = " | ".join(ones)
+        zero_expr = " & ".join(zeros)
+        if gate_type is GateType.NOR:
+            one_expr, zero_expr = zero_expr, one_expr
+    elif gate_type in (GateType.XOR, GateType.XNOR):
+        one_expr, zero_expr = ones[0], zeros[0]
+        for one, zero in zip(ones[1:], zeros[1:]):
+            new_one = f"(({one_expr}) & {zero} | ({zero_expr}) & {one})"
+            new_zero = f"(({one_expr}) & {one} | ({zero_expr}) & {zero})"
+            one_expr, zero_expr = new_one, new_zero
+        if gate_type is GateType.XNOR:
+            one_expr, zero_expr = zero_expr, one_expr
+    elif gate_type is GateType.NOT:
+        one_expr, zero_expr = zeros[0], ones[0]
+    elif gate_type is GateType.BUF:
+        one_expr, zero_expr = ones[0], zeros[0]
+    else:  # pragma: no cover - exhaustive over GateType
+        raise ValueError(f"unknown gate type {gate_type}")
+    return one_expr, zero_expr
+
+
 class FastStepper:
     """A compiled ``step(state, vector) -> (outputs, next_state, values)``.
 
@@ -118,32 +157,7 @@ class FastStepper:
 
     @staticmethod
     def _gate_lines(slot: int, gate_type: GateType, reads) -> List[str]:
-        ones = [r[0] for r in reads]
-        zeros = [r[1] for r in reads]
-        if gate_type in (GateType.AND, GateType.NAND):
-            one_expr = " & ".join(ones)
-            zero_expr = " | ".join(zeros)
-            if gate_type is GateType.NAND:
-                one_expr, zero_expr = zero_expr, one_expr
-        elif gate_type in (GateType.OR, GateType.NOR):
-            one_expr = " | ".join(ones)
-            zero_expr = " & ".join(zeros)
-            if gate_type is GateType.NOR:
-                one_expr, zero_expr = zero_expr, one_expr
-        elif gate_type in (GateType.XOR, GateType.XNOR):
-            one_expr, zero_expr = ones[0], zeros[0]
-            for one, zero in zip(ones[1:], zeros[1:]):
-                new_one = f"(({one_expr}) & {zero} | ({zero_expr}) & {one})"
-                new_zero = f"(({one_expr}) & {one} | ({zero_expr}) & {zero})"
-                one_expr, zero_expr = new_one, new_zero
-            if gate_type is GateType.XNOR:
-                one_expr, zero_expr = zero_expr, one_expr
-        elif gate_type is GateType.NOT:
-            one_expr, zero_expr = zeros[0], ones[0]
-        elif gate_type is GateType.BUF:
-            one_expr, zero_expr = ones[0], zeros[0]
-        else:  # pragma: no cover - exhaustive over GateType
-            raise ValueError(f"unknown gate type {gate_type}")
+        one_expr, zero_expr = gate_rail_exprs(gate_type, reads)
         return [
             f"    v{slot}_1 = {one_expr}",
             f"    v{slot}_0 = {zero_expr}",
@@ -164,4 +178,4 @@ class FastStepper:
         return outputs, current
 
 
-__all__ = ["FastStepper"]
+__all__ = ["FastStepper", "gate_rail_exprs"]

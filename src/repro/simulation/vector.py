@@ -79,11 +79,17 @@ class VectorSimulator:
         """Pack one scalar vector per bit position (pattern-parallel input)."""
         if len(vectors) != self.width:
             raise ValueError(f"need {self.width} vectors, got {len(vectors)}")
-        packed = []
-        for pi in range(self.compiled.num_inputs):
-            packed.append(BitVec.from_trits([v[pi] for v in vectors] ))
-        # from_trits infers width from the iterable; normalize to self.width
-        return tuple(BitVec(b.ones, b.zeros, self.width) for b in packed)
+        num_inputs = self.compiled.num_inputs
+        for position, vector in enumerate(vectors):
+            if len(vector) != num_inputs:
+                raise ValueError(
+                    f"vector {position} has {len(vector)} trits, "
+                    f"expected {num_inputs}"
+                )
+        return tuple(
+            BitVec.from_trits([v[pi] for v in vectors], width=self.width)
+            for pi in range(num_inputs)
+        )
 
     # -- core evaluation -----------------------------------------------------
 

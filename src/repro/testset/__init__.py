@@ -5,6 +5,7 @@ from repro.testset.evaluate import (
     CoverageComparison,
     compare_coverage,
     evaluate_test_set,
+    good_responses,
 )
 from repro.testset.model import TestSequence, TestSet, Vector
 from repro.testset.transform import derive_retimed_test_set, derived_prefix_length
@@ -18,6 +19,7 @@ __all__ = [
     "CompactionResult",
     "derived_prefix_length",
     "evaluate_test_set",
+    "good_responses",
     "compare_coverage",
     "CoverageComparison",
 ]

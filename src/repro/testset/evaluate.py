@@ -1,14 +1,17 @@
-"""Test-set evaluation: fault simulation and coverage accounting."""
+"""Test-set evaluation: fault simulation, responses and coverage accounting."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.faults.collapse import collapse_faults
 from repro.faults.model import StuckAtFault
 from repro.faultsim import FaultSimResult, fault_simulate
+from repro.logic.three_valued import Trit, X
+from repro.simulation.cache import vector_fast_stepper
+from repro.simulation.vector_codegen import rail_pair_trit
 from repro.testset.model import TestSet
 
 
@@ -26,6 +29,47 @@ def evaluate_test_set(
     if faults is None:
         faults = collapse_faults(circuit).representatives
     return fault_simulate(circuit, test_set.as_lists(), faults, engine=engine)
+
+
+def good_responses(
+    circuit: Circuit, test_set: TestSet
+) -> List[List[Tuple[Trit, ...]]]:
+    """Fault-free output responses of every sequence, one bit-parallel pass.
+
+    Each sequence of the test set occupies one bit position of the
+    code-generated clean kernel: all sequences are simulated together in a
+    single pattern-parallel sweep (sequences shorter than the longest one
+    are padded with X vectors, which cannot influence the other positions).
+    Returns, per sequence, the list of per-cycle output trit tuples in
+    ``circuit.output_names`` order -- the expected responses a tester would
+    compare against.
+    """
+    sequences = test_set.as_lists()
+    if not sequences:
+        return []
+    stepper = vector_fast_stepper(circuit)
+    width = len(sequences)
+    mask = (1 << width) - 1
+    num_inputs = stepper.compiled.num_inputs
+    padding = (X,) * num_inputs
+    max_length = max(len(sequence) for sequence in sequences)
+    state = stepper.unknown_state()
+    step = stepper.step_clean
+    responses: List[List[Tuple[Trit, ...]]] = [[] for _ in sequences]
+    for cycle in range(max_length):
+        packed = stepper.pack_vectors(
+            [
+                tuple(sequence[cycle]) if cycle < len(sequence) else padding
+                for sequence in sequences
+            ]
+        )
+        outputs, state = step(state, packed, mask)
+        for position, sequence in enumerate(sequences):
+            if cycle < len(sequence):
+                responses[position].append(
+                    tuple(rail_pair_trit(pair, position) for pair in outputs)
+                )
+    return responses
 
 
 @dataclass(frozen=True)
@@ -70,4 +114,9 @@ def compare_coverage(
     )
 
 
-__all__ = ["evaluate_test_set", "compare_coverage", "CoverageComparison"]
+__all__ = [
+    "evaluate_test_set",
+    "good_responses",
+    "compare_coverage",
+    "CoverageComparison",
+]

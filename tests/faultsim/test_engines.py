@@ -61,6 +61,83 @@ class TestEnginesAgree:
         assert set(dropped.detections) == set(kept.detections)
 
 
+class TestCrossEngineMatrix:
+    """Property-style cross-check of all three engines.
+
+    Serial (scalar reference), interpreted-parallel (``VectorSimulator``)
+    and compiled-parallel (``VectorFastStepper``) must produce identical
+    results on randomized circuits and sequences.
+    """
+
+    ENGINES = ("serial", "parallel", "parallel-interpreted")
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("drop", [True, False])
+    def test_identical_detection_records(self, seed, drop):
+        circuit = random_circuit(
+            seed + 200, num_inputs=3, num_gates=14, num_dffs=3
+        )
+        sequences = _random_sequences(circuit, seed, count=3, length=10)
+        faults = full_fault_universe(circuit)
+        results = [
+            fault_simulate(circuit, sequences, faults, engine=engine, drop=drop)
+            for engine in self.ENGINES
+        ]
+        reference = results[0]
+        for engine, result in zip(self.ENGINES[1:], results[1:]):
+            assert result.detections == reference.detections, (engine, seed)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_identical_potential_sets(self, seed):
+        circuit = random_circuit(
+            seed + 300, num_inputs=2, num_gates=10, num_dffs=3
+        )
+        sequences = _random_sequences(circuit, seed, count=2, length=8)
+        faults = full_fault_universe(circuit)
+        results = [
+            fault_simulate(circuit, sequences, faults, engine=engine, drop=False)
+            for engine in self.ENGINES
+        ]
+        for engine, result in zip(self.ENGINES[1:], results[1:]):
+            assert result.potential == results[0].potential, (engine, seed)
+
+    @pytest.mark.parametrize("group_size", [2, 5, 64, 256])
+    def test_kernels_agree_across_group_sizes(self, group_size):
+        circuit = random_circuit(7, num_gates=12, num_dffs=3)
+        sequences = _random_sequences(circuit, 7)
+        faults = full_fault_universe(circuit)
+        compiled = parallel_fault_simulate(
+            circuit, sequences, faults, group_size=group_size, kernel="compiled"
+        )
+        interpreted = parallel_fault_simulate(
+            circuit, sequences, faults, group_size=group_size, kernel="interpreted"
+        )
+        assert compiled.detections == interpreted.detections
+        assert compiled.potential == interpreted.potential
+
+    def test_duplicate_faults_simulated_once(self):
+        """A fault listed twice must not disturb detection accounting."""
+        circuit = resettable_counter()
+        faults = list(full_fault_universe(circuit))
+        doubled = faults + faults
+        sequences = [[(1, 0)] + [(0, 1)] * 6]
+        once = parallel_fault_simulate(circuit, sequences, faults)
+        twice = parallel_fault_simulate(circuit, sequences, doubled)
+        assert once.detections == twice.detections
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            parallel_fault_simulate(toggle_counter(), [], kernel="vectorized")
+
+    def test_unknown_line_rejected(self):
+        from repro.circuit import LineRef as _LineRef
+
+        circuit = toggle_counter()
+        ghost = StuckAtFault(_LineRef(0, 99), ONE)
+        with pytest.raises(ValueError, match="does not exist"):
+            parallel_fault_simulate(circuit, [[(1,)]], [ghost])
+
+
 class TestDetectionSemantics:
     def test_known_good_x_faulty_not_detected(self):
         # Faulty machine output stays X while good is binary: no detection.

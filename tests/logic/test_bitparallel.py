@@ -120,3 +120,21 @@ class TestMasks:
     def test_diff_mask_self_is_zero(self, values):
         vec = BitVec.from_trits(values)
         assert vec.diff_mask(vec) == 0
+
+
+class TestFromTritsWidth:
+    def test_explicit_width_pads_with_x(self):
+        vec = BitVec.from_trits([ONE, ZERO], width=5)
+        assert vec.width == 5
+        assert list(vec.trits()) == [ONE, ZERO, X, X, X]
+
+    def test_explicit_width_exact(self):
+        vec = BitVec.from_trits([ONE, ZERO, X], width=3)
+        assert (vec.ones, vec.zeros) == (0b001, 0b010)
+
+    def test_explicit_width_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            BitVec.from_trits([ONE, ZERO, ONE], width=2)
+
+    def test_default_width_unchanged(self):
+        assert BitVec.from_trits([X, ONE]).width == 2

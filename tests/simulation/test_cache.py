@@ -1,0 +1,71 @@
+"""Behaviour of the module-level compile cache."""
+
+import gc
+
+from repro.simulation import (
+    FastStepper,
+    VectorFastStepper,
+    clear_compile_cache,
+    compile_cache_stats,
+    compiled_circuit,
+    fast_stepper,
+    vector_fast_stepper,
+)
+
+from tests.helpers import resettable_counter, toggle_counter
+
+
+class TestCompileCache:
+    def setup_method(self):
+        clear_compile_cache()
+
+    def test_same_artifact_returned(self):
+        circuit = toggle_counter()
+        assert compiled_circuit(circuit) is compiled_circuit(circuit)
+        assert fast_stepper(circuit) is fast_stepper(circuit)
+        assert vector_fast_stepper(circuit) is vector_fast_stepper(circuit)
+
+    def test_artifact_types(self):
+        circuit = toggle_counter()
+        assert isinstance(fast_stepper(circuit), FastStepper)
+        assert isinstance(vector_fast_stepper(circuit), VectorFastStepper)
+
+    def test_lowering_shared_across_steppers(self):
+        """One CompiledCircuit serves the scalar and vector steppers alike."""
+        circuit = resettable_counter()
+        lowered = compiled_circuit(circuit)
+        assert fast_stepper(circuit).compiled is lowered
+        assert vector_fast_stepper(circuit).compiled is lowered
+
+    def test_lowering_shared_when_stepper_first(self):
+        circuit = resettable_counter()
+        stepper = vector_fast_stepper(circuit)
+        assert compiled_circuit(circuit) is stepper.compiled
+
+    def test_distinct_circuits_distinct_entries(self):
+        original = toggle_counter()
+        retimed = original.with_weights(original.weights())
+        assert compiled_circuit(original) is not compiled_circuit(retimed)
+
+    def test_stats_count_hits_and_misses(self):
+        circuit = toggle_counter()
+        compiled_circuit(circuit)
+        compiled_circuit(circuit)
+        stats = compile_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["entries"] == 1
+
+    def test_entries_die_with_their_circuits(self):
+        circuit = toggle_counter()
+        compiled_circuit(circuit)
+        assert compile_cache_stats()["entries"] == 1
+        del circuit
+        gc.collect()
+        assert compile_cache_stats()["entries"] == 0
+
+    def test_clear_resets_everything(self):
+        compiled_circuit(toggle_counter())
+        clear_compile_cache()
+        stats = compile_cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}

@@ -124,3 +124,23 @@ class TestVectorApi:
         sim = VectorSimulator(circuit, 3)
         with pytest.raises(ValueError):
             sim.pack_vectors([(0,), (1,)])
+
+    def test_pack_vectors_rejects_short_vector(self):
+        # A vector with fewer trits than the circuit has inputs must be a
+        # clean ValueError, not a bare IndexError from the packing loop.
+        circuit = toggle_counter()  # 1 input
+        sim = VectorSimulator(circuit, 2)
+        with pytest.raises(ValueError, match="expected 1"):
+            sim.pack_vectors([(0,), ()])
+
+    def test_pack_vectors_rejects_long_vector(self):
+        circuit = toggle_counter()
+        sim = VectorSimulator(circuit, 2)
+        with pytest.raises(ValueError, match="expected 1"):
+            sim.pack_vectors([(0,), (1, 0)])
+
+    def test_pack_vectors_width_matches_simulator(self):
+        circuit = toggle_counter()
+        sim = VectorSimulator(circuit, 3)
+        packed = sim.pack_vectors([(0,), (1,), (0,)])
+        assert all(b.width == 3 for b in packed)
