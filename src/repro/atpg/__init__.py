@@ -2,10 +2,19 @@
 
 Random-phase test generation with fault-simulation feedback, followed by
 deterministic PODEM over time-frame expansion with backtrack/time budgets.
+The deterministic phase runs in-process (``engine="serial"``) or across a
+pool of PODEM worker processes (``engine="process"``), with identical
+results for a given seed whenever the wall-clock budget is not binding.
 """
 
 from repro.atpg.budget import AtpgBudget, EffortMeter
-from repro.atpg.engine import AtpgResult, run_atpg, structurally_untestable
+from repro.atpg.engine import (
+    ATPG_ENGINES,
+    AtpgResult,
+    run_atpg,
+    structurally_untestable,
+)
+from repro.atpg.parallel import FaultOutcome, default_workers, podem_partitioned
 from repro.atpg.podem import PodemEngine, PodemResult
 
 __all__ = [
@@ -13,7 +22,11 @@ __all__ = [
     "EffortMeter",
     "run_atpg",
     "AtpgResult",
+    "ATPG_ENGINES",
     "structurally_untestable",
     "PodemEngine",
     "PodemResult",
+    "FaultOutcome",
+    "podem_partitioned",
+    "default_workers",
 ]

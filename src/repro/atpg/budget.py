@@ -4,6 +4,12 @@ The paper measures ATPG cost in DECstation 3100 CPU seconds with HITEC's
 abort limits.  Here cost is wall-clock seconds plus backtrack counts; the
 budget caps both, and Table II's *CPU ratio* column is reproduced as the
 ratio of effort spent under identical budgets.
+
+For the multiprocess deterministic phase (``repro.atpg.parallel``) the
+wall-clock budget is *shared* across the pool: the parent snapshots its
+remaining seconds when a chunk is dispatched and each worker meters its
+own chunk against that allowance via :attr:`EffortMeter.cap_seconds`, so
+the pool as a whole never outspends the budget a serial run would get.
 """
 
 from __future__ import annotations
@@ -21,9 +27,11 @@ class AtpgBudget:
     seconds_per_fault: float = 0.25
     backtracks_per_fault: int = 400
     max_frames: int = 12
+    frames_cap: int = 64
     random_sequences: int = 64
     random_length: int = 24
     random_stale_limit: int = 12
+    random_batch: int = 8
     sync_samples: int = 8
     seed: int = 1995
 
@@ -34,9 +42,11 @@ class AtpgBudget:
             seconds_per_fault=self.seconds_per_fault * factor,
             backtracks_per_fault=max(1, int(self.backtracks_per_fault * factor)),
             max_frames=self.max_frames,
+            frames_cap=self.frames_cap,
             random_sequences=max(1, int(self.random_sequences * factor)),
             random_length=self.random_length,
             random_stale_limit=self.random_stale_limit,
+            random_batch=self.random_batch,
             sync_samples=self.sync_samples,
             seed=self.seed,
         )
@@ -44,18 +54,34 @@ class AtpgBudget:
 
 @dataclass
 class EffortMeter:
-    """Tracks spent effort against a budget."""
+    """Tracks spent effort against a budget.
+
+    ``cap_seconds`` optionally tightens the wall-clock allowance below
+    ``budget.total_seconds`` -- a pool worker is handed the parent's
+    *remaining* seconds as its cap, so a late-dispatched chunk cannot run
+    the full budget again on its own clock.
+    """
 
     budget: AtpgBudget
+    cap_seconds: Optional[float] = None
     started: float = field(default_factory=time.perf_counter)
     backtracks: int = 0
     simulations: int = 0
 
+    def _limit(self) -> float:
+        if self.cap_seconds is None:
+            return self.budget.total_seconds
+        return min(self.budget.total_seconds, self.cap_seconds)
+
     def elapsed(self) -> float:
         return time.perf_counter() - self.started
 
+    def remaining(self) -> float:
+        """Wall-clock seconds left before the meter runs out (never < 0)."""
+        return max(0.0, self._limit() - self.elapsed())
+
     def out_of_time(self) -> bool:
-        return self.elapsed() >= self.budget.total_seconds
+        return self.elapsed() >= self._limit()
 
     def note_backtrack(self) -> None:
         self.backtracks += 1

@@ -2,14 +2,20 @@
 
 Mirrors the two-phase organization of HITEC-era tools:
 
-1. **Random phase** -- weighted-random test sequences are generated and
-   fault-simulated (PROOFS-style, with dropping); sequences that detect
-   new faults join the test set, and the phase ends after a run of
-   unproductive sequences or when its budget share is spent.
+1. **Random phase** -- weighted-random test sequences are generated in
+   batches and fault-simulated together (PROOFS-style, with dropping) in a
+   single bit-parallel pass per batch; sequences that detect new faults
+   join the test set, and the phase ends after a run of unproductive
+   sequences or when its budget share is spent.
 2. **Deterministic phase** -- every remaining fault is targeted by the
    sequential PODEM engine under a per-fault backtrack limit and a global
    wall-clock budget.  Sequences found are fault-simulated against the
-   remaining faults to drop collateral detections.
+   remaining faults to drop collateral detections.  The phase runs either
+   in-process (``engine="serial"``) or partitioned across a pool of PODEM
+   worker processes (``engine="process"``, see :mod:`repro.atpg.parallel`);
+   both produce the same detected/untestable/aborted partition and the
+   same test set whenever the wall-clock limits are not binding, because
+   worker results are replayed in fault-queue order on the parent.
 
 The result reports fault coverage (%FC), fault efficiency (%FE = detected
 plus proven-untestable faults) and spent effort (seconds, backtracks) --
@@ -23,18 +29,23 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.atpg.budget import AtpgBudget, EffortMeter
+from repro.atpg.parallel import FaultOutcome, default_workers, podem_partitioned
 from repro.atpg.podem import PodemEngine
 from repro.circuit.netlist import Circuit, LineRef
 from repro.faults.collapse import collapse_faults
 from repro.faults.model import StuckAtFault
 from repro.faultsim.parallel import parallel_fault_simulate
-from repro.simulation.cache import fast_stepper
+from repro.logic.three_valued import X
+from repro.simulation.cache import vector_fast_stepper
 from repro.simulation.codegen import FastStepper
+from repro.simulation.vector_codegen import VectorFastStepper, rail_pair_trit
 from repro.testset.model import TestSet
+
+ATPG_ENGINES = ("serial", "process")
 
 
 @dataclass
@@ -51,6 +62,12 @@ class AtpgResult:
     backtracks: int
     random_detected: int
     deterministic_detected: int
+    search_exhausted: int = 0
+    budget_aborted: int = 0
+    random_seconds: float = 0.0
+    deterministic_seconds: float = 0.0
+    engine: str = "serial"
+    workers: int = 1
 
     @property
     def fault_coverage(self) -> float:
@@ -118,8 +135,16 @@ def _synchronizing_walk(
     technique.  Without it, an input that resets or re-synchronizes the
     machine fires every other cycle under uniform vectors and the walk
     never tours the deep states.
+
+    Accepts the bit-parallel :class:`VectorFastStepper` (candidate vectors
+    of one cycle are evaluated pattern-parallel in a single compiled step),
+    the scalar :class:`FastStepper`, or the reference
+    ``SequentialSimulator``.  All three consume the RNG identically and
+    pick the first candidate with the fewest unknowns, so the emitted
+    sequence is the same regardless of the engine.
     """
-    from repro.logic.three_valued import X
+    if isinstance(stepper, VectorFastStepper):
+        return _synchronizing_walk_vector(stepper, rng, budget, num_inputs)
 
     weights = [rng.choice((0.05, 0.2, 0.5, 0.8, 0.95)) for _ in range(num_inputs)]
     state = stepper.unknown_state()
@@ -149,14 +174,140 @@ def _synchronizing_walk(
     return sequence
 
 
+def _synchronizing_walk_vector(
+    stepper: VectorFastStepper,
+    rng: random.Random,
+    budget: AtpgBudget,
+    num_inputs: int,
+) -> List[Tuple[int, ...]]:
+    """The walk on the compiled bit-parallel kernel.
+
+    Each cycle's candidate vectors occupy one bit position apiece, so the
+    whole sync-sample evaluation is a single ``step_clean`` call instead of
+    ``sync_samples`` scalar steps.  RNG consumption and the first-best tie
+    break match the scalar path exactly.
+    """
+    weights = [rng.choice((0.05, 0.2, 0.5, 0.8, 0.95)) for _ in range(num_inputs)]
+    num_registers = stepper.compiled.num_registers
+    state: Tuple[int, ...] = (X,) * num_registers
+    step = stepper.step_clean
+    sequence: List[Tuple[int, ...]] = []
+    for _ in range(budget.random_length):
+        samples = budget.sync_samples if any(v == X for v in state) else 1
+        candidates = [
+            tuple(1 if rng.random() < weights[i] else 0 for i in range(num_inputs))
+            for _ in range(samples)
+        ]
+        mask = (1 << samples) - 1
+        _, next_rails = step(
+            stepper.broadcast_state(state, samples),
+            stepper.pack_vectors(candidates),
+            mask,
+        )
+        best = 0
+        if samples > 1:
+            known_words = [ones | zeros for ones, zeros in next_rails]
+            best_unknowns = None
+            for position in range(samples):
+                bit = 1 << position
+                unknowns = sum(1 for word in known_words if not word & bit)
+                if best_unknowns is None or unknowns < best_unknowns:
+                    best, best_unknowns = position, unknowns
+        sequence.append(candidates[best])
+        state = tuple(rail_pair_trit(pair, best) for pair in next_rails)
+    return sequence
+
+
+def _random_phase(
+    circuit: Circuit,
+    remaining: List[StuckAtFault],
+    detected: Set[StuckAtFault],
+    sequences: List[List[Tuple[int, ...]]],
+    budget: AtpgBudget,
+    meter: EffortMeter,
+    rng: random.Random,
+) -> Tuple[List[StuckAtFault], int]:
+    """Batched weighted-random phase; returns (remaining, random_detected).
+
+    ``random_batch`` synchronizing walks are generated per round and
+    fault-simulated in **one** bit-parallel call, instead of one kernel
+    invocation per sequence; detections are attributed to the earliest
+    detecting walk (the simulator drops within the batch), so results match
+    the one-call-per-sequence loop.  The remaining list is rebuilt once per
+    round, and only when the round detected something.
+    """
+    random_detected = 0
+    stale = 0
+    produced = 0
+    num_inputs = len(circuit.input_names)
+    walker = vector_fast_stepper(circuit)
+    while (
+        produced < budget.random_sequences
+        and remaining
+        and stale < budget.random_stale_limit
+        and not meter.out_of_time()
+    ):
+        count = min(budget.random_batch, budget.random_sequences - produced)
+        batch = [
+            _synchronizing_walk(walker, rng, budget, num_inputs)
+            for _ in range(count)
+        ]
+        produced += count
+        result = parallel_fault_simulate(circuit, batch, remaining)
+        by_walk: Dict[int, Set[StuckAtFault]] = {}
+        for fault, detection in result.detections.items():
+            by_walk.setdefault(detection.sequence_index, set()).add(fault)
+        newly_this_round: Set[StuckAtFault] = set()
+        for index, walk in enumerate(batch):
+            newly = by_walk.get(index)
+            if newly:
+                sequences.append(walk)
+                detected |= newly
+                newly_this_round |= newly
+                random_detected += len(newly)
+                stale = 0
+            else:
+                stale += 1
+                if stale >= budget.random_stale_limit:
+                    # Stale cut mid-batch: walks past the cut are discarded
+                    # along with their detections, exactly as if they had
+                    # never been generated.
+                    break
+        if newly_this_round:
+            remaining = [f for f in remaining if f not in newly_this_round]
+    return remaining, random_detected
+
+
 def run_atpg(
     circuit: Circuit,
     faults: Optional[Sequence[StuckAtFault]] = None,
     budget: Optional[AtpgBudget] = None,
+    *,
+    workers: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> AtpgResult:
-    """Generate a test set for the circuit's (collapsed) fault list."""
+    """Generate a test set for the circuit's (collapsed) fault list.
+
+    ``engine`` selects how the deterministic phase runs: ``"serial"``
+    (default) targets faults one at a time in-process; ``"process"``
+    partitions them across ``workers`` PODEM worker processes.  When
+    ``engine`` is omitted it is inferred from ``workers`` (a count above 1
+    selects the process pool).  Both engines yield the same partition and
+    test set for a given seed whenever the wall-clock budget is not the
+    binding limit.
+    """
     if budget is None:
         budget = AtpgBudget()
+    if engine is None:
+        engine = "process" if workers is not None and workers > 1 else "serial"
+    if engine not in ATPG_ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (expected one of {ATPG_ENGINES})")
+    if engine == "process":
+        workers = workers if workers is not None else default_workers()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+    else:
+        workers = 1
     if faults is None:
         faults = collapse_faults(circuit).representatives
     meter = EffortMeter(budget)
@@ -169,28 +320,15 @@ def run_atpg(
 
     # ---- Phase 1: random sequences with fault-simulation feedback --------
     # Vectors are chosen with a light synchronization bias: at each cycle a
-    # few random candidates are simulated on the good machine and the one
-    # resolving the most unknown flip-flops wins.  Pure random vectors
-    # almost never synchronize a machine without a reset line; this greedy
-    # walk is the standard practical fix.
-    random_detected = 0
-    stale = 0
-    num_inputs = len(circuit.input_names)
-    walker = fast_stepper(circuit)
-    for _ in range(budget.random_sequences):
-        if meter.out_of_time() or not remaining or stale >= budget.random_stale_limit:
-            break
-        sequence = _synchronizing_walk(walker, rng, budget, num_inputs)
-        result = parallel_fault_simulate(circuit, [sequence], remaining)
-        if result.detections:
-            sequences.append(sequence)
-            newly = set(result.detections)
-            detected |= newly
-            random_detected += len(newly)
-            remaining = [f for f in remaining if f not in newly]
-            stale = 0
-        else:
-            stale += 1
+    # few random candidates are simulated pattern-parallel on the good
+    # machine and the one resolving the most unknown flip-flops wins.  Pure
+    # random vectors almost never synchronize a machine without a reset
+    # line; this greedy walk is the standard practical fix.
+    random_start = time.perf_counter()
+    remaining, random_detected = _random_phase(
+        circuit, remaining, detected, sequences, budget, meter, rng
+    )
+    random_seconds = time.perf_counter() - random_start
 
     # ---- Phase 2: deterministic PODEM ------------------------------------
     # The time-frame window must cover the circuit's sequential depth:
@@ -199,47 +337,89 @@ def run_atpg(
     # retimed circuits carry several times more flip-flops, so the
     # deterministic engine unrolls deeper and every targeted fault costs
     # more.
-    max_frames = min(64, max(budget.max_frames, 2 * circuit.num_registers()))
+    deterministic_start = time.perf_counter()
+    # ``frames_cap`` bounds the escalation so a register-rich circuit cannot
+    # force arbitrarily deep (and arbitrarily expensive) unrolls.
+    max_frames = min(
+        budget.frames_cap, max(budget.max_frames, 2 * circuit.num_registers())
+    )
     deterministic_detected = 0
-    aborted: Set[StuckAtFault] = set()
-    engine = PodemEngine(circuit)
+    abort_reason: Dict[StuckAtFault, str] = {}
     queue = list(remaining)
-    for fault in queue:
-        if fault in detected:
-            continue
-        if meter.out_of_time():
-            aborted.add(fault)
-            continue
-        outcome = engine.generate(
-            fault,
-            meter,
-            max_frames=max_frames,
-            deadline=time.perf_counter() + budget.seconds_per_fault,
-        )
+
+    def absorb(fault: StuckAtFault, outcome: FaultOutcome) -> None:
+        """Fold one PODEM outcome into the global partition (queue order).
+
+        An accepted sequence is bit-parallel fault-simulated against every
+        fault still remaining, so collateral detections are dropped from
+        the queue -- and, in process mode, duplicate effort spent on them
+        by other workers is discarded when their turn comes.
+        """
+        nonlocal deterministic_detected
+        if not outcome.attempted:
+            abort_reason[fault] = "budget"
+            return
         if outcome.detected and outcome.sequence is not None:
-            sequences.append(outcome.sequence)
-            result = parallel_fault_simulate(
+            replay = parallel_fault_simulate(
                 circuit, [outcome.sequence], [f for f in queue if f not in detected]
             )
-            newly = set(result.detections)
+            newly = set(replay.detections)
             if fault not in newly:
                 # The generated sequence must detect its target; treat a
                 # mismatch as an abort rather than trusting the search.
-                sequences.pop()
-                aborted.add(fault)
-                continue
-            detected |= newly
+                abort_reason[fault] = "search"
+                return
+            sequences.append(outcome.sequence)
+            detected.update(newly)
             deterministic_detected += len(newly)
         elif outcome.aborted:
-            aborted.add(fault)
+            abort_reason[fault] = "budget"
         else:
-            aborted.add(fault)  # search exhausted within frame bound
+            abort_reason[fault] = "search"  # exhausted within frame bound
+
+    if engine == "process" and queue:
+        outcomes = podem_partitioned(
+            circuit, queue, budget, max_frames, workers, meter.remaining()
+        )
+        for fault, outcome in zip(queue, outcomes):
+            if fault in detected:
+                # Collaterally detected by an earlier accepted sequence;
+                # the worker's redundant effort is dropped, matching the
+                # serial loop which never targets such faults.
+                continue
+            meter.backtracks += outcome.backtracks
+            absorb(fault, outcome)
+    else:
+        podem = PodemEngine(circuit)
+        for fault in queue:
+            if fault in detected:
+                continue
+            if meter.out_of_time():
+                abort_reason[fault] = "budget"
+                continue
+            result = podem.generate(
+                fault,
+                meter,
+                max_frames=max_frames,
+                deadline=time.perf_counter() + budget.seconds_per_fault,
+            )
+            absorb(
+                fault,
+                FaultOutcome(
+                    result.detected, result.sequence, result.backtracks, result.aborted
+                ),
+            )
+    deterministic_seconds = time.perf_counter() - deterministic_start
 
     # A fault aborted by its own search may still have been detected
     # collaterally by a later fault's sequence; reconcile the partition.
-    aborted -= detected
+    for fault in detected:
+        abort_reason.pop(fault, None)
+    aborted = set(abort_reason)
 
-    test_set = TestSet.from_lists(circuit.name, num_inputs, sequences)
+    test_set = TestSet.from_lists(
+        circuit.name, len(circuit.input_names), sequences
+    )
     return AtpgResult(
         circuit_name=circuit.name,
         test_set=test_set,
@@ -251,7 +431,18 @@ def run_atpg(
         backtracks=meter.backtracks,
         random_detected=random_detected,
         deterministic_detected=deterministic_detected,
+        search_exhausted=sum(1 for r in abort_reason.values() if r == "search"),
+        budget_aborted=sum(1 for r in abort_reason.values() if r == "budget"),
+        random_seconds=random_seconds,
+        deterministic_seconds=deterministic_seconds,
+        engine=engine,
+        workers=workers,
     )
 
 
-__all__ = ["run_atpg", "AtpgResult", "structurally_untestable"]
+__all__ = [
+    "run_atpg",
+    "AtpgResult",
+    "structurally_untestable",
+    "ATPG_ENGINES",
+]

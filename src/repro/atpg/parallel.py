@@ -1,0 +1,176 @@
+"""Multiprocess orchestration of the deterministic PODEM phase.
+
+Sequential PODEM is embarrassingly parallel across target faults: each
+:meth:`~repro.atpg.podem.PodemEngine.generate` call depends only on the
+circuit, the fault and the budget, never on the outcome of other targets.
+This module partitions the post-random fault list across a
+``ProcessPoolExecutor``:
+
+* **one engine per process** -- the circuit is shipped once per worker via
+  the pool initializer (a plain pickle; :meth:`Circuit.__getstate__` drops
+  the compile-cache entry, and the initializer re-warms the per-process
+  cache with :func:`repro.simulation.cache.warm_compile_cache` before
+  building its :class:`PodemEngine`);
+* **chunked distribution** -- the fault list is split into several chunks
+  per worker so a run of hard (abort-bound) faults does not serialize the
+  pool behind one process;
+* **shared wall-clock budget** -- the parent's remaining seconds at pool
+  creation become a worker-local deadline; every chunk and every targeted
+  fault is metered against it, so the pool as a whole never outspends the
+  budget a serial run would get.  A fault reached after the deadline is
+  returned ``attempted=False`` and the caller records it as budget-aborted
+  -- unprocessed faults are never silently dropped.
+
+Workers return raw :class:`FaultOutcome` records; collateral-detection
+reconciliation happens on the *parent* (see ``repro.atpg.engine``), which
+replays the returned sequences in fault-queue order through the
+bit-parallel fault simulator against the global remaining list.  Replaying
+in queue order makes the detected/aborted partition and the emitted test
+set bit-for-bit identical to the serial path whenever the wall-clock
+limits are not binding: PODEM itself is deterministic, so the only
+engine-visible difference parallelism could introduce -- which collateral
+detections suppress which targeted sequences -- is resolved exactly as the
+serial loop would have resolved it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.atpg.budget import AtpgBudget, EffortMeter
+from repro.atpg.podem import PodemEngine
+from repro.circuit.netlist import Circuit
+from repro.faults.model import StuckAtFault
+from repro.logic.three_valued import Trit
+from repro.simulation.cache import warm_compile_cache
+
+# Several chunks per worker: small enough that an abort-heavy stretch of the
+# fault list spreads across the pool, large enough to amortize the dispatch.
+CHUNKS_PER_WORKER = 4
+
+
+@dataclass
+class FaultOutcome:
+    """What one PODEM attempt produced for one targeted fault.
+
+    ``attempted`` is False when the shared budget expired before the fault
+    was targeted at all (the parent classifies these as budget aborts).
+    """
+
+    detected: bool
+    sequence: Optional[List[Tuple[Trit, ...]]]
+    backtracks: int
+    aborted: bool
+    attempted: bool = True
+
+
+def default_workers() -> int:
+    """Pool size when the caller asked for the process engine without a
+    worker count: one per core, capped at 4 (PODEM saturates memory
+    bandwidth well before wide pools pay off on small circuits)."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def _start_method() -> str:
+    """``fork`` where the platform offers it (cheap, and the parent's warm
+    compile cache is inherited copy-on-write); ``spawn`` otherwise."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+# Per-process worker state, populated by the pool initializer.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _worker_init(circuit: Circuit, budget: AtpgBudget, pool_seconds: float) -> None:
+    warm_compile_cache(circuit)
+    _WORKER_STATE["engine"] = PodemEngine(circuit)
+    _WORKER_STATE["budget"] = budget
+    # The parent's remaining wall-clock allowance, anchored to this
+    # process's own monotonic clock the moment the worker starts.
+    _WORKER_STATE["deadline"] = time.perf_counter() + pool_seconds
+
+
+def _worker_chunk(
+    payload: Tuple[Sequence[StuckAtFault], int]
+) -> List[FaultOutcome]:
+    faults, max_frames = payload
+    engine: PodemEngine = _WORKER_STATE["engine"]
+    budget: AtpgBudget = _WORKER_STATE["budget"]
+    deadline: float = _WORKER_STATE["deadline"]
+    outcomes: List[FaultOutcome] = []
+    for fault in faults:
+        now = time.perf_counter()
+        if now >= deadline:
+            outcomes.append(
+                FaultOutcome(False, None, 0, aborted=True, attempted=False)
+            )
+            continue
+        meter = EffortMeter(budget, cap_seconds=deadline - now)
+        result = engine.generate(
+            fault,
+            meter,
+            max_frames=max_frames,
+            deadline=min(deadline, now + budget.seconds_per_fault),
+        )
+        outcomes.append(
+            FaultOutcome(
+                result.detected, result.sequence, result.backtracks, result.aborted
+            )
+        )
+    return outcomes
+
+
+def podem_partitioned(
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    budget: AtpgBudget,
+    max_frames: int,
+    workers: int,
+    pool_seconds: float,
+) -> List[FaultOutcome]:
+    """PODEM every fault on a ``workers``-wide process pool.
+
+    Returns one :class:`FaultOutcome` per fault, **in input order**
+    regardless of completion order -- the caller's queue-order replay
+    depends on it.  ``pool_seconds`` is the shared wall-clock allowance for
+    the whole pool (the parent meter's remaining budget).
+    """
+    if not faults:
+        return []
+    workers = max(1, workers)
+    chunk_size = max(1, -(-len(faults) // (workers * CHUNKS_PER_WORKER)))
+    chunks = [
+        list(faults[index : index + chunk_size])
+        for index in range(0, len(faults), chunk_size)
+    ]
+    context = multiprocessing.get_context(_start_method())
+    per_chunk: List[Optional[List[FaultOutcome]]] = [None] * len(chunks)
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(chunks)),
+        mp_context=context,
+        initializer=_worker_init,
+        initargs=(circuit, budget, pool_seconds),
+    ) as pool:
+        futures = {
+            pool.submit(_worker_chunk, (chunk, max_frames)): index
+            for index, chunk in enumerate(chunks)
+        }
+        for future in as_completed(futures):
+            per_chunk[futures[future]] = future.result()
+    outcomes: List[FaultOutcome] = []
+    for chunk_outcomes in per_chunk:
+        outcomes.extend(chunk_outcomes)
+    return outcomes
+
+
+__all__ = [
+    "FaultOutcome",
+    "podem_partitioned",
+    "default_workers",
+    "CHUNKS_PER_WORKER",
+]

@@ -270,6 +270,27 @@ class Circuit:
     def copy(self, name: Optional[str] = None) -> "Circuit":
         return Circuit(name or self.name, dict(self.nodes), list(self.edges))
 
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle only the defining structure.
+
+        Derived indexes are rebuilt on load, and -- critically -- the
+        compile-cache entry stashed on the instance by
+        :mod:`repro.simulation.cache` is dropped: it holds ``exec``-generated
+        step functions that cannot cross a process boundary.  This is what
+        lets the multiprocess ATPG orchestrator ship a circuit to its pool
+        workers with a plain pickle; each worker re-lowers into its own
+        per-process cache.
+        """
+        return {"name": self.name, "nodes": self.nodes, "edges": self.edges}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.name = state["name"]
+        self.nodes = state["nodes"]
+        self.edges = state["edges"]
+        self.__post_init__()
+
     # -- display --------------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:

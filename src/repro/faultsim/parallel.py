@@ -85,6 +85,7 @@ def parallel_fault_simulate(
         if not vectors:
             continue
         pending = remaining if drop else list(faults)
+        detected_before = len(result.detections)
         position = 0
         while position < len(pending):
             group: List[StuckAtFault] = []
@@ -98,7 +99,9 @@ def parallel_fault_simulate(
                 group.append(fault)
             if group:
                 simulate_group(vectors, group, seq_index, output_names, result, drop)
-        if drop:
+        if drop and len(result.detections) > detected_before:
+            # Rebuilding the pending list is O(faults) per sequence; skip it
+            # for the (common, late-run) sequences that detected nothing.
             remaining = [f for f in remaining if f not in result.detections]
     return result
 

@@ -19,6 +19,7 @@ from repro.simulation.cache import (
     compiled_circuit,
     fast_stepper,
     vector_fast_stepper,
+    warm_compile_cache,
 )
 from repro.simulation.codegen import FastStepper
 from repro.simulation.compiled import CompiledCircuit
@@ -45,6 +46,7 @@ __all__ = [
     "compiled_circuit",
     "fast_stepper",
     "vector_fast_stepper",
+    "warm_compile_cache",
     "clear_compile_cache",
     "compile_cache_stats",
 ]

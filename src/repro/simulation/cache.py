@@ -130,6 +130,21 @@ def vector_fast_stepper(circuit: Circuit) -> VectorFastStepper:
     return _get(circuit, "vector_fast", build)
 
 
+def warm_compile_cache(circuit: Circuit) -> None:
+    """Build every cached artifact for ``circuit`` up front.
+
+    Used by process-pool worker initializers (one call per worker process,
+    see :mod:`repro.atpg.parallel`): a freshly unpickled circuit arrives
+    with no cache entry, and warming it once at initialization keeps the
+    lowering and ``exec`` cost out of the first work chunk's critical path
+    -- every later :class:`~repro.simulation.codegen.FastStepper` and
+    PODEM engine in that process then hits the warm entry.
+    """
+    compiled_circuit(circuit)
+    fast_stepper(circuit)
+    vector_fast_stepper(circuit)
+
+
 def clear_compile_cache() -> None:
     """Drop every cached artifact (tests and long-running services)."""
     with _LOCK:
@@ -156,6 +171,7 @@ __all__ = [
     "compiled_circuit",
     "fast_stepper",
     "vector_fast_stepper",
+    "warm_compile_cache",
     "clear_compile_cache",
     "compile_cache_stats",
 ]

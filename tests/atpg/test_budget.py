@@ -44,3 +44,25 @@ class TestMeter:
         meter.note_simulation()
         assert meter.backtracks == 2
         assert meter.simulations == 1
+
+    def test_cap_seconds_tightens_allowance(self):
+        """A pool worker's cap must bind below the budget's own total."""
+        meter = EffortMeter(AtpgBudget(total_seconds=100.0), cap_seconds=0.0)
+        assert meter.out_of_time()
+        assert meter.remaining() == 0.0
+
+    def test_cap_seconds_never_loosens(self):
+        meter = EffortMeter(AtpgBudget(total_seconds=0.0), cap_seconds=100.0)
+        assert meter.out_of_time()
+
+    def test_remaining_counts_down(self):
+        meter = EffortMeter(AtpgBudget(total_seconds=100.0))
+        first = meter.remaining()
+        time.sleep(0.01)
+        assert 0 < meter.remaining() < first <= 100.0
+
+    def test_scaled_preserves_new_fields(self):
+        budget = AtpgBudget(frames_cap=16, random_batch=5)
+        scaled = budget.scaled(2.0)
+        assert scaled.frames_cap == 16
+        assert scaled.random_batch == 5

@@ -13,9 +13,13 @@ import pytest
 from repro.atpg.budget import AtpgBudget
 from repro.atpg.engine import _synchronizing_walk
 from repro.logic.three_valued import X
-from repro.simulation import SequentialSimulator
+from repro.simulation import (
+    SequentialSimulator,
+    fast_stepper,
+    vector_fast_stepper,
+)
 
-from tests.helpers import resettable_counter
+from tests.helpers import random_circuit, resettable_counter
 
 
 class TestSynchronizingWalk:
@@ -77,3 +81,51 @@ class TestSynchronizingWalk:
         # A uniform walk gets stuck near the reset state (~10 states); the
         # weighted walk tours a solid majority of the 25 reachable codes.
         assert len(visited) >= 15, len(visited)
+
+
+class TestVectorizedWalk:
+    """The pattern-parallel walk (candidate vectors evaluated in one
+    compiled ``step_clean`` call) must be indistinguishable from the scalar
+    engines: same RNG consumption, same first-best tie break, hence the
+    same emitted sequence."""
+
+    @pytest.mark.parametrize("seed", (3, 11, 29))
+    def test_matches_scalar_engines(self, seed):
+        for circuit in (
+            resettable_counter(),
+            random_circuit(seed + 40, num_inputs=4, num_gates=14, num_dffs=4),
+        ):
+            budget = AtpgBudget(random_length=20, sync_samples=8)
+            num_inputs = len(circuit.input_names)
+            walks = []
+            for stepper in (
+                SequentialSimulator(circuit),
+                fast_stepper(circuit),
+                vector_fast_stepper(circuit),
+            ):
+                rng = random.Random(seed)
+                walks.append(
+                    _synchronizing_walk(stepper, rng, budget, num_inputs)
+                )
+            assert walks[0] == walks[1] == walks[2]
+
+    def test_vector_walk_synchronizes(self):
+        circuit = resettable_counter()
+        rng = random.Random(3)
+        budget = AtpgBudget(random_length=16, sync_samples=8)
+        sequence = _synchronizing_walk(
+            vector_fast_stepper(circuit), rng, budget, len(circuit.input_names)
+        )
+        simulator = SequentialSimulator(circuit)
+        trace = simulator.run(sequence)
+        assert X not in trace.final_state
+
+    def test_vector_walk_vectors_are_binary(self):
+        circuit = resettable_counter()
+        rng = random.Random(7)
+        budget = AtpgBudget(random_length=8)
+        sequence = _synchronizing_walk(
+            vector_fast_stepper(circuit), rng, budget, len(circuit.input_names)
+        )
+        for vector in sequence:
+            assert all(bit in (0, 1) for bit in vector)

@@ -103,3 +103,44 @@ class TestTopology:
         circuit = pipelined_logic()
         clone = circuit.with_weights(circuit.weights())
         assert clone.topo_order() == circuit.topo_order()
+
+
+class TestPickling:
+    """Circuits cross process boundaries (the multiprocess ATPG ships one
+    per pool worker); pickling must round-trip the structure and must not
+    drag compiled artifacts along."""
+
+    def test_round_trip(self):
+        import pickle
+
+        circuit = pipelined_logic()
+        clone = pickle.loads(pickle.dumps(circuit))
+        assert clone.name == circuit.name
+        assert clone.nodes == circuit.nodes
+        assert clone.edges == circuit.edges
+        assert clone.topo_order() == circuit.topo_order()
+        assert clone.input_names == circuit.input_names
+        assert clone.output_names == circuit.output_names
+
+    def test_compile_cache_entry_not_pickled(self):
+        import pickle
+
+        from repro.simulation import fast_stepper
+
+        circuit = pipelined_logic()
+        fast_stepper(circuit)  # stash an exec'd artifact on the instance
+        payload = pickle.dumps(circuit)  # must not raise
+        clone = pickle.loads(payload)
+        assert not hasattr(clone, "_simulation_compile_cache")
+
+    def test_unpickled_circuit_simulates(self):
+        import pickle
+
+        from repro.simulation import fast_stepper
+
+        circuit = pipelined_logic()
+        clone = pickle.loads(pickle.dumps(circuit))
+        stepper = fast_stepper(clone)
+        vector = tuple(0 for _ in clone.input_names)
+        outputs, state, _ = stepper.step(stepper.unknown_state(), vector)
+        assert len(state) == clone.num_registers()

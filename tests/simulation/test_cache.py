@@ -10,6 +10,7 @@ from repro.simulation import (
     compiled_circuit,
     fast_stepper,
     vector_fast_stepper,
+    warm_compile_cache,
 )
 
 from tests.helpers import resettable_counter, toggle_counter
@@ -69,3 +70,15 @@ class TestCompileCache:
         clear_compile_cache()
         stats = compile_cache_stats()
         assert stats == {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}
+
+    def test_warm_builds_every_artifact(self):
+        """Worker initializers warm once; later lookups must all hit."""
+        circuit = toggle_counter()
+        warm_compile_cache(circuit)
+        before = compile_cache_stats()
+        compiled_circuit(circuit)
+        fast_stepper(circuit)
+        vector_fast_stepper(circuit)
+        after = compile_cache_stats()
+        assert after["misses"] == before["misses"]
+        assert after["hits"] == before["hits"] + 3
