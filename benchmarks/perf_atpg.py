@@ -108,7 +108,12 @@ def bench_circuit(
 
 
 def run(args: argparse.Namespace) -> Dict[str, object]:
+    from benchmarks.provenance import open_bench_journal, provenance_meta
+
     clear_compile_cache()
+    journal = open_bench_journal("bench-atpg")
+    if journal is not None:
+        journal.event("run_start", mode="full" if args.full else "quick")
     budget = _budget(args)
     rows: List[Dict[str, object]] = []
     for spec in _specs(args.full):
@@ -125,7 +130,7 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
                 flush=True,
             )
     speedups = [row["det_speedup"] for row in rows]
-    return {
+    report = {
         "meta": {
             "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "python": platform.python_version(),
@@ -140,6 +145,7 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
                 "seed": budget.seed,
             },
             "max_faults_per_circuit": args.max_faults,
+            **provenance_meta(journal),
         },
         "circuits": rows,
         "summary": {
@@ -149,6 +155,9 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
             "all_engines_agree": all(row["engines_agree"] for row in rows),
         },
     }
+    if journal is not None:
+        journal.close(ok=True)
+    return report
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

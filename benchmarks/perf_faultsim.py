@@ -148,7 +148,12 @@ def sweep_group_size(
 
 
 def run(args: argparse.Namespace) -> Dict[str, object]:
+    from benchmarks.provenance import open_bench_journal, provenance_meta
+
     clear_compile_cache()
+    journal = open_bench_journal("bench-faultsim")
+    if journal is not None:
+        journal.event("run_start", mode="full" if args.full else "quick")
     rows: List[Dict[str, object]] = []
     sweep_target = None
     for spec in _specs(args.full):
@@ -194,6 +199,7 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
                 "repeats": args.repeats,
             },
             "default_group_size": DEFAULT_GROUP_SIZE,
+            **provenance_meta(journal),
         },
         "circuits": rows,
         "group_size_sweep": sweep,
@@ -209,6 +215,8 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
             ),
         },
     }
+    if journal is not None:
+        journal.close(ok=True)
     return report
 
 

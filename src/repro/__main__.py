@@ -10,36 +10,116 @@ Commands:
 * ``atpg <fsm> <style> <script> [seconds]`` — run the ATPG engine on a
   benchmark circuit and print the test set (``testset`` text format);
 * ``flow <fsm> <style> <script> [seconds]`` — run the Fig. 6
-  retime-for-testability flow on the retimed circuit.
+  retime-for-testability flow on the retimed circuit;
+* ``store stats`` / ``store gc [max_bytes]`` / ``store clear`` — inspect,
+  size-bound or empty the persistent artifact store.
+
+``atpg`` and ``flow`` memoize their expensive stages against the artifact
+store (``~/.cache/repro-store``, override with ``REPRO_STORE_DIR``) and
+journal each run under its ``journals/`` directory.  Flags:
+
+* ``--no-store`` — compute everything, touch no cache (``--store`` is the
+  default);
+* ``--resume`` — restore a surviving mid-run ATPG checkpoint for the same
+  circuit, fault list and budget (e.g. after a kill) instead of restarting
+  the deterministic phase from scratch;
+* ``--workers N`` — run the deterministic ATPG phase on N worker processes.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 
-from repro.atpg import AtpgBudget, run_atpg
+from repro.atpg import AtpgBudget
 from repro.circuit import write_bench
-from repro.core import build_pair, format_table, retime_for_testability_flow
+from repro.core import build_pair, format_table
 from repro.core.experiments import TABLE2_CIRCUITS, CircuitSpec
 from repro.fsm import table1
 
 
 def _spec(fsm: str, style: str, script: str) -> CircuitSpec:
     script = {"sd": "delay", "sr": "rugged"}.get(script, script)
-    forward = next(
-        (
-            s.forward_stem_moves
-            for s in TABLE2_CIRCUITS
-            if (s.fsm, s.style, s.script) == (fsm, style, script)
-        ),
-        0,
+    for known in TABLE2_CIRCUITS:
+        if (known.fsm, known.style, known.script) == (fsm, style, script):
+            return known
+    # Not one of the sixteen Table II variants: the paper only names the
+    # forward-move counts for those, so anything else silently assuming 0
+    # moves would be easy to misread as "this spec exists".  Say so.
+    print(
+        f"warning: {fsm}.{style}.{script} is not a Table II circuit; "
+        "assuming forward_stem_moves=0. Known specs: "
+        + ", ".join(sorted(s.name for s in TABLE2_CIRCUITS)),
+        file=sys.stderr,
     )
-    return CircuitSpec(fsm, style, script, forward)
+    return CircuitSpec(fsm, style, script, 0)
 
 
 def _budget(argv, position) -> AtpgBudget:
     seconds = float(argv[position]) if len(argv) > position else 30.0
     return AtpgBudget(total_seconds=seconds)
+
+
+def _pop_flags(rest):
+    """Split ``rest`` into positionals and the shared option set."""
+    options = {"store": True, "resume": False, "workers": None}
+    positional = []
+    index = 0
+    while index < len(rest):
+        argument = rest[index]
+        if argument == "--store":
+            options["store"] = True
+        elif argument == "--no-store":
+            options["store"] = False
+        elif argument == "--resume":
+            options["resume"] = True
+        elif argument == "--workers":
+            index += 1
+            if index >= len(rest):
+                raise ValueError("--workers needs a count")
+            options["workers"] = int(rest[index])
+        else:
+            positional.append(argument)
+        index += 1
+    return positional, options
+
+
+def _open_run(options, label):
+    """(store, journal) for one atpg/flow run, honouring ``--no-store``."""
+    from repro.store.core import default_store
+    from repro.store.journal import RunJournal
+
+    store = default_store() if options["store"] else None
+    journal = (
+        RunJournal.create(store.journal_dir, label) if store is not None else None
+    )
+    return store, journal
+
+
+def _store_command(rest) -> int:
+    from repro.store.core import default_store
+    from repro.store.journal import journal_pinned_paths
+
+    store = default_store()
+    if store is None:
+        print("artifact store is disabled (REPRO_STORE_DISABLE)", file=sys.stderr)
+        return 1
+    action = rest[0] if rest else "stats"
+    if action == "stats":
+        print(json.dumps(store.summary(), indent=2, sort_keys=True))
+        return 0
+    if action == "gc":
+        max_bytes = int(rest[1]) if len(rest) > 1 else None
+        pinned = journal_pinned_paths(store.journal_dir)
+        report = store.gc(max_bytes=max_bytes, pinned=pinned)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    if action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifacts from {store.root}")
+        return 0
+    print("usage: python -m repro store stats|gc [max_bytes]|clear", file=sys.stderr)
+    return 2
 
 
 def main(argv=None) -> int:
@@ -53,16 +133,25 @@ def main(argv=None) -> int:
         print(format_table(table1(), ["FSM", "PI", "PO", "States"]))
         return 0
 
+    if command == "store":
+        return _store_command(rest)
+
     if command in ("synth", "retime", "atpg", "flow"):
+        try:
+            rest, options = _pop_flags(rest)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
         if len(rest) < 3:
             print(f"usage: python -m repro {command} <fsm> <style> <script>")
             return 2
         spec = _spec(rest[0], rest[1], rest[2])
-        pair = build_pair(spec)
+
         if command == "synth":
-            sys.stdout.write(write_bench(pair.original))
+            sys.stdout.write(write_bench(build_pair(spec).original))
             return 0
         if command == "retime":
+            pair = build_pair(spec)
             rows = [
                 {
                     "circuit": circuit.name,
@@ -75,16 +164,57 @@ def main(argv=None) -> int:
             print(format_table(rows, ["circuit", "gates", "dffs", "period"]))
             print(f"prefix |P| = {pair.prefix_length} (Theorem 4)")
             return 0
+
+        from repro.pipeline import FlowPipeline
+
         if command == "atpg":
-            result = run_atpg(pair.original, budget=_budget(rest, 3))
+            store, journal = _open_run(options, f"atpg-{spec.name}")
+            pair = build_pair(spec, store=store)
+            pipeline = FlowPipeline(
+                store=store,
+                journal=journal,
+                workers=options["workers"],
+                resume=options["resume"],
+            )
+            try:
+                faults = pipeline.stage_collapse(pair.original)
+                result = pipeline.stage_atpg(
+                    pair.original, faults, _budget(rest, 3)
+                )
+            finally:
+                if journal is not None:
+                    journal.close(ok=True)
             print(result.summary(), file=sys.stderr)
+            for stage in pipeline.stages:
+                print(
+                    f"stage {stage.name}: {stage.cache} {stage.seconds:.2f}s",
+                    file=sys.stderr,
+                )
+            if journal is not None:
+                print(f"journal: {journal.path}", file=sys.stderr)
             sys.stdout.write(result.test_set.to_text())
             return 0
         if command == "flow":
-            flow = retime_for_testability_flow(
-                pair.retimed, budget=_budget(rest, 3)
+            store, journal = _open_run(options, f"flow-{spec.name}")
+            pipeline = FlowPipeline(
+                store=store,
+                journal=journal,
+                workers=options["workers"],
+                resume=options["resume"],
             )
-            print(flow.summary())
+            try:
+                result = pipeline.run_spec(spec, budget=_budget(rest, 3))
+            finally:
+                if journal is not None:
+                    journal.close(ok=True)
+            print(result.flow.summary())
+            for stage in result.stages:
+                print(
+                    f"stage {stage.name}: {stage.cache} {stage.seconds:.2f}s",
+                    file=sys.stderr,
+                )
+            if journal is not None:
+                print(f"journal: {journal.path}", file=sys.stderr)
             return 0
 
     print(f"unknown command {command!r}", file=sys.stderr)

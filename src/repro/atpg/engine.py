@@ -33,7 +33,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.atpg.budget import AtpgBudget, EffortMeter
-from repro.atpg.parallel import FaultOutcome, default_workers, podem_partitioned
+from repro.atpg.parallel import (
+    FaultOutcome,
+    default_workers,
+    iter_podem_partitioned,
+)
 from repro.atpg.podem import PodemEngine
 from repro.circuit.netlist import Circuit, LineRef
 from repro.faults.collapse import collapse_faults
@@ -285,6 +289,8 @@ def run_atpg(
     *,
     workers: Optional[int] = None,
     engine: Optional[str] = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> AtpgResult:
     """Generate a test set for the circuit's (collapsed) fault list.
 
@@ -295,6 +301,16 @@ def run_atpg(
     selects the process pool).  Both engines yield the same partition and
     test set for a given seed whenever the wall-clock budget is not the
     binding limit.
+
+    ``checkpoint`` (an :class:`~repro.store.checkpoint.AtpgCheckpoint`)
+    makes the run journal its per-fault outcomes as it goes; with
+    ``resume=True`` a valid checkpoint for the same (circuit, faults,
+    budget) triple restores the random phase and every deterministic
+    detection/exhaustion already proven, so only budget-aborted and
+    never-reached faults are targeted again.  Restored outcomes are folded
+    back through the same queue-order collateral replay as live ones, so a
+    resumed run's test set is bit-identical to an uninterrupted run's
+    whenever the wall clock is not the binding limit.
     """
     if budget is None:
         budget = AtpgBudget()
@@ -313,6 +329,10 @@ def run_atpg(
     meter = EffortMeter(budget)
     rng = random.Random(budget.seed)
 
+    restored = None
+    if checkpoint is not None and resume:
+        restored = checkpoint.load(circuit, faults, budget)
+
     untestable = structurally_untestable(circuit) & set(faults)
     remaining: List[StuckAtFault] = [f for f in faults if f not in untestable]
     detected: Set[StuckAtFault] = set()
@@ -325,9 +345,22 @@ def run_atpg(
     # random vectors almost never synchronize a machine without a reset
     # line; this greedy walk is the standard practical fix.
     random_start = time.perf_counter()
-    remaining, random_detected = _random_phase(
-        circuit, remaining, detected, sequences, budget, meter, rng
-    )
+    if restored is not None:
+        # The phase is seeded, so replaying it would reproduce these very
+        # sequences; restoring them verbatim just skips the simulation.
+        checkpoint.resume_marker()
+        sequences = [list(seq) for seq in restored.sequences]
+        detected = set(restored.random_detected_faults)
+        random_detected = restored.random_detected
+        remaining = [f for f in remaining if f not in detected]
+    else:
+        if checkpoint is not None:
+            checkpoint.start(circuit, faults, budget)
+        remaining, random_detected = _random_phase(
+            circuit, remaining, detected, sequences, budget, meter, rng
+        )
+        if checkpoint is not None:
+            checkpoint.record_random_phase(sequences, detected, random_detected)
     random_seconds = time.perf_counter() - random_start
 
     # ---- Phase 2: deterministic PODEM ------------------------------------
@@ -377,22 +410,59 @@ def run_atpg(
         else:
             abort_reason[fault] = "search"  # exhausted within frame bound
 
+    # Restored outcomes (detections and search exhaustions proven by the
+    # interrupted run -- both deterministic) short-circuit their faults;
+    # clock-dependent outcomes (budget aborts, never-reached faults) were
+    # deliberately not restored and rejoin the live queue below.
+    def restored_outcome(fault: StuckAtFault):
+        if restored is None:
+            return None
+        return restored.restorable(fault)
+
     if engine == "process" and queue:
-        outcomes = podem_partitioned(
-            circuit, queue, budget, max_frames, workers, meter.remaining()
+        # Only non-restored faults go to the pool; restored ones are folded
+        # in at their original queue positions so the collateral replay
+        # sees the exact interleaving an uninterrupted run would have.
+        pending = [f for f in queue if restored_outcome(f) is None]
+        pool = iter_podem_partitioned(
+            circuit, pending, budget, max_frames, workers, meter.remaining()
         )
-        for fault, outcome in zip(queue, outcomes):
+        for fault in queue:
+            record = restored_outcome(fault)
+            if record is None:
+                _pool_fault, outcome = next(pool)
             if fault in detected:
                 # Collaterally detected by an earlier accepted sequence;
                 # the worker's redundant effort is dropped, matching the
                 # serial loop which never targets such faults.
                 continue
+            if record is not None:
+                meter.backtracks += record.backtracks
+                absorb(
+                    fault,
+                    FaultOutcome(
+                        record.status == "det", record.sequence, record.backtracks, False
+                    ),
+                )
+                continue
             meter.backtracks += outcome.backtracks
+            if checkpoint is not None:
+                checkpoint.record_fault(fault, outcome)
             absorb(fault, outcome)
     else:
         podem = PodemEngine(circuit)
         for fault in queue:
             if fault in detected:
+                continue
+            record = restored_outcome(fault)
+            if record is not None:
+                meter.backtracks += record.backtracks
+                absorb(
+                    fault,
+                    FaultOutcome(
+                        record.status == "det", record.sequence, record.backtracks, False
+                    ),
+                )
                 continue
             if meter.out_of_time():
                 abort_reason[fault] = "budget"
@@ -403,13 +473,15 @@ def run_atpg(
                 max_frames=max_frames,
                 deadline=time.perf_counter() + budget.seconds_per_fault,
             )
-            absorb(
-                fault,
-                FaultOutcome(
-                    result.detected, result.sequence, result.backtracks, result.aborted
-                ),
+            outcome = FaultOutcome(
+                result.detected, result.sequence, result.backtracks, result.aborted
             )
+            if checkpoint is not None:
+                checkpoint.record_fault(fault, outcome)
+            absorb(fault, outcome)
     deterministic_seconds = time.perf_counter() - deterministic_start
+    if checkpoint is not None:
+        checkpoint.close()
 
     # A fault aborted by its own search may still have been detected
     # collaterally by a later fault's sequence; reconcile the partition.

@@ -38,9 +38,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.atpg.budget import AtpgBudget, EffortMeter
 from repro.atpg.podem import PodemEngine
@@ -125,6 +125,49 @@ def _worker_chunk(
     return outcomes
 
 
+def iter_podem_partitioned(
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    budget: AtpgBudget,
+    max_frames: int,
+    workers: int,
+    pool_seconds: float,
+) -> Iterator[Tuple[StuckAtFault, FaultOutcome]]:
+    """PODEM every fault on a ``workers``-wide process pool, **streaming**.
+
+    Yields ``(fault, outcome)`` pairs strictly in input order as chunks
+    complete: all chunks run concurrently, but a pair is released only once
+    every earlier chunk has been consumed, so the caller can absorb -- and
+    checkpoint -- each outcome incrementally without ever seeing results
+    out of queue order.  Wall-clock-wise this is free: in-order consumption
+    only ever *waits* on the earliest unfinished chunk, which an
+    ``as_completed`` collector would have had to wait for anyway before
+    returning.  ``pool_seconds`` is the shared wall-clock allowance for the
+    whole pool (the parent meter's remaining budget).
+    """
+    if not faults:
+        return
+    workers = max(1, workers)
+    chunk_size = max(1, -(-len(faults) // (workers * CHUNKS_PER_WORKER)))
+    chunks = [
+        list(faults[index : index + chunk_size])
+        for index in range(0, len(faults), chunk_size)
+    ]
+    context = multiprocessing.get_context(_start_method())
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(chunks)),
+        mp_context=context,
+        initializer=_worker_init,
+        initargs=(circuit, budget, pool_seconds),
+    ) as pool:
+        futures = [
+            pool.submit(_worker_chunk, (chunk, max_frames)) for chunk in chunks
+        ]
+        for chunk, future in zip(chunks, futures):
+            for fault, outcome in zip(chunk, future.result()):
+                yield fault, outcome
+
+
 def podem_partitioned(
     circuit: Circuit,
     faults: Sequence[StuckAtFault],
@@ -140,36 +183,17 @@ def podem_partitioned(
     depends on it.  ``pool_seconds`` is the shared wall-clock allowance for
     the whole pool (the parent meter's remaining budget).
     """
-    if not faults:
-        return []
-    workers = max(1, workers)
-    chunk_size = max(1, -(-len(faults) // (workers * CHUNKS_PER_WORKER)))
-    chunks = [
-        list(faults[index : index + chunk_size])
-        for index in range(0, len(faults), chunk_size)
+    return [
+        outcome
+        for _fault, outcome in iter_podem_partitioned(
+            circuit, faults, budget, max_frames, workers, pool_seconds
+        )
     ]
-    context = multiprocessing.get_context(_start_method())
-    per_chunk: List[Optional[List[FaultOutcome]]] = [None] * len(chunks)
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(chunks)),
-        mp_context=context,
-        initializer=_worker_init,
-        initargs=(circuit, budget, pool_seconds),
-    ) as pool:
-        futures = {
-            pool.submit(_worker_chunk, (chunk, max_frames)): index
-            for index, chunk in enumerate(chunks)
-        }
-        for future in as_completed(futures):
-            per_chunk[futures[future]] = future.result()
-    outcomes: List[FaultOutcome] = []
-    for chunk_outcomes in per_chunk:
-        outcomes.extend(chunk_outcomes)
-    return outcomes
 
 
 __all__ = [
     "FaultOutcome",
+    "iter_podem_partitioned",
     "podem_partitioned",
     "default_workers",
     "CHUNKS_PER_WORKER",

@@ -9,6 +9,11 @@ flip-flops on each interconnection and whose edges decompose into *lines*
 
 from repro.circuit.builder import CircuitBuilder
 from repro.circuit.bench_io import parse_bench, read_bench, write_bench
+from repro.circuit.digest import (
+    canonical_circuit_text,
+    circuit_digest,
+    structural_identity,
+)
 from repro.circuit.netlist import (
     Circuit,
     CircuitError,
@@ -36,6 +41,9 @@ __all__ = [
     "parse_bench",
     "read_bench",
     "write_bench",
+    "canonical_circuit_text",
+    "circuit_digest",
+    "structural_identity",
     "write_verilog",
     "validate",
     "check",

@@ -78,15 +78,67 @@ class CircuitPair:
 _pair_cache: Dict[CircuitSpec, CircuitPair] = {}
 
 
-def build_pair(spec: CircuitSpec, use_cache: bool = True) -> CircuitPair:
-    """Synthesize one variant and its register-rich retimed version.
+def synthesize_original(
+    spec: CircuitSpec, store=None
+) -> Tuple[Circuit, str, Optional[str]]:
+    """Synthesize one variant, store-backed.
+
+    Returns ``(circuit, cache, key)`` where ``cache`` is the store
+    disposition (``hit`` / ``miss`` / ``off``).  The netlist artifact keeps
+    the exact graph, so a store hit reproduces node names and edge
+    numbering bit-for-bit -- downstream fault coordinates depend on it.
+    """
+    from repro.store.artifacts import circuit_from_payload, circuit_payload
+
+    key = None
+    if store is not None:
+        key = store.key("synth", spec.fsm, spec.style, spec.script)
+        payload = store.get("netlist", key)
+        if payload is not None:
+            circuit = circuit_from_payload(payload)
+            if circuit is not None:
+                return circuit, "hit", key
+    circuit = synthesize_benchmark(spec.fsm, spec.style, spec.script).circuit
+    if store is not None:
+        store.put("netlist", key, circuit_payload(circuit))
+        return circuit, "miss", key
+    return circuit, "off", key
+
+
+def retime_pair(
+    spec: CircuitSpec, original: Circuit, store=None
+) -> Tuple[Circuit, Retiming, str, Optional[str]]:
+    """The register-rich performance retiming of one variant, store-backed.
 
     The number of backward redistribution passes is chosen adaptively so
     the retimed flip-flop count lands in the paper's 2-6x growth band.
+    Returns ``(retimed, retiming, cache, key)``.
     """
-    if use_cache and spec in _pair_cache:
-        return _pair_cache[spec]
-    original = synthesize_benchmark(spec.fsm, spec.style, spec.script).circuit
+    from repro.circuit.digest import circuit_digest, structural_identity
+    from repro.store.artifacts import (
+        circuit_from_payload,
+        circuit_payload,
+        retiming_from_payload,
+        retiming_payload,
+    )
+
+    key = None
+    if store is not None:
+        key = store.key(
+            "pair",
+            circuit_digest(original),
+            structural_identity(original),
+            spec.forward_stem_moves,
+        )
+        payload = store.get("pair", key)
+        if payload is not None:
+            try:
+                retimed = circuit_from_payload(payload["circuit"])
+                retiming = retiming_from_payload(payload["retiming"], original)
+            except (KeyError, TypeError):
+                retimed = retiming = None
+            if retimed is not None and retiming is not None:
+                return retimed, retiming, "hit", key
     target_low = 2 * original.num_registers()
     target_high = 6 * original.num_registers()
     chosen = None
@@ -106,11 +158,41 @@ def build_pair(spec: CircuitSpec, use_cache: bool = True) -> CircuitPair:
         ):
             fallback = result
     result = chosen if chosen is not None else fallback
+    if store is not None:
+        store.put(
+            "pair",
+            key,
+            {
+                "circuit": circuit_payload(result.retimed_circuit),
+                "retiming": retiming_payload(result.retiming),
+            },
+        )
+        return result.retimed_circuit, result.retiming, "miss", key
+    return result.retimed_circuit, result.retiming, "off", key
+
+
+def build_pair(
+    spec: CircuitSpec, use_cache: bool = True, store="default"
+) -> CircuitPair:
+    """Synthesize one variant and its register-rich retimed version.
+
+    Two cache levels: the in-process ``_pair_cache`` (object identity,
+    free) and, beneath it, the persistent artifact store -- a fresh
+    process re-materializes a previously built pair from netlist and
+    retiming records instead of re-running synthesis and the retiming
+    sweep.  ``store`` defaults to the process-wide store (pass ``None``
+    to force recomputation without persistence).
+    """
+    if use_cache and spec in _pair_cache:
+        return _pair_cache[spec]
+    if store == "default":
+        from repro.store.core import default_store
+
+        store = default_store()
+    original, _cache, _key = synthesize_original(spec, store=store)
+    retimed, retiming, _cache, _key = retime_pair(spec, original, store=store)
     pair = CircuitPair(
-        spec=spec,
-        original=original,
-        retimed=result.retimed_circuit,
-        retiming=result.retiming,
+        spec=spec, original=original, retimed=retimed, retiming=retiming
     )
     if use_cache:
         _pair_cache[spec] = pair
@@ -179,6 +261,8 @@ __all__ = [
     "CircuitPair",
     "TABLE2_CIRCUITS",
     "build_pair",
+    "retime_pair",
+    "synthesize_original",
     "table2_row",
     "table3_row",
 ]

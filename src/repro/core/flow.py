@@ -15,14 +15,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.atpg.budget import AtpgBudget
-from repro.atpg.engine import AtpgResult, run_atpg
+from repro.atpg.engine import AtpgResult
 from repro.circuit.netlist import Circuit
-from repro.faults.collapse import collapse_faults
-from repro.faultsim import FaultSimResult, fault_simulate
+from repro.faultsim import FaultSimResult
 from repro.retiming.core import Retiming
-from repro.retiming.minregister import min_register_retiming
 from repro.testset.model import TestSet
-from repro.testset.transform import derive_retimed_test_set
 
 
 @dataclass
@@ -59,6 +56,12 @@ def retime_for_testability_flow(
     hard_circuit: Circuit,
     budget: Optional[AtpgBudget] = None,
     easy_retiming: Optional[Retiming] = None,
+    *,
+    store=None,
+    journal=None,
+    workers: Optional[int] = None,
+    engine: Optional[str] = None,
+    resume: bool = False,
 ) -> FlowResult:
     """Run the Fig. 6 flow on a hard (performance-retimed) circuit.
 
@@ -68,35 +71,25 @@ def retime_for_testability_flow(
         easy_retiming: the retiming mapping ``hard_circuit`` to its easy
             version (default: minimum-register retiming, the paper's
             choice for the s510.jo.sr study).
+        store / journal / workers / engine / resume: forwarded to the
+            stage pipeline (see :class:`repro.pipeline.FlowPipeline`).
+            With no store the flow computes everything, as it always did.
 
     The prefix length comes from the *inverse* retiming (easy -> hard):
     Theorem 4 needs the forward-move count of the transformation from the
     circuit the tests were generated for (easy) to the circuit they will
     be applied to (hard).
+
+    The flow body lives in :class:`repro.pipeline.FlowPipeline`; this
+    function is the stable library entry point and simply runs the
+    pipeline without persistence by default.
     """
-    if easy_retiming is None:
-        easy_retiming = min_register_retiming(hard_circuit).retiming
-    easy_circuit = easy_retiming.apply(f"{hard_circuit.name}.easy")
+    from repro.pipeline import FlowPipeline
 
-    atpg_result = run_atpg(easy_circuit, budget=budget)
-
-    inverse = easy_retiming.inverse(easy_circuit)  # easy -> hard
-    derived = derive_retimed_test_set(atpg_result.test_set, inverse)
-    prefix_length = inverse.max_forward_moves()
-
-    hard_faults = collapse_faults(hard_circuit).representatives
-    hard_fault_sim = fault_simulate(
-        hard_circuit, derived.as_lists(), hard_faults
+    pipeline = FlowPipeline(
+        store=store, journal=journal, workers=workers, engine=engine, resume=resume
     )
-    return FlowResult(
-        hard_circuit=hard_circuit,
-        easy_circuit=easy_circuit,
-        easy_retiming=easy_retiming,
-        prefix_length=prefix_length,
-        atpg_result=atpg_result,
-        derived_test_set=derived,
-        hard_fault_sim=hard_fault_sim,
-    )
+    return pipeline.run(hard_circuit, budget=budget, easy_retiming=easy_retiming)
 
 
 __all__ = ["retime_for_testability_flow", "FlowResult"]

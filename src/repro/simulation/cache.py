@@ -26,6 +26,17 @@ clearing (:func:`clear_compile_cache`).
 Per-fault steppers (PODEM's faulty machines) are deliberately *not* cached
 -- each is used once per targeted fault and would only bloat the cache.
 
+On top of the in-memory level sits an optional **persistent second level**
+backed by the content-addressed artifact store (:mod:`repro.store`): the
+generated stepper *source* is keyed by the circuit's content digest, so a
+fresh process lowering a circuit any earlier process has seen skips code
+generation and goes straight to ``exec``.  The artifact records the
+circuit's raw structural identity and the loaders validate it, so a
+digest-equal circuit with different edge numbering can never be handed
+source whose slot numbering doesn't match.  The level is written through
+lazily and degrades to a plain miss whenever the store is disabled or
+unwritable; :func:`set_persistent_stepper_cache` gates it per process.
+
 All bookkeeping is guarded by a lock so concurrent callers (e.g. a thread
 pool fault-simulating independent circuits) are safe.
 """
@@ -51,7 +62,15 @@ _ATTR = "_simulation_compile_cache"
 # Lock would deadlock there.
 _LOCK = threading.RLock()
 _REGISTRY: Dict[int, "weakref.ref[Circuit]"] = {}
-_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+_STATS = {
+    "hits": 0,
+    "misses": 0,
+    "evictions": 0,
+    "persistent_hits": 0,
+    "persistent_misses": 0,
+    "persistent_writes": 0,
+}
+_PERSIST = {"enabled": True}
 
 
 class _Entry:
@@ -108,13 +127,92 @@ def compiled_circuit(circuit: Circuit) -> CompiledCircuit:
     return _get(circuit, "compiled", lambda entry: CompiledCircuit(circuit))
 
 
+# -- persistent second level -------------------------------------------------
+
+
+def set_persistent_stepper_cache(enabled: bool) -> None:
+    """Gate the store-backed stepper-source level for this process."""
+    _PERSIST["enabled"] = bool(enabled)
+
+
+def _store():
+    """The default artifact store, or ``None`` when any level is off."""
+    if not _PERSIST["enabled"]:
+        return None
+    from repro.store.core import default_store
+
+    return default_store()
+
+
+def _stepper_key(store, circuit: Circuit) -> str:
+    from repro.circuit.digest import circuit_digest
+
+    return store.key("stepper", circuit_digest(circuit))
+
+
+def _load_sources(circuit: Circuit):
+    """Persisted ``(scalar, clean, inject)`` sources, or ``None`` on miss."""
+    store = _store()
+    if store is None:
+        return None
+    from repro.store.artifacts import stepper_sources_from_payload
+
+    payload = store.get("stepper", _stepper_key(store, circuit))
+    sources = (
+        None if payload is None else stepper_sources_from_payload(payload, circuit)
+    )
+    if sources is None:
+        _STATS["persistent_misses"] += 1
+        return None
+    _STATS["persistent_hits"] += 1
+    return sources
+
+
+def _persist_sources(circuit: Circuit, entry: _Entry) -> None:
+    """Write one combined stepper artifact (building any missing half).
+
+    The scalar and bit-parallel sources travel in one record because every
+    flow that needs one soon needs the other (PODEM simulates scalar, its
+    detection replay and the verify stage simulate bit-parallel), and a
+    single record keeps hit/miss accounting and GC granularity simple.
+    """
+    store = _store()
+    if store is None:
+        return
+    if entry.fast is None:
+        entry.fast = FastStepper(circuit, compiled=entry.compiled)
+    if entry.vector_fast is None:
+        entry.vector_fast = VectorFastStepper(circuit, compiled=entry.compiled)
+    from repro.store.artifacts import stepper_payload
+
+    clean, inject = entry.vector_fast.sources()
+    try:
+        store.put(
+            "stepper",
+            _stepper_key(store, circuit),
+            stepper_payload(circuit, entry.fast._source, clean, inject),
+        )
+        _STATS["persistent_writes"] += 1
+    except OSError:
+        pass  # unwritable store degrades to in-memory-only caching
+
+
 def fast_stepper(circuit: Circuit) -> FastStepper:
     """The cached fault-free scalar :class:`FastStepper` for ``circuit``."""
 
     def build(entry: _Entry) -> FastStepper:
         if entry.compiled is None:
             entry.compiled = CompiledCircuit(circuit)
-        return FastStepper(circuit, compiled=entry.compiled)
+        sources = _load_sources(circuit)
+        if sources is not None:
+            if entry.vector_fast is None:
+                entry.vector_fast = VectorFastStepper(
+                    circuit, compiled=entry.compiled, sources=(sources[1], sources[2])
+                )
+            return FastStepper(circuit, compiled=entry.compiled, source=sources[0])
+        entry.fast = FastStepper(circuit, compiled=entry.compiled)
+        _persist_sources(circuit, entry)
+        return entry.fast
 
     return _get(circuit, "fast", build)
 
@@ -125,7 +223,18 @@ def vector_fast_stepper(circuit: Circuit) -> VectorFastStepper:
     def build(entry: _Entry) -> VectorFastStepper:
         if entry.compiled is None:
             entry.compiled = CompiledCircuit(circuit)
-        return VectorFastStepper(circuit, compiled=entry.compiled)
+        sources = _load_sources(circuit)
+        if sources is not None:
+            if entry.fast is None:
+                entry.fast = FastStepper(
+                    circuit, compiled=entry.compiled, source=sources[0]
+                )
+            return VectorFastStepper(
+                circuit, compiled=entry.compiled, sources=(sources[1], sources[2])
+            )
+        entry.vector_fast = VectorFastStepper(circuit, compiled=entry.compiled)
+        _persist_sources(circuit, entry)
+        return entry.vector_fast
 
     return _get(circuit, "vector_fast", build)
 
@@ -174,4 +283,5 @@ __all__ = [
     "warm_compile_cache",
     "clear_compile_cache",
     "compile_cache_stats",
+    "set_persistent_stepper_cache",
 ]

@@ -25,6 +25,11 @@ from repro.faults.model import StuckAtFault
 from repro.logic.three_valued import Trit, X
 from repro.simulation.compiled import CompiledCircuit, Read
 
+#: Bump whenever the generated scalar stepper source changes shape, so
+#: persisted stepper artifacts from older generators are invalidated
+#: (the artifact store folds this into its schema version).
+CODEGEN_VERSION = 1
+
 # trit -> (rail1, rail0)
 _RAILS = ((0, 1), (1, 0), (0, 0))
 # (rail1, rail0) -> trit via _TRIT[rail1][rail0]
@@ -84,11 +89,16 @@ class FastStepper:
         circuit: Circuit,
         fault: Optional[StuckAtFault] = None,
         compiled: Optional[CompiledCircuit] = None,
+        source: Optional[str] = None,
     ):
         self.circuit = circuit
         self.compiled = compiled if compiled is not None else CompiledCircuit(circuit)
         self.fault = fault
-        source = self._generate()
+        # ``source`` lets a persistent cache skip regeneration; only the
+        # fault-free stepper is ever persisted (fault steppers inline the
+        # fault as constants, so their source is fault-specific).
+        if source is None:
+            source = self._generate()
         namespace: Dict[str, object] = {"_RAILS": _RAILS, "_TRIT": _TRIT}
         exec(compile(source, f"<faststep {circuit.name}>", "exec"), namespace)
         self.step = namespace["step"]  # type: ignore[assignment]
@@ -178,4 +188,4 @@ class FastStepper:
         return outputs, current
 
 
-__all__ = ["FastStepper", "gate_rail_exprs"]
+__all__ = ["CODEGEN_VERSION", "FastStepper", "gate_rail_exprs"]

@@ -41,6 +41,11 @@ from repro.logic.three_valued import ONE, Trit, X, ZERO
 from repro.simulation.codegen import gate_rail_exprs
 from repro.simulation.compiled import CompiledCircuit, Read
 
+#: Bump whenever the generated bit-parallel stepper source changes shape,
+#: so persisted stepper artifacts from older generators are invalidated
+#: (the artifact store folds this into its schema version).
+VECTOR_CODEGEN_VERSION = 1
+
 # A bit-parallel signal value: (ones, zeros) integer masks.
 RailPair = Tuple[int, int]
 VectorFastState = Tuple[RailPair, ...]
@@ -54,7 +59,12 @@ class VectorFastStepper:
     serves 64-, 256- or 1024-wide fault groups alike.
     """
 
-    def __init__(self, circuit: Circuit, compiled: Optional[CompiledCircuit] = None):
+    def __init__(
+        self,
+        circuit: Circuit,
+        compiled: Optional[CompiledCircuit] = None,
+        sources: Optional[Tuple[str, str]] = None,
+    ):
         self.circuit = circuit
         self.compiled = compiled if compiled is not None else CompiledCircuit(circuit)
         # Injection slot numbering: one slot per line consumed by the
@@ -69,8 +79,14 @@ class VectorFastStepper:
             self.line_slot.setdefault(read.line, len(self.line_slot))
         self.num_injection_slots = len(self.line_slot)
 
-        self._source_clean = self._generate(inject=False)
-        self._source_inject = self._generate(inject=True)
+        # ``sources`` lets a persistent cache skip regeneration; the slot
+        # numbering above is recomputed either way (it is deterministic in
+        # program order, so it matches the sources it was generated with).
+        if sources is not None:
+            self._source_clean, self._source_inject = sources
+        else:
+            self._source_clean = self._generate(inject=False)
+            self._source_inject = self._generate(inject=True)
         namespace: Dict[str, object] = {}
         exec(
             compile(self._source_clean, f"<vectorstep {circuit.name}>", "exec"),
@@ -244,6 +260,7 @@ def rail_pair_trit(pair: RailPair, position: int) -> Trit:
 
 
 __all__ = [
+    "VECTOR_CODEGEN_VERSION",
     "VectorFastStepper",
     "VectorFastState",
     "RailPair",

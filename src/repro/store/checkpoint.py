@@ -1,0 +1,228 @@
+"""Mid-run checkpointing of per-fault ATPG outcomes.
+
+An ATPG run killed at second 29 of a 30-second budget used to leave
+nothing behind.  The checkpoint is an append-only JSONL file, flushed per
+line, that the engine writes as it goes:
+
+* a ``header`` line binding the checkpoint to one (circuit, fault list,
+  budget) triple -- digest, raw structural identity, fault-list
+  fingerprint and budget knobs all must match for a resume to load;
+* one ``random`` line when the random phase completes: its accepted
+  sequences and detected faults (the phase is seeded but expensive, so a
+  resumed run restores rather than replays it);
+* one ``fault`` line per targeted fault with the raw PODEM outcome.
+
+On resume (:meth:`AtpgCheckpoint.load`), outcomes that are deterministic
+-- detections and genuine search exhaustions -- are restored and re-folded
+through the engine's normal collateral-detection replay, so the
+reconstructed state is bit-identical to the state the dying run had.
+Outcomes that reflect the dead run's *clock* (budget aborts, faults never
+reached) are deliberately **not** restored: those faults rejoin the queue,
+which is exactly what distinguishes resuming from merely replaying.  A
+torn trailing line (the kill point) is dropped; any malformed earlier line
+invalidates only the tail from that point on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.atpg.budget import AtpgBudget
+from repro.circuit.digest import circuit_digest, structural_identity
+from repro.circuit.netlist import Circuit
+from repro.faults.model import StuckAtFault
+from repro.store.artifacts import (
+    budget_fingerprint,
+    decode_fault,
+    decode_sequences,
+    encode_fault,
+    encode_sequences,
+    faults_fingerprint,
+)
+
+#: Statuses a recorded fault outcome may carry.  ``det`` and ``search`` are
+#: deterministic and restorable; ``abort``/``unattempted`` are clock
+#: artifacts and requeue on resume.
+RESTORABLE = ("det", "search")
+
+
+@dataclass
+class RecordedOutcome:
+    """One targeted fault's recorded raw outcome."""
+
+    status: str  # det | search | abort | unattempted
+    sequence: Optional[List[Tuple[int, ...]]]
+    backtracks: int
+
+
+@dataclass
+class CheckpointState:
+    """What a valid checkpoint restores into the engine."""
+
+    sequences: List[List[Tuple[int, ...]]]
+    random_detected_faults: List[StuckAtFault]
+    random_detected: int
+    outcomes: Dict[StuckAtFault, RecordedOutcome] = field(default_factory=dict)
+
+    def restorable(self, fault: StuckAtFault) -> Optional[RecordedOutcome]:
+        outcome = self.outcomes.get(fault)
+        if outcome is not None and outcome.status in RESTORABLE:
+            return outcome
+        return None
+
+
+def _header_payload(
+    circuit: Circuit, faults: Sequence[StuckAtFault], budget: AtpgBudget
+) -> Dict[str, object]:
+    return {
+        "digest": circuit_digest(circuit),
+        "structure": structural_identity(circuit),
+        "faults": faults_fingerprint(faults),
+        "budget": budget_fingerprint(budget),
+    }
+
+
+class AtpgCheckpoint:
+    """Writer/reader for one checkpoint file."""
+
+    def __init__(self, path: str):
+        self.path = os.path.abspath(path)
+        self._handle = None
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    # -- writing ------------------------------------------------------------
+
+    def _open(self, mode: str) -> None:
+        if self._handle is None or self._handle.closed:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            self._handle = open(self.path, mode, encoding="utf-8")
+
+    def _write(self, record: Dict[str, object]) -> None:
+        if self._handle is None or self._handle.closed:
+            self._open("a")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def start(
+        self, circuit: Circuit, faults: Sequence[StuckAtFault], budget: AtpgBudget
+    ) -> None:
+        """Begin a fresh checkpoint (truncates any stale one)."""
+        self._open("w")
+        self._write({"e": "header", **_header_payload(circuit, faults, budget)})
+
+    def resume_marker(self) -> None:
+        """Append a marker so the file records each resumption."""
+        self._open("a")
+        self._write({"e": "resumed", "pid": os.getpid()})
+
+    def record_random_phase(
+        self,
+        sequences: Sequence[Sequence[Tuple[int, ...]]],
+        detected: Sequence[StuckAtFault],
+        random_detected: int,
+    ) -> None:
+        self._write(
+            {
+                "e": "random",
+                "sequences": encode_sequences(sequences),
+                "detected": [encode_fault(f) for f in sorted(detected)],
+                "count": random_detected,
+            }
+        )
+
+    def record_fault(self, fault: StuckAtFault, outcome) -> None:
+        """Record one raw :class:`~repro.atpg.parallel.FaultOutcome`."""
+        if not outcome.attempted:
+            status = "unattempted"
+        elif outcome.detected and outcome.sequence is not None:
+            status = "det"
+        elif outcome.aborted:
+            status = "abort"
+        else:
+            status = "search"
+        record: Dict[str, object] = {
+            "e": "fault",
+            "f": encode_fault(fault),
+            "s": status,
+            "bt": outcome.backtracks,
+        }
+        if status == "det":
+            record["seq"] = encode_sequences([outcome.sequence])[0]
+        self._write(record)
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+
+    def discard(self) -> None:
+        """Delete the file (a completed run no longer needs it)."""
+        self.close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    # -- reading ------------------------------------------------------------
+
+    def load(
+        self, circuit: Circuit, faults: Sequence[StuckAtFault], budget: AtpgBudget
+    ) -> Optional[CheckpointState]:
+        """Restore state, or ``None`` when the file is absent, bound to a
+        different (circuit, faults, budget) triple, or dies before the
+        random phase completed (a full restart loses nothing then)."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return None
+        records: List[Dict[str, object]] = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn write: drop this line and everything after
+            if not isinstance(record, dict):
+                break
+            records.append(record)
+        if not records or records[0].get("e") != "header":
+            return None
+        header = records[0]
+        expected = _header_payload(circuit, faults, budget)
+        if any(header.get(k) != v for k, v in expected.items()):
+            return None
+        state: Optional[CheckpointState] = None
+        for record in records[1:]:
+            kind = record.get("e")
+            try:
+                if kind == "random":
+                    state = CheckpointState(
+                        sequences=decode_sequences(record["sequences"]),
+                        random_detected_faults=[
+                            decode_fault(item) for item in record["detected"]
+                        ],
+                        random_detected=int(record["count"]),
+                    )
+                elif kind == "fault" and state is not None:
+                    fault = decode_fault(record["f"])
+                    sequence = None
+                    if record.get("seq") is not None:
+                        sequence = decode_sequences([record["seq"]])[0]
+                    # Last occurrence wins: a resumed run appends fresh
+                    # outcomes for faults the dead run had only aborted.
+                    state.outcomes[fault] = RecordedOutcome(
+                        str(record["s"]), sequence, int(record.get("bt", 0))
+                    )
+            except (KeyError, TypeError, ValueError, IndexError):
+                break  # malformed tail: trust only the prefix
+        return state
+
+
+__all__ = ["AtpgCheckpoint", "CheckpointState", "RecordedOutcome", "RESTORABLE"]

@@ -1,0 +1,370 @@
+"""The content-addressed artifact store.
+
+Layout on disk::
+
+    <root>/                        ~/.cache/repro-store or $REPRO_STORE_DIR
+      journals/                    JSONL run journals (version-independent)
+      v<schema>/                   one tree per store schema version
+        checkpoints/               ATPG resume checkpoints
+        <kind>/<k0k1>/<key>.json   artifact records, sharded by key prefix
+
+The schema version concatenates the store format, the circuit-digest
+version and both kernel-codegen versions, so bumping any of them moves new
+artifacts to a fresh tree and stale ones become garbage for :meth:`
+ArtifactStore.gc` -- invalidation by versioning, never by in-place edits.
+
+Records are single JSON documents wrapped with an integrity hash over the
+payload.  Writes go through a same-directory temporary file and
+``os.replace``, so concurrent writers of one key are safe (last writer
+wins, readers never observe a partial file) and a crashed writer leaves
+only an ignorable ``*.tmp``.  Reads validate the wrapper (parseable JSON,
+matching kind/key/schema, payload hash); any violation -- a truncated
+flush, a corrupted block, a hand-edited file -- counts as a miss, the file
+is discarded best-effort, and the caller recomputes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuit.digest import DIGEST_VERSION
+
+#: Bump when the record wrapper or on-disk layout changes.
+STORE_FORMAT = 1
+
+#: Default size bound applied by ``python -m repro store gc`` when no
+#: explicit ``--max-bytes`` is given.
+DEFAULT_GC_MAX_BYTES = 512 * 1024 * 1024
+
+_ENV_ROOT = "REPRO_STORE_DIR"
+_ENV_DISABLE = "REPRO_STORE_DISABLE"
+
+
+class StoreError(RuntimeError):
+    """Raised for unusable store roots (not for per-record corruption)."""
+
+
+def schema_version() -> str:
+    """The composite schema version governing the active artifact tree."""
+    from repro.simulation.codegen import CODEGEN_VERSION
+    from repro.simulation.vector_codegen import VECTOR_CODEGEN_VERSION
+
+    return f"{STORE_FORMAT}.{DIGEST_VERSION}.{CODEGEN_VERSION}.{VECTOR_CODEGEN_VERSION}"
+
+
+def default_root() -> str:
+    override = os.environ.get(_ENV_ROOT)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-store")
+
+
+def store_enabled() -> bool:
+    """False when ``REPRO_STORE_DISABLE`` is set to a truthy value."""
+    return os.environ.get(_ENV_DISABLE, "") not in ("1", "true", "yes")
+
+
+def _payload_sha(payload: object) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Counters for one :class:`ArtifactStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    errors: int = 0  # corrupted/unreadable records discarded on read
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "errors": self.errors,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class ArtifactStore:
+    """A content-addressed JSON artifact store rooted at ``root``."""
+
+    root: str = field(default_factory=default_root)
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        self.root = os.path.abspath(os.path.expanduser(self.root))
+        self.version_dir = os.path.join(self.root, f"v{schema_version()}")
+
+    # -- key & path arithmetic ---------------------------------------------
+
+    @staticmethod
+    def key(*parts: object) -> str:
+        """A stable SHA-256 key over JSON-serializable key parts."""
+        canonical = json.dumps(list(parts), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def path_for(self, kind: str, key: str) -> str:
+        return os.path.join(self.version_dir, kind, key[:2], f"{key}.json")
+
+    @property
+    def journal_dir(self) -> str:
+        return os.path.join(self.root, "journals")
+
+    @property
+    def checkpoint_dir(self) -> str:
+        return os.path.join(self.version_dir, "checkpoints")
+
+    def checkpoint_path(self, key: str) -> str:
+        return os.path.join(self.checkpoint_dir, f"{key}.jsonl")
+
+    # -- record I/O ---------------------------------------------------------
+
+    def get(self, kind: str, key: str) -> Optional[dict]:
+        """The payload stored under ``(kind, key)``, or ``None`` on miss.
+
+        Corrupted, truncated or wrapper-mismatched records are deleted
+        best-effort and reported as misses, so callers always recompute
+        rather than trusting damaged data.
+        """
+        path = self.path_for(kind, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("kind") != kind
+            or record.get("key") != key
+            or record.get("schema") != schema_version()
+            or "payload" not in record
+            or record.get("sha256") != _payload_sha(record["payload"])
+        ):
+            self._discard(path)
+            return None
+        self.stats.hits += 1
+        # Refresh the access time: GC evicts least-recently-used first.
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+        return record["payload"]
+
+    def put(self, kind: str, key: str, payload: dict) -> str:
+        """Atomically persist ``payload`` under ``(kind, key)``; returns the
+        record path (relative to the store root, the form journals pin)."""
+        path = self.path_for(kind, key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        record = {
+            "kind": kind,
+            "key": key,
+            "schema": schema_version(),
+            "created": time.time(),
+            "sha256": _payload_sha(payload),
+            "payload": payload,
+        }
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, separators=(",", ":"))
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return os.path.relpath(path, self.root)
+
+    def _discard(self, path: str) -> None:
+        self.stats.errors += 1
+        self.stats.misses += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # -- accounting & maintenance ------------------------------------------
+
+    def artifact_files(self) -> List[str]:
+        """Absolute paths of every artifact record, any schema version."""
+        files: List[str] = []
+        if not os.path.isdir(self.root):
+            return files
+        for entry in sorted(os.listdir(self.root)):
+            if not entry.startswith("v"):
+                continue
+            tree = os.path.join(self.root, entry)
+            for dirpath, _dirnames, filenames in os.walk(tree):
+                if os.path.basename(dirpath) == "checkpoints":
+                    continue
+                for filename in sorted(filenames):
+                    if filename.endswith(".json"):
+                        files.append(os.path.join(dirpath, filename))
+        return files
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self.artifact_files():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return total
+
+    def summary(self) -> Dict[str, object]:
+        """Headline store state for the ``store stats`` CLI."""
+        files = self.artifact_files()
+        by_kind: Dict[str, int] = {}
+        for path in files:
+            kind = os.path.basename(os.path.dirname(os.path.dirname(path)))
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        return {
+            "root": self.root,
+            "schema": schema_version(),
+            "artifacts": len(files),
+            "bytes": self.size_bytes(),
+            "by_kind": dict(sorted(by_kind.items())),
+            "session": self.stats.as_dict(),
+        }
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        pinned: Iterable[str] = (),
+    ) -> Dict[str, object]:
+        """Evict least-recently-used artifacts until the store fits.
+
+        ``pinned`` paths (absolute, or relative to the store root -- the
+        form journals record) are never evicted: an artifact referenced by
+        a live run journal must survive so the journal stays replayable.
+        Stale *.tmp droppings from crashed writers are always removed.
+        """
+        if max_bytes is None:
+            max_bytes = DEFAULT_GC_MAX_BYTES
+        pinned_abs = {
+            path if os.path.isabs(path) else os.path.join(self.root, path)
+            for path in pinned
+        }
+        removed_tmp = 0
+        if os.path.isdir(self.root):
+            for dirpath, _dirnames, filenames in os.walk(self.root):
+                for filename in filenames:
+                    if filename.endswith(".tmp"):
+                        try:
+                            os.unlink(os.path.join(dirpath, filename))
+                            removed_tmp += 1
+                        except OSError:
+                            pass
+        entries: List[Tuple[float, int, str]] = []
+        total = 0
+        for path in self.artifact_files():
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        before = total
+        evicted = 0
+        skipped_pinned = 0
+        for mtime, size, path in sorted(entries):
+            if total <= max_bytes:
+                break
+            if os.path.abspath(path) in pinned_abs:
+                skipped_pinned += 1
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        self.stats.evictions += evicted
+        self._prune_empty_dirs()
+        return {
+            "before_bytes": before,
+            "after_bytes": total,
+            "max_bytes": max_bytes,
+            "evicted": evicted,
+            "skipped_pinned": skipped_pinned,
+            "removed_tmp": removed_tmp,
+        }
+
+    def clear(self) -> int:
+        """Delete every artifact record (journals and checkpoints stay)."""
+        removed = 0
+        for path in self.artifact_files():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        self._prune_empty_dirs()
+        return removed
+
+    def _prune_empty_dirs(self) -> None:
+        if not os.path.isdir(self.root):
+            return
+        for dirpath, dirnames, filenames in os.walk(self.root, topdown=False):
+            if dirpath == self.root or dirnames or filenames:
+                continue
+            try:
+                os.rmdir(dirpath)
+            except OSError:
+                pass
+
+
+_DEFAULT_STORE: Optional[ArtifactStore] = None
+
+
+def default_store() -> Optional[ArtifactStore]:
+    """The process-wide store singleton, or ``None`` when disabled.
+
+    Created lazily from ``REPRO_STORE_DIR``/``~/.cache/repro-store``;
+    ``REPRO_STORE_DISABLE=1`` turns it off globally (useful in tests and
+    hermetic builds).
+    """
+    global _DEFAULT_STORE
+    if not store_enabled():
+        return None
+    if _DEFAULT_STORE is None:
+        _DEFAULT_STORE = ArtifactStore()
+    return _DEFAULT_STORE
+
+
+def set_default_store(store: Optional[ArtifactStore]) -> None:
+    """Override (or reset, with ``None``) the process-wide store."""
+    global _DEFAULT_STORE
+    _DEFAULT_STORE = store
+
+
+__all__ = [
+    "ArtifactStore",
+    "StoreError",
+    "StoreStats",
+    "DEFAULT_GC_MAX_BYTES",
+    "STORE_FORMAT",
+    "default_root",
+    "default_store",
+    "schema_version",
+    "set_default_store",
+    "store_enabled",
+]

@@ -1,0 +1,21 @@
+"""Shared fixtures: keep the artifact store hermetic under test.
+
+The persistent store defaults to ``~/.cache/repro-store``; a test run must
+neither read a developer's warm cache (it could mask regressions in the
+code generators) nor pollute it.  Every test therefore runs against a
+throwaway store root unless it explicitly builds its own
+:class:`~repro.store.core.ArtifactStore`.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_store(tmp_path, monkeypatch):
+    from repro.store.core import set_default_store
+
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "repro-store"))
+    monkeypatch.delenv("REPRO_STORE_DISABLE", raising=False)
+    set_default_store(None)  # force re-creation from the patched env
+    yield
+    set_default_store(None)

@@ -69,7 +69,8 @@ class TestCompileCache:
         compiled_circuit(toggle_counter())
         clear_compile_cache()
         stats = compile_cache_stats()
-        assert stats == {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}
+        assert stats["entries"] == 0
+        assert all(count == 0 for count in stats.values())
 
     def test_warm_builds_every_artifact(self):
         """Worker initializers warm once; later lookups must all hit."""

@@ -1,0 +1,95 @@
+"""CLI coverage for the ``store`` subcommand and the shared run flags."""
+
+import json
+
+import pytest
+
+from repro.__main__ import _pop_flags, _spec, main
+from repro.store.core import default_store
+
+
+class TestStoreSubcommand:
+    def test_stats_reports_empty_store(self, capsys):
+        assert main(["store", "stats"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["artifacts"] == 0
+        assert summary["root"] == default_store().root
+
+    def test_stats_counts_after_a_run(self, capsys):
+        assert main(["atpg", "dk16", "ji", "sd", "3"]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["artifacts"] > 0
+        assert "faults" in summary["by_kind"]
+
+    def test_gc_respects_journal_pins(self, capsys):
+        assert main(["atpg", "dk16", "ji", "sd", "3"]) == 0
+        capsys.readouterr()
+        assert main(["store", "gc", "0"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        # Everything the journalled run touched stays; nothing else exists.
+        assert report["skipped_pinned"] > 0
+        assert report["evicted"] == 0
+
+    def test_clear_empties_the_store(self, capsys):
+        assert main(["atpg", "dk16", "ji", "sd", "3"]) == 0
+        capsys.readouterr()
+        assert main(["store", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["store", "stats"]) == 0
+        assert json.loads(capsys.readouterr().out)["artifacts"] == 0
+
+    def test_disabled_store_reports_failure(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DISABLE", "1")
+        assert main(["store", "stats"]) == 1
+        assert "disabled" in capsys.readouterr().err
+
+    def test_unknown_action_is_a_usage_error(self, capsys):
+        assert main(["store", "frobnicate"]) == 2
+
+
+class TestRunFlags:
+    def test_pop_flags_defaults(self):
+        positional, options = _pop_flags(["dk16", "ji", "sd"])
+        assert positional == ["dk16", "ji", "sd"]
+        assert options == {"store": True, "resume": False, "workers": None}
+
+    def test_pop_flags_parses_everything(self):
+        positional, options = _pop_flags(
+            ["--no-store", "dk16", "--resume", "ji", "--workers", "3", "sd"]
+        )
+        assert positional == ["dk16", "ji", "sd"]
+        assert options == {"store": False, "resume": True, "workers": 3}
+
+    def test_workers_without_count_is_an_error(self):
+        with pytest.raises(ValueError):
+            _pop_flags(["--workers"])
+
+    def test_no_store_atpg_writes_nothing(self, capsys):
+        assert main(["atpg", "--no-store", "dk16", "ji", "sd", "3"]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats"]) == 0
+        assert json.loads(capsys.readouterr().out)["artifacts"] == 0
+
+    def test_warm_atpg_reprints_identical_testset(self, capsys):
+        assert main(["atpg", "dk16", "ji", "sd", "3"]) == 0
+        cold = capsys.readouterr()
+        assert main(["atpg", "dk16", "ji", "sd", "3"]) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "stage atpg: hit" in warm.err
+
+
+class TestSpecLookup:
+    def test_table2_spec_carries_paper_forward_moves(self, capsys):
+        spec = _spec("pma", "jo", "sd")  # Table II lists one forward move
+        assert spec.forward_stem_moves == 1
+        assert capsys.readouterr().err == ""
+
+    def test_unknown_spec_warns_and_names_known_ones(self, capsys):
+        spec = _spec("nosuch", "ji", "sd")
+        assert spec.forward_stem_moves == 0
+        err = capsys.readouterr().err
+        assert "not a Table II circuit" in err
+        assert "dk16.ji.sd" in err

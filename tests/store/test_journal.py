@@ -1,0 +1,76 @@
+"""Run journal writing, torn-line tolerance, and GC pinning inputs."""
+
+import os
+
+from repro.store.journal import (
+    RunJournal,
+    journal_pinned_paths,
+    journal_stage_summaries,
+    read_journal,
+)
+
+
+class TestRunJournal:
+    def test_events_round_trip_in_order(self, tmp_path):
+        journal = RunJournal.create(str(tmp_path), "unit")
+        journal.event("run_start", label="unit")
+        journal.event("stage_end", stage="synth", cache="miss", seconds=0.5)
+        journal.close(ok=True)
+        events = [r["event"] for r in read_journal(journal.path)]
+        assert events == ["run_start", "stage_end", "run_end"]
+
+    def test_create_names_are_unique_per_label(self, tmp_path):
+        a = RunJournal.create(str(tmp_path), "flow dk16.ji.sd")
+        b = RunJournal.create(str(tmp_path), "other")
+        assert a.path != b.path
+        assert os.path.basename(a.path).endswith(".jsonl")
+        assert " " not in os.path.basename(a.path)
+        a.close()
+        b.close()
+
+    def test_context_manager_records_failure(self, tmp_path):
+        try:
+            with RunJournal.create(str(tmp_path), "boom") as journal:
+                journal.event("run_start")
+                raise RuntimeError("mid-run death")
+        except RuntimeError:
+            pass
+        end = [r for r in read_journal(journal.path) if r["event"] == "run_end"]
+        assert end and end[0]["ok"] is False
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        journal = RunJournal.create(str(tmp_path), "torn")
+        journal.event("run_start")
+        journal.event("artifact_ref", path="v1/testset/ab/abc.json")
+        journal._handle.write('{"t": 1, "event": "artifact_ref", "path": "v1/')
+        journal._handle.flush()
+        journal._handle.close()
+        records = list(read_journal(journal.path))
+        assert [r["event"] for r in records] == ["run_start", "artifact_ref"]
+
+    def test_stage_summaries_filter(self, tmp_path):
+        journal = RunJournal.create(str(tmp_path), "stages")
+        journal.event("stage_start", stage="atpg")
+        journal.event("stage_end", stage="atpg", cache="miss")
+        journal.event("stage_end", stage="faultsim", cache="hit")
+        journal.close()
+        stages = journal_stage_summaries(journal.path)
+        assert [s["stage"] for s in stages] == ["atpg", "faultsim"]
+
+
+class TestPinnedPaths:
+    def test_pins_aggregate_across_journals(self, tmp_path):
+        first = RunJournal.create(str(tmp_path), "one")
+        first.artifact_ref("v1/testset/aa/a.json")
+        first.close()
+        second = RunJournal.create(str(tmp_path), "two")
+        second.artifact_ref("v1/faults/bb/b.json")
+        second.artifact_ref(None)  # no-op, not an event
+        second.close()
+        assert journal_pinned_paths(str(tmp_path)) == {
+            "v1/testset/aa/a.json",
+            "v1/faults/bb/b.json",
+        }
+
+    def test_missing_directory_pins_nothing(self, tmp_path):
+        assert journal_pinned_paths(str(tmp_path / "absent")) == set()
