@@ -1,11 +1,21 @@
-"""ATPG orchestration performance harness.
+"""ATPG orchestration and kernel performance harness.
 
-Times the deterministic PODEM phase of :func:`repro.atpg.run_atpg` with the
-serial in-process engine against the multiprocess engine
-(``engine="process"``) on the paper's Table II circuit pairs, cross-checks
-that both engines produce **identical** fault coverage, fault efficiency,
-detected/aborted partitions and test-set vectors, and writes the results to
-``BENCH_atpg.json``.
+Times the deterministic PODEM phase of :func:`repro.atpg.run_atpg` three
+ways on the paper's Table II circuit pairs:
+
+* serial engine, **scalar** kernel (the tuple-of-Trit baseline);
+* serial engine, **dual** kernel (the bit-packed dual-machine kernel);
+* multiprocess engine (``engine="process"``), dual kernel;
+
+cross-checks that every run produces **identical** fault coverage, fault
+efficiency, detected/aborted partitions and bit-identical test-set vectors,
+and writes the results to ``BENCH_atpg.json``.  ``kernel_speedup`` is the
+scalar/dual deterministic-phase ratio; the kernel's effort counters
+(simulation calls, frames simulated, lanes evaluated) and the derived
+``dual_frames_per_sec`` throughput feed the CI perf guard
+(``benchmarks/perf_guard.py``).  Each row also records which engine the
+adaptive selector (:func:`repro.atpg.engine.choose_engine`) would pick on
+this host, and why.
 
 Run from the repository root::
 
@@ -35,6 +45,7 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.atpg import AtpgBudget, run_atpg
+from repro.atpg.engine import choose_engine
 from repro.core.experiments import TABLE2_CIRCUITS, build_pair
 from repro.faults.collapse import collapse_faults
 from repro.simulation import clear_compile_cache
@@ -70,24 +81,36 @@ def bench_circuit(
     workers: int,
     max_faults: int,
 ) -> Dict[str, object]:
-    """One benchmark row: serial vs process-pool ATPG on one circuit."""
+    """One benchmark row: scalar vs dual kernel, serial vs process pool."""
     faults = collapse_faults(circuit).representatives
     if max_faults and len(faults) > max_faults:
         faults = faults[:max_faults]
-    serial = run_atpg(circuit, faults=faults, budget=budget, engine="serial")
+    scalar = run_atpg(
+        circuit, faults=faults, budget=budget, engine="serial", kernel="scalar"
+    )
+    serial = run_atpg(
+        circuit, faults=faults, budget=budget, engine="serial", kernel="dual"
+    )
     pooled = run_atpg(
         circuit, faults=faults, budget=budget, engine="process", workers=workers
     )
-    agree = (
-        serial.detected == pooled.detected
-        and serial.aborted == pooled.aborted
-        and serial.untestable == pooled.untestable
-        and serial.test_set.as_lists() == pooled.test_set.as_lists()
-        and serial.fault_coverage == pooled.fault_coverage
-        and serial.fault_efficiency == pooled.fault_efficiency
+    runs = (scalar, serial, pooled)
+    agree = all(
+        other.detected == serial.detected
+        and other.aborted == serial.aborted
+        and other.untestable == serial.untestable
+        and other.fault_coverage == serial.fault_coverage
+        and other.fault_efficiency == serial.fault_efficiency
+        for other in runs
     )
+    sequences_identical = all(
+        other.test_set.as_lists() == serial.test_set.as_lists()
+        for other in runs
+    )
+    det_scalar = max(scalar.deterministic_seconds, 1e-9)
     det_serial = max(serial.deterministic_seconds, 1e-9)
     det_pooled = max(pooled.deterministic_seconds, 1e-9)
+    engine_selected, engine_reason = choose_engine(len(faults), workers)
     return {
         "circuit": name,
         "num_gates": circuit.num_gates(),
@@ -98,12 +121,21 @@ def bench_circuit(
         "aborted": len(serial.aborted),
         "backtracks": serial.backtracks,
         "random_s": round(serial.random_seconds, 4),
+        "det_scalar_s": round(det_scalar, 4),
         "det_serial_s": round(det_serial, 4),
         "det_process_s": round(det_pooled, 4),
+        "kernel_speedup": round(det_scalar / det_serial, 2),
         "det_speedup": round(det_serial / det_pooled, 2),
         "total_serial_s": round(serial.cpu_seconds, 4),
         "total_process_s": round(pooled.cpu_seconds, 4),
-        "engines_agree": agree,
+        "simulations": serial.simulations,
+        "frames_simulated": serial.frames_simulated,
+        "lanes_evaluated": serial.lanes_evaluated,
+        "dual_frames_per_sec": round(serial.frames_simulated / det_serial, 1),
+        "engine_selected": engine_selected,
+        "engine_reason": engine_reason,
+        "engines_agree": agree and sequences_identical,
+        "sequences_identical": sequences_identical,
     }
 
 
@@ -124,12 +156,15 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
             row = bench_circuit(name, circuit, budget, args.workers, args.max_faults)
             rows.append(row)
             print(
-                f"    det serial {row['det_serial_s']}s, "
+                f"    det scalar {row['det_scalar_s']}s, "
+                f"dual {row['det_serial_s']}s ({row['kernel_speedup']}x), "
                 f"process[{args.workers}] {row['det_process_s']}s "
                 f"({row['det_speedup']}x), agree={row['engines_agree']}",
                 flush=True,
             )
     speedups = [row["det_speedup"] for row in rows]
+    kernel_speedups = [row["kernel_speedup"] for row in rows]
+    geomean_kernel = statistics.geometric_mean(kernel_speedups)
     report = {
         "meta": {
             "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -152,7 +187,13 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
             "min_det_speedup": min(speedups),
             "median_det_speedup": round(statistics.median(speedups), 2),
             "max_det_speedup": max(speedups),
+            "min_kernel_speedup": min(kernel_speedups),
+            "geomean_kernel_speedup": round(geomean_kernel, 2),
+            "max_kernel_speedup": max(kernel_speedups),
             "all_engines_agree": all(row["engines_agree"] for row in rows),
+            "all_sequences_identical": all(
+                row["sequences_identical"] for row in rows
+            ),
         },
     }
     if journal is not None:
@@ -224,6 +265,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     summary = report["summary"]
+    print(
+        f"kernel speedup scalar -> dual (serial det phase): "
+        f"min {summary['min_kernel_speedup']}x / "
+        f"geomean {summary['geomean_kernel_speedup']}x / "
+        f"max {summary['max_kernel_speedup']}x"
+    )
     print(
         f"deterministic-phase speedup serial -> process[{args.workers}]: "
         f"min {summary['min_det_speedup']}x / "

@@ -1,0 +1,136 @@
+"""CI perf guard: dual-kernel throughput vs the committed baseline.
+
+Re-runs the deterministic PODEM phase (serial engine, dual kernel) on the
+quick circuit set under the *baseline's own recorded budget* and compares
+the achieved ``dual_frames_per_sec`` against the matching rows of the
+committed ``BENCH_atpg.json``.  The run fails when the geometric mean of
+the per-circuit ratios falls below ``--min-ratio`` (default 0.7, i.e. a
+>30% frames/sec regression).
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m benchmarks.perf_guard --baseline BENCH_atpg.json
+
+The geometric mean -- not the worst row -- is guarded so one noisy row on
+a shared runner cannot fail the build by itself; a real kernel regression
+moves every row.  Absolute frames/sec is machine-dependent, so cross-
+machine comparisons are only indicative: the guard is calibrated for CI
+runners comparable to the baseline generator and the threshold is
+deliberately loose.  Regenerate the baseline (``python -m
+benchmarks.perf_atpg --full``) whenever the kernel legitimately changes
+speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Dict, Optional, Sequence
+
+from repro.atpg import AtpgBudget, run_atpg
+from repro.core.experiments import TABLE2_CIRCUITS, build_pair
+from repro.faults.collapse import collapse_faults
+from repro.simulation import clear_compile_cache
+
+QUICK_NAMES = ("dk16.ji.sd", "s510.jo.sr", "s820.jo.sd")
+
+
+def _baseline_budget(meta: Dict[str, object]) -> AtpgBudget:
+    budget = meta["budget"]
+    return AtpgBudget(
+        total_seconds=float(budget["total_seconds"]),
+        seconds_per_fault=5.0,
+        backtracks_per_fault=int(budget["backtracks_per_fault"]),
+        frames_cap=int(budget["frames_cap"]),
+        random_sequences=int(budget["random_sequences"]),
+        random_length=24,
+    )
+
+
+def measure_frames_per_sec(
+    circuit, budget: AtpgBudget, max_faults: int
+) -> float:
+    faults = collapse_faults(circuit).representatives
+    if max_faults and len(faults) > max_faults:
+        faults = faults[:max_faults]
+    result = run_atpg(
+        circuit, faults=faults, budget=budget, engine="serial", kernel="dual"
+    )
+    det = max(result.deterministic_seconds, 1e-9)
+    return result.frames_simulated / det
+
+
+def run_guard(baseline_path: str, min_ratio: float) -> int:
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    rows = {
+        row["circuit"]: row
+        for row in baseline["circuits"]
+        if "dual_frames_per_sec" in row
+    }
+    names = [
+        name
+        for base in QUICK_NAMES
+        for name in (base, base + ".re")
+        if name in rows
+    ]
+    if not names:
+        print(
+            "baseline has no dual_frames_per_sec rows for the quick set; "
+            "regenerate it with benchmarks.perf_atpg",
+            file=sys.stderr,
+        )
+        return 2
+    clear_compile_cache()
+    budget = _baseline_budget(baseline["meta"])
+    max_faults = int(baseline["meta"].get("max_faults_per_circuit", 0))
+    ratios = []
+    for name in names:
+        spec_name = name[:-3] if name.endswith(".re") else name
+        spec = next(s for s in TABLE2_CIRCUITS if s.name == spec_name)
+        pair = build_pair(spec)
+        circuit = pair.retimed if name.endswith(".re") else pair.original
+        current = measure_frames_per_sec(circuit, budget, max_faults)
+        base = float(rows[name]["dual_frames_per_sec"])
+        ratio = current / max(base, 1e-9)
+        ratios.append(ratio)
+        print(
+            f"  {name}: baseline {base:.0f} frames/s, "
+            f"current {current:.0f} frames/s (ratio {ratio:.2f})",
+            flush=True,
+        )
+    geomean = statistics.geometric_mean(ratios)
+    print(f"geomean throughput ratio: {geomean:.2f} (min allowed {min_ratio})")
+    if geomean < min_ratio:
+        print(
+            f"FAIL: dual-kernel frames/sec regressed more than "
+            f"{(1.0 - min_ratio) * 100:.0f}% vs {baseline_path}",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf guard passed")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_atpg.json",
+        help="committed benchmark report to guard against (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.7,
+        help="minimum allowed current/baseline frames-per-sec geomean "
+        "(default: %(default)s, i.e. fail on a >30%% regression)",
+    )
+    args = parser.parse_args(argv)
+    return run_guard(args.baseline, args.min_ratio)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,10 @@ journal each run under its ``journals/`` directory.  Flags:
 * ``--resume`` — restore a surviving mid-run ATPG checkpoint for the same
   circuit, fault list and budget (e.g. after a kill) instead of restarting
   the deterministic phase from scratch;
-* ``--workers N`` — run the deterministic ATPG phase on N worker processes.
+* ``--workers N`` — run the deterministic ATPG phase on N worker processes;
+* ``--kernel dual|scalar`` — select the PODEM resimulation kernel (the
+  bit-packed dual-machine kernel is the default; both produce bit-identical
+  test sets, so this is a speed knob, not a behaviour knob).
 """
 
 from __future__ import annotations
@@ -62,7 +65,7 @@ def _budget(argv, position) -> AtpgBudget:
 
 def _pop_flags(rest):
     """Split ``rest`` into positionals and the shared option set."""
-    options = {"store": True, "resume": False, "workers": None}
+    options = {"store": True, "resume": False, "workers": None, "kernel": "dual"}
     positional = []
     index = 0
     while index < len(rest):
@@ -78,6 +81,11 @@ def _pop_flags(rest):
             if index >= len(rest):
                 raise ValueError("--workers needs a count")
             options["workers"] = int(rest[index])
+        elif argument == "--kernel":
+            index += 1
+            if index >= len(rest):
+                raise ValueError("--kernel needs a name (dual or scalar)")
+            options["kernel"] = rest[index]
         else:
             positional.append(argument)
         index += 1
@@ -174,6 +182,7 @@ def main(argv=None) -> int:
                 store=store,
                 journal=journal,
                 workers=options["workers"],
+                kernel=options["kernel"],
                 resume=options["resume"],
             )
             try:
@@ -200,6 +209,7 @@ def main(argv=None) -> int:
                 store=store,
                 journal=journal,
                 workers=options["workers"],
+                kernel=options["kernel"],
                 resume=options["resume"],
             )
             try:

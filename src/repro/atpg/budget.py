@@ -67,6 +67,8 @@ class EffortMeter:
     started: float = field(default_factory=time.perf_counter)
     backtracks: int = 0
     simulations: int = 0
+    frames_simulated: int = 0
+    lanes_evaluated: int = 0
 
     def _limit(self) -> float:
         if self.cap_seconds is None:
@@ -86,8 +88,21 @@ class EffortMeter:
     def note_backtrack(self) -> None:
         self.backtracks += 1
 
-    def note_simulation(self) -> None:
+    def note_simulation(self, frames: int = 1, lanes: Optional[int] = None) -> None:
+        """Record one simulation call covering ``frames`` machine-frames.
+
+        ``frames`` counts time frames multiplied by machines stepped (the
+        fault-free and the faulty machine each count), so the telemetry
+        reflects real work rather than call counts -- a single PODEM
+        resimulation call may recompute the whole unrolled window.
+        ``lanes`` counts lane-frames: with a bit-packed kernel one call
+        evaluates several packed branch lanes per machine-frame; it
+        defaults to ``frames`` (one lane per machine-frame, the scalar
+        case).
+        """
         self.simulations += 1
+        self.frames_simulated += frames
+        self.lanes_evaluated += frames if lanes is None else lanes
 
 
 __all__ = ["AtpgBudget", "EffortMeter"]

@@ -27,6 +27,7 @@ conservative lower bound.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass
@@ -38,7 +39,7 @@ from repro.atpg.parallel import (
     default_workers,
     iter_podem_partitioned,
 )
-from repro.atpg.podem import PodemEngine
+from repro.atpg.podem import PODEM_KERNELS, PodemEngine
 from repro.circuit.netlist import Circuit, LineRef
 from repro.faults.collapse import collapse_faults
 from repro.faults.model import StuckAtFault
@@ -49,7 +50,40 @@ from repro.simulation.codegen import FastStepper
 from repro.simulation.vector_codegen import VectorFastStepper, rail_pair_trit
 from repro.testset.model import TestSet
 
-ATPG_ENGINES = ("serial", "process")
+ATPG_ENGINES = ("serial", "process", "auto")
+
+#: Below this many deterministic targets a process pool cannot amortize its
+#: per-worker initialization (circuit pickle + cache warm-up + kernel exec).
+MIN_POOL_FAULTS = 16
+
+
+def choose_engine(
+    num_faults: int,
+    workers: Optional[int] = None,
+    cpus: Optional[int] = None,
+) -> Tuple[str, str]:
+    """Pick the deterministic-phase engine for an ``engine="auto"`` run.
+
+    Returns ``(engine, reason)``.  The pool only pays off when there are
+    both cores to spread over and enough targeted faults to amortize the
+    per-worker warm-up, so single-CPU hosts and small fault partitions
+    fall back to the serial loop.
+    """
+    if cpus is None:
+        cpus = os.cpu_count() or 1
+    if cpus <= 1:
+        return "serial", f"auto: single cpu (cpus={cpus})"
+    if num_faults < MIN_POOL_FAULTS:
+        return (
+            "serial",
+            f"auto: fault partition below threshold "
+            f"({num_faults} < {MIN_POOL_FAULTS})",
+        )
+    pool = workers if workers is not None else default_workers()
+    return (
+        "process",
+        f"auto: {num_faults} faults across {pool} workers (cpus={cpus})",
+    )
 
 
 @dataclass
@@ -72,6 +106,11 @@ class AtpgResult:
     deterministic_seconds: float = 0.0
     engine: str = "serial"
     workers: int = 1
+    kernel: str = "dual"
+    engine_reason: str = ""
+    simulations: int = 0
+    frames_simulated: int = 0
+    lanes_evaluated: int = 0
 
     @property
     def fault_coverage(self) -> float:
@@ -289,6 +328,7 @@ def run_atpg(
     *,
     workers: Optional[int] = None,
     engine: Optional[str] = None,
+    kernel: str = "dual",
     checkpoint=None,
     resume: bool = False,
 ) -> AtpgResult:
@@ -296,11 +336,17 @@ def run_atpg(
 
     ``engine`` selects how the deterministic phase runs: ``"serial"``
     (default) targets faults one at a time in-process; ``"process"``
-    partitions them across ``workers`` PODEM worker processes.  When
-    ``engine`` is omitted it is inferred from ``workers`` (a count above 1
-    selects the process pool).  Both engines yield the same partition and
-    test set for a given seed whenever the wall-clock budget is not the
-    binding limit.
+    partitions them across ``workers`` PODEM worker processes;
+    ``"auto"`` defers the choice to :func:`choose_engine` once the
+    post-random fault partition is known (serial on single-CPU hosts or
+    small partitions, process otherwise).  When ``engine`` is omitted it
+    is inferred from ``workers`` (a count above 1 selects the process
+    pool).  Both engines yield the same partition and test set for a
+    given seed whenever the wall-clock budget is not the binding limit.
+
+    ``kernel`` selects PODEM's resimulation kernel (``"dual"`` or
+    ``"scalar"``, see :class:`~repro.atpg.podem.PodemEngine`); the two
+    produce bit-identical results at different speeds.
 
     ``checkpoint`` (an :class:`~repro.store.checkpoint.AtpgCheckpoint`)
     makes the run journal its per-fault outcomes as it goes; with
@@ -314,15 +360,22 @@ def run_atpg(
     """
     if budget is None:
         budget = AtpgBudget()
+    if kernel not in PODEM_KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r} (expected one of {PODEM_KERNELS})"
+        )
     if engine is None:
         engine = "process" if workers is not None and workers > 1 else "serial"
+        engine_reason = f"inferred from workers={workers}"
+    else:
+        engine_reason = "requested"
     if engine not in ATPG_ENGINES:
         raise ValueError(f"unknown engine {engine!r} (expected one of {ATPG_ENGINES})")
     if engine == "process":
         workers = workers if workers is not None else default_workers()
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-    else:
+    elif engine == "serial":
         workers = 1
     if faults is None:
         faults = collapse_faults(circuit).representatives
@@ -380,6 +433,16 @@ def run_atpg(
     abort_reason: Dict[StuckAtFault, str] = {}
     queue = list(remaining)
 
+    # ``auto`` decides here, with the post-random partition in hand: a pool
+    # is only worth spinning up for enough faults on enough cores.
+    if engine == "auto":
+        engine, engine_reason = choose_engine(len(queue), workers)
+        workers = (
+            (workers if workers is not None else default_workers())
+            if engine == "process"
+            else 1
+        )
+
     def absorb(fault: StuckAtFault, outcome: FaultOutcome) -> None:
         """Fold one PODEM outcome into the global partition (queue order).
 
@@ -425,7 +488,7 @@ def run_atpg(
         # sees the exact interleaving an uninterrupted run would have.
         pending = [f for f in queue if restored_outcome(f) is None]
         pool = iter_podem_partitioned(
-            circuit, pending, budget, max_frames, workers, meter.remaining()
+            circuit, pending, budget, max_frames, workers, meter.remaining(), kernel
         )
         for fault in queue:
             record = restored_outcome(fault)
@@ -446,11 +509,14 @@ def run_atpg(
                 )
                 continue
             meter.backtracks += outcome.backtracks
+            meter.simulations += outcome.simulations
+            meter.frames_simulated += outcome.frames_simulated
+            meter.lanes_evaluated += outcome.lanes_evaluated
             if checkpoint is not None:
                 checkpoint.record_fault(fault, outcome)
             absorb(fault, outcome)
     else:
-        podem = PodemEngine(circuit)
+        podem = PodemEngine(circuit, kernel=kernel)
         for fault in queue:
             if fault in detected:
                 continue
@@ -509,6 +575,11 @@ def run_atpg(
         deterministic_seconds=deterministic_seconds,
         engine=engine,
         workers=workers,
+        kernel=kernel,
+        engine_reason=engine_reason,
+        simulations=meter.simulations,
+        frames_simulated=meter.frames_simulated,
+        lanes_evaluated=meter.lanes_evaluated,
     )
 
 
@@ -516,5 +587,7 @@ __all__ = [
     "run_atpg",
     "AtpgResult",
     "structurally_untestable",
+    "choose_engine",
     "ATPG_ENGINES",
+    "MIN_POOL_FAULTS",
 ]

@@ -60,6 +60,8 @@ class FaultOutcome:
 
     ``attempted`` is False when the shared budget expired before the fault
     was targeted at all (the parent classifies these as budget aborts).
+    The simulation counters mirror :class:`~repro.atpg.budget.EffortMeter`
+    so pool workers can report their kernel effort back to the parent.
     """
 
     detected: bool
@@ -67,6 +69,9 @@ class FaultOutcome:
     backtracks: int
     aborted: bool
     attempted: bool = True
+    simulations: int = 0
+    frames_simulated: int = 0
+    lanes_evaluated: int = 0
 
 
 def default_workers() -> int:
@@ -86,9 +91,11 @@ def _start_method() -> str:
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _worker_init(circuit: Circuit, budget: AtpgBudget, pool_seconds: float) -> None:
+def _worker_init(
+    circuit: Circuit, budget: AtpgBudget, pool_seconds: float, kernel: str = "dual"
+) -> None:
     warm_compile_cache(circuit)
-    _WORKER_STATE["engine"] = PodemEngine(circuit)
+    _WORKER_STATE["engine"] = PodemEngine(circuit, kernel=kernel)
     _WORKER_STATE["budget"] = budget
     # The parent's remaining wall-clock allowance, anchored to this
     # process's own monotonic clock the moment the worker starts.
@@ -119,7 +126,13 @@ def _worker_chunk(
         )
         outcomes.append(
             FaultOutcome(
-                result.detected, result.sequence, result.backtracks, result.aborted
+                result.detected,
+                result.sequence,
+                result.backtracks,
+                result.aborted,
+                simulations=meter.simulations,
+                frames_simulated=meter.frames_simulated,
+                lanes_evaluated=meter.lanes_evaluated,
             )
         )
     return outcomes
@@ -132,6 +145,7 @@ def iter_podem_partitioned(
     max_frames: int,
     workers: int,
     pool_seconds: float,
+    kernel: str = "dual",
 ) -> Iterator[Tuple[StuckAtFault, FaultOutcome]]:
     """PODEM every fault on a ``workers``-wide process pool, **streaming**.
 
@@ -158,7 +172,7 @@ def iter_podem_partitioned(
         max_workers=min(workers, len(chunks)),
         mp_context=context,
         initializer=_worker_init,
-        initargs=(circuit, budget, pool_seconds),
+        initargs=(circuit, budget, pool_seconds, kernel),
     ) as pool:
         futures = [
             pool.submit(_worker_chunk, (chunk, max_frames)) for chunk in chunks
@@ -175,6 +189,7 @@ def podem_partitioned(
     max_frames: int,
     workers: int,
     pool_seconds: float,
+    kernel: str = "dual",
 ) -> List[FaultOutcome]:
     """PODEM every fault on a ``workers``-wide process pool.
 
@@ -186,7 +201,7 @@ def podem_partitioned(
     return [
         outcome
         for _fault, outcome in iter_podem_partitioned(
-            circuit, faults, budget, max_frames, workers, pool_seconds
+            circuit, faults, budget, max_frames, workers, pool_seconds, kernel
         )
     ]
 

@@ -204,20 +204,23 @@ def table2_row(
     budget: Optional[AtpgBudget] = None,
     workers: Optional[int] = None,
     engine: Optional[str] = None,
+    kernel: str = "dual",
 ) -> Tuple[Dict[str, object], AtpgResult, AtpgResult]:
     """One Table II row: ATPG on the original and the retimed circuit.
 
-    ``workers``/``engine`` pass straight through to :func:`run_atpg`, so a
-    row can be computed on the multiprocess deterministic phase; the
-    table's numbers are engine-independent (same seed, same partition).
+    ``workers``/``engine``/``kernel`` pass straight through to
+    :func:`run_atpg`, so a row can be computed on the multiprocess
+    deterministic phase or either PODEM kernel; the table's numbers are
+    engine- and kernel-independent (same seed, same partition, bit-identical
+    search).
     """
     if budget is None:
         budget = AtpgBudget()
     original_result = run_atpg(
-        pair.original, budget=budget, workers=workers, engine=engine
+        pair.original, budget=budget, workers=workers, engine=engine, kernel=kernel
     )
     retimed_result = run_atpg(
-        pair.retimed, budget=budget, workers=workers, engine=engine
+        pair.retimed, budget=budget, workers=workers, engine=engine, kernel=kernel
     )
     effort_original = max(original_result.cpu_seconds, 1e-9)
     row = {

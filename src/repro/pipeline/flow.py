@@ -96,7 +96,8 @@ class FlowPipeline:
         store: artifact store backing stage memoization (``None`` = compute
             everything, the behaviour of the plain flow functions).
         journal: run journal receiving stage events and artifact pins.
-        workers / engine: forwarded to :func:`~repro.atpg.engine.run_atpg`.
+        workers / engine / kernel: forwarded to
+            :func:`~repro.atpg.engine.run_atpg`.
         resume: let the ATPG stage restore a surviving checkpoint for its
             exact (circuit, faults, budget) key before targeting faults.
         checkpoint_path: override the checkpoint location (defaults to the
@@ -110,6 +111,7 @@ class FlowPipeline:
         *,
         workers: Optional[int] = None,
         engine: Optional[str] = None,
+        kernel: str = "dual",
         resume: bool = False,
         checkpoint_path: Optional[str] = None,
     ):
@@ -117,6 +119,7 @@ class FlowPipeline:
         self.journal = journal
         self.workers = workers
         self.engine = engine
+        self.kernel = kernel
         self.resume = resume
         self.checkpoint_path = checkpoint_path
         self.stages: List[StageRecord] = []
@@ -297,6 +300,7 @@ class FlowPipeline:
                 budget,
                 workers=self.workers,
                 engine=self.engine,
+                kernel=self.kernel,
                 checkpoint=checkpoint,
                 resume=self.resume,
             )
@@ -313,6 +317,7 @@ class FlowPipeline:
             circuit=circuit.name,
             workers=result.workers,
             engine=result.engine,
+            kernel=result.kernel,
             fault_coverage=round(result.fault_coverage, 3),
             fault_efficiency=round(result.fault_efficiency, 3),
             sequences=result.test_set.num_sequences,

@@ -9,6 +9,9 @@
 * :class:`repro.simulation.vector_codegen.VectorFastStepper` --
   code-generated bit-parallel kernel with runtime stuck-at injection
   masks; the engine behind the PROOFS-style parallel fault simulator.
+* :class:`repro.simulation.dual_codegen.DualFastStepper` --
+  code-generated dual-machine two-plane kernel stepping the good and the
+  faulty machine in one pass; PODEM's resimulation engine.
 * :mod:`repro.simulation.cache` -- module-level compile cache shared by
   the ATPG / fault-simulation / verification flows.
 """
@@ -17,12 +20,14 @@ from repro.simulation.cache import (
     clear_compile_cache,
     compile_cache_stats,
     compiled_circuit,
+    dual_fast_stepper,
     fast_stepper,
     vector_fast_stepper,
     warm_compile_cache,
 )
 from repro.simulation.codegen import FastStepper
 from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.dual_codegen import DualFastStepper, plane_pair_trit
 from repro.simulation.sequential import (
     SequentialSimulator,
     StepResult,
@@ -42,8 +47,11 @@ __all__ = [
     "VectorSimulator",
     "VectorStepResult",
     "VectorFastStepper",
+    "DualFastStepper",
+    "plane_pair_trit",
     "rail_pair_trit",
     "compiled_circuit",
+    "dual_fast_stepper",
     "fast_stepper",
     "vector_fast_stepper",
     "warm_compile_cache",

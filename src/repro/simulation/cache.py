@@ -10,7 +10,10 @@ artifacts are cached and shared by every flow:
 
 * :func:`compiled_circuit` -- the :class:`CompiledCircuit` lowering;
 * :func:`fast_stepper` -- the fault-free scalar :class:`FastStepper`;
-* :func:`vector_fast_stepper` -- the bit-parallel :class:`VectorFastStepper`.
+* :func:`vector_fast_stepper` -- the bit-parallel :class:`VectorFastStepper`;
+* :func:`dual_fast_stepper` -- the dual-machine :class:`DualFastStepper`
+  (PODEM's good+faulty resimulation kernel, fault-agnostic via runtime
+  injection masks).
 
 Circuits are "immutable by convention" (retiming materializes *new*
 instances via ``with_weights``), so the cache key is object identity.  The
@@ -50,6 +53,7 @@ from typing import Callable, Dict, Optional, TypeVar
 from repro.circuit.netlist import Circuit
 from repro.simulation.codegen import FastStepper
 from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.dual_codegen import DualFastStepper
 from repro.simulation.vector_codegen import VectorFastStepper
 
 _T = TypeVar("_T")
@@ -74,12 +78,13 @@ _PERSIST = {"enabled": True}
 
 
 class _Entry:
-    __slots__ = ("compiled", "fast", "vector_fast")
+    __slots__ = ("compiled", "fast", "vector_fast", "dual_fast")
 
     def __init__(self) -> None:
         self.compiled: Optional[CompiledCircuit] = None
         self.fast: Optional[FastStepper] = None
         self.vector_fast: Optional[VectorFastStepper] = None
+        self.dual_fast: Optional[DualFastStepper] = None
 
 
 def _entry_for(circuit: Circuit) -> _Entry:
@@ -151,7 +156,7 @@ def _stepper_key(store, circuit: Circuit) -> str:
 
 
 def _load_sources(circuit: Circuit):
-    """Persisted ``(scalar, clean, inject)`` sources, or ``None`` on miss."""
+    """Persisted ``(scalar, clean, inject, dual)`` sources, or ``None``."""
     store = _store()
     if store is None:
         return None
@@ -183,6 +188,8 @@ def _persist_sources(circuit: Circuit, entry: _Entry) -> None:
         entry.fast = FastStepper(circuit, compiled=entry.compiled)
     if entry.vector_fast is None:
         entry.vector_fast = VectorFastStepper(circuit, compiled=entry.compiled)
+    if entry.dual_fast is None:
+        entry.dual_fast = DualFastStepper(circuit, compiled=entry.compiled)
     from repro.store.artifacts import stepper_payload
 
     clean, inject = entry.vector_fast.sources()
@@ -190,7 +197,13 @@ def _persist_sources(circuit: Circuit, entry: _Entry) -> None:
         store.put(
             "stepper",
             _stepper_key(store, circuit),
-            stepper_payload(circuit, entry.fast._source, clean, inject),
+            stepper_payload(
+                circuit,
+                entry.fast._source,
+                clean,
+                inject,
+                entry.dual_fast.source(),
+            ),
         )
         _STATS["persistent_writes"] += 1
     except OSError:
@@ -208,6 +221,10 @@ def fast_stepper(circuit: Circuit) -> FastStepper:
             if entry.vector_fast is None:
                 entry.vector_fast = VectorFastStepper(
                     circuit, compiled=entry.compiled, sources=(sources[1], sources[2])
+                )
+            if entry.dual_fast is None:
+                entry.dual_fast = DualFastStepper(
+                    circuit, compiled=entry.compiled, source=sources[3]
                 )
             return FastStepper(circuit, compiled=entry.compiled, source=sources[0])
         entry.fast = FastStepper(circuit, compiled=entry.compiled)
@@ -229,6 +246,10 @@ def vector_fast_stepper(circuit: Circuit) -> VectorFastStepper:
                 entry.fast = FastStepper(
                     circuit, compiled=entry.compiled, source=sources[0]
                 )
+            if entry.dual_fast is None:
+                entry.dual_fast = DualFastStepper(
+                    circuit, compiled=entry.compiled, source=sources[3]
+                )
             return VectorFastStepper(
                 circuit, compiled=entry.compiled, sources=(sources[1], sources[2])
             )
@@ -237,6 +258,38 @@ def vector_fast_stepper(circuit: Circuit) -> VectorFastStepper:
         return entry.vector_fast
 
     return _get(circuit, "vector_fast", build)
+
+
+def dual_fast_stepper(circuit: Circuit) -> DualFastStepper:
+    """The cached dual-machine :class:`DualFastStepper` for ``circuit``.
+
+    This is PODEM's resimulation kernel: one stepper serves every fault of
+    the circuit (stuck-at injection happens through runtime masks), so the
+    engine constructs nothing per fault and the generated source is as
+    cacheable as the fault-free steppers'.
+    """
+
+    def build(entry: _Entry) -> DualFastStepper:
+        if entry.compiled is None:
+            entry.compiled = CompiledCircuit(circuit)
+        sources = _load_sources(circuit)
+        if sources is not None:
+            if entry.fast is None:
+                entry.fast = FastStepper(
+                    circuit, compiled=entry.compiled, source=sources[0]
+                )
+            if entry.vector_fast is None:
+                entry.vector_fast = VectorFastStepper(
+                    circuit, compiled=entry.compiled, sources=(sources[1], sources[2])
+                )
+            return DualFastStepper(
+                circuit, compiled=entry.compiled, source=sources[3]
+            )
+        entry.dual_fast = DualFastStepper(circuit, compiled=entry.compiled)
+        _persist_sources(circuit, entry)
+        return entry.dual_fast
+
+    return _get(circuit, "dual_fast", build)
 
 
 def warm_compile_cache(circuit: Circuit) -> None:
@@ -252,6 +305,7 @@ def warm_compile_cache(circuit: Circuit) -> None:
     compiled_circuit(circuit)
     fast_stepper(circuit)
     vector_fast_stepper(circuit)
+    dual_fast_stepper(circuit)
 
 
 def clear_compile_cache() -> None:
@@ -278,6 +332,7 @@ def compile_cache_stats() -> Dict[str, int]:
 
 __all__ = [
     "compiled_circuit",
+    "dual_fast_stepper",
     "fast_stepper",
     "vector_fast_stepper",
     "warm_compile_cache",

@@ -216,6 +216,11 @@ def atpg_result_payload(result) -> Dict[str, object]:
         "deterministic_seconds": result.deterministic_seconds,
         "engine": result.engine,
         "workers": result.workers,
+        "kernel": result.kernel,
+        "engine_reason": result.engine_reason,
+        "simulations": result.simulations,
+        "frames_simulated": result.frames_simulated,
+        "lanes_evaluated": result.lanes_evaluated,
     }
 
 
@@ -243,6 +248,11 @@ def atpg_result_from_payload(payload: Dict[str, object]):
             deterministic_seconds=float(payload["deterministic_seconds"]),
             engine=str(payload["engine"]),
             workers=int(payload["workers"]),
+            kernel=str(payload.get("kernel", "scalar")),
+            engine_reason=str(payload.get("engine_reason", "")),
+            simulations=int(payload.get("simulations", 0)),
+            frames_simulated=int(payload.get("frames_simulated", 0)),
+            lanes_evaluated=int(payload.get("lanes_evaluated", 0)),
         )
     except (KeyError, TypeError, ValueError, IndexError):
         return None
@@ -294,18 +304,20 @@ def stepper_payload(
     scalar_source: str,
     vector_clean: str,
     vector_inject: str,
+    dual_source: str,
 ) -> Dict[str, object]:
     return {
         "structure": structural_identity(circuit),
         "scalar": scalar_source,
         "vector_clean": vector_clean,
         "vector_inject": vector_inject,
+        "dual": dual_source,
     }
 
 
 def stepper_sources_from_payload(
     payload: Dict[str, object], circuit: Circuit
-) -> Optional[Tuple[str, str, str]]:
+) -> Optional[Tuple[str, str, str, str]]:
     if payload.get("structure") != structural_identity(circuit):
         return None
     try:
@@ -313,6 +325,7 @@ def stepper_sources_from_payload(
             str(payload["scalar"]),
             str(payload["vector_clean"]),
             str(payload["vector_inject"]),
+            str(payload["dual"]),
         )
     except (KeyError, TypeError):
         return None

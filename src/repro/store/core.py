@@ -53,9 +53,13 @@ class StoreError(RuntimeError):
 def schema_version() -> str:
     """The composite schema version governing the active artifact tree."""
     from repro.simulation.codegen import CODEGEN_VERSION
+    from repro.simulation.dual_codegen import DUAL_CODEGEN_VERSION
     from repro.simulation.vector_codegen import VECTOR_CODEGEN_VERSION
 
-    return f"{STORE_FORMAT}.{DIGEST_VERSION}.{CODEGEN_VERSION}.{VECTOR_CODEGEN_VERSION}"
+    return (
+        f"{STORE_FORMAT}.{DIGEST_VERSION}.{CODEGEN_VERSION}"
+        f".{VECTOR_CODEGEN_VERSION}.{DUAL_CODEGEN_VERSION}"
+    )
 
 
 def default_root() -> str:

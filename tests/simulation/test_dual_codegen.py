@@ -1,0 +1,210 @@
+"""Cross-checks of the code-generated dual-machine PODEM kernel.
+
+The compiled ``step_dual`` must be bit-for-bit identical, lane by lane, to
+a pair of scalar steppers: the fault-free :class:`FastStepper` for the good
+plane and a per-fault :class:`FastStepper` for the faulty plane.  The
+derived verdict masks (``det``/``vdiff``/``sdiff``/``same``) must equal the
+scans the scalar PODEM engine performs over those tuples.
+"""
+
+import random
+
+import pytest
+
+from repro.faults import collapse_faults
+from repro.logic.three_valued import ONE, X, ZERO
+from repro.simulation.codegen import FastStepper
+from repro.simulation.dual_codegen import DualFastStepper, plane_pair_trit
+
+from tests.helpers import pipelined_logic, random_circuit, toggle_counter
+
+
+def _random_trit(rng, x_bias=0.4):
+    roll = rng.random()
+    if roll < x_bias:
+        return X
+    return ONE if roll < x_bias + (1.0 - x_bias) / 2 else ZERO
+
+
+def _lane_tuple(values, cares, lane):
+    bit = 1 << lane
+    return tuple(
+        ((ONE if value & bit else ZERO) if care & bit else X)
+        for value, care in zip(values, cares)
+    )
+
+
+def _state_lane(pairs, lane):
+    return tuple(plane_pair_trit(pair, lane) for pair in pairs)
+
+
+def _pack_states(states):
+    """Pack one scalar register state per lane into plane pairs."""
+    packed = []
+    for regs in zip(*states):
+        value = 0
+        care = 0
+        for lane, trit in enumerate(regs):
+            if trit == ONE:
+                value |= 1 << lane
+                care |= 1 << lane
+            elif trit == ZERO:
+                care |= 1 << lane
+        packed.append((value, care))
+    return tuple(packed)
+
+
+def _scalar_verdicts(circuit, good, bad):
+    """(det, vdiff, sdiff, same) recomputed from the scalar step results."""
+    good_out, good_next, good_vals = good
+    bad_out, bad_next, bad_vals = bad
+    det = any(
+        g != X and b != X and g != b for g, b in zip(good_out, bad_out)
+    )
+    vdiff = any(
+        g != X and b != X and g != b for g, b in zip(good_vals, bad_vals)
+    )
+    sdiff = any(
+        g != X and b != X and g != b for g, b in zip(good_next, bad_next)
+    )
+    same = all(
+        g != X and b != X and g == b for g, b in zip(good_next, bad_next)
+    )
+    return det, vdiff, sdiff, same
+
+
+class TestSingleLaneAgainstScalar:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_trajectories_and_verdicts(self, seed):
+        circuit = random_circuit(seed, num_inputs=3, num_gates=16, num_dffs=3)
+        faults = collapse_faults(circuit).representatives
+        rng = random.Random(seed * 7 + 1)
+        dual = DualFastStepper(circuit)
+        good_step = FastStepper(circuit, compiled=dual.compiled).step
+        for fault in faults[:10]:
+            faulty_step = FastStepper(
+                circuit, fault=fault, compiled=dual.compiled
+            ).step
+            sa1, sa0 = dual.injection_masks(fault, width=1)
+            good_state = (X,) * circuit.num_registers()
+            bad_state = good_state
+            dual_good = dual.unknown_state()
+            dual_bad = dual.unknown_state()
+            for _ in range(6):
+                vector = tuple(
+                    _random_trit(rng) for _ in circuit.input_names
+                )
+                good = good_step(good_state, vector)
+                bad = faulty_step(bad_state, vector)
+                record = dual.step_dual(
+                    dual_good,
+                    dual_bad,
+                    dual.broadcast_vector(vector, width=1),
+                    1,
+                    sa1,
+                    sa0,
+                )
+                gv, gc, bv, bc, gn, bn, det, vdiff, sdiff, same = record
+                assert _lane_tuple(gv, gc, 0) == tuple(good[2])
+                assert _lane_tuple(bv, bc, 0) == tuple(bad[2])
+                assert _state_lane(gn, 0) == tuple(good[1])
+                assert _state_lane(bn, 0) == tuple(bad[1])
+                ref = _scalar_verdicts(circuit, good, bad)
+                assert (
+                    bool(det & 1),
+                    bool(vdiff & 1),
+                    bool(sdiff & 1),
+                    bool(same & 1),
+                ) == ref
+                good_state = tuple(good[1])
+                bad_state = tuple(bad[1])
+                dual_good = gn
+                dual_bad = bn
+
+    def test_plane_invariant_holds(self):
+        circuit = toggle_counter()
+        fault = collapse_faults(circuit).representatives[0]
+        dual = DualFastStepper(circuit)
+        sa1, sa0 = dual.injection_masks(fault, width=2)
+        rng = random.Random(3)
+        state_good = dual.unknown_state()
+        state_bad = dual.unknown_state()
+        for _ in range(8):
+            vectors = [
+                [_random_trit(rng) for _ in circuit.input_names]
+                for _ in range(2)
+            ]
+            record = dual.step_dual(
+                state_good, state_bad, dual.pack_vectors(vectors), 3, sa1, sa0
+            )
+            gv, gc, bv, bc, gn, bn = record[:6]
+            for values, cares in ((gv, gc), (bv, bc)):
+                for value, care in zip(values, cares):
+                    assert value & ~care == 0
+            for pairs in (gn, bn):
+                for value, care in pairs:
+                    assert value & ~care == 0
+            state_good, state_bad = gn, bn
+
+
+class TestMultiLane:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lanes_are_independent_scalar_runs(self, seed):
+        """Each packed lane must reproduce its own scalar trajectory."""
+        circuit = random_circuit(
+            seed + 50, num_inputs=3, num_gates=14, num_dffs=3
+        )
+        fault = collapse_faults(circuit).representatives[seed % 4]
+        width = 4
+        rng = random.Random(seed)
+        dual = DualFastStepper(circuit)
+        good_step = FastStepper(circuit, compiled=dual.compiled).step
+        faulty_step = FastStepper(
+            circuit, fault=fault, compiled=dual.compiled
+        ).step
+        sa1, sa0 = dual.injection_masks(fault, width=width)
+        scalar_good = [(X,) * circuit.num_registers() for _ in range(width)]
+        scalar_bad = list(scalar_good)
+        for _ in range(5):
+            vectors = [
+                [_random_trit(rng) for _ in circuit.input_names]
+                for _ in range(width)
+            ]
+            record = dual.step_dual(
+                _pack_states(scalar_good),
+                _pack_states(scalar_bad),
+                dual.pack_vectors(vectors),
+                (1 << width) - 1,
+                sa1,
+                sa0,
+            )
+            for lane in range(width):
+                good = good_step(scalar_good[lane], tuple(vectors[lane]))
+                bad = faulty_step(scalar_bad[lane], tuple(vectors[lane]))
+                assert _lane_tuple(record[0], record[1], lane) == tuple(good[2])
+                assert _lane_tuple(record[2], record[3], lane) == tuple(bad[2])
+                det, vdiff, sdiff, same = _scalar_verdicts(circuit, good, bad)
+                assert bool((record[6] >> lane) & 1) == det
+                assert bool((record[7] >> lane) & 1) == vdiff
+                assert bool((record[8] >> lane) & 1) == sdiff
+                assert bool((record[9] >> lane) & 1) == same
+                scalar_good[lane] = tuple(good[1])
+                scalar_bad[lane] = tuple(bad[1])
+
+
+class TestInjectionMasks:
+    def test_none_fault_is_all_clear(self):
+        dual = DualFastStepper(pipelined_logic())
+        sa1, sa0 = dual.injection_masks(None, width=2)
+        assert not any(sa1) and not any(sa0)
+
+    def test_single_slot_forced(self):
+        circuit = toggle_counter()
+        dual = DualFastStepper(circuit)
+        fault = collapse_faults(circuit).representatives[0]
+        sa1, sa0 = dual.injection_masks(fault, width=2)
+        forced = [i for i, v in enumerate(sa1) if v] + [
+            i for i, v in enumerate(sa0) if v
+        ]
+        assert len(forced) == 1
+        assert (sa1 + sa0).count(3) == 1  # both lanes forced on that slot

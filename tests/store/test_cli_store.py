@@ -53,18 +53,42 @@ class TestRunFlags:
     def test_pop_flags_defaults(self):
         positional, options = _pop_flags(["dk16", "ji", "sd"])
         assert positional == ["dk16", "ji", "sd"]
-        assert options == {"store": True, "resume": False, "workers": None}
+        assert options == {
+            "store": True,
+            "resume": False,
+            "workers": None,
+            "kernel": "dual",
+        }
 
     def test_pop_flags_parses_everything(self):
         positional, options = _pop_flags(
-            ["--no-store", "dk16", "--resume", "ji", "--workers", "3", "sd"]
+            [
+                "--no-store",
+                "dk16",
+                "--resume",
+                "ji",
+                "--workers",
+                "3",
+                "sd",
+                "--kernel",
+                "scalar",
+            ]
         )
         assert positional == ["dk16", "ji", "sd"]
-        assert options == {"store": False, "resume": True, "workers": 3}
+        assert options == {
+            "store": False,
+            "resume": True,
+            "workers": 3,
+            "kernel": "scalar",
+        }
 
     def test_workers_without_count_is_an_error(self):
         with pytest.raises(ValueError):
             _pop_flags(["--workers"])
+
+    def test_kernel_without_name_is_an_error(self):
+        with pytest.raises(ValueError):
+            _pop_flags(["--kernel"])
 
     def test_no_store_atpg_writes_nothing(self, capsys):
         assert main(["atpg", "--no-store", "dk16", "ji", "sd", "3"]) == 0
