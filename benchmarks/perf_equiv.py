@@ -1,0 +1,301 @@
+"""Equivalence-engine performance harness.
+
+Times the two explicit-STG engines -- the scalar ``reference`` engine
+(per-state ``SequentialSimulator`` sweeps, dict-based refinement,
+frozenset BFS) and the bit-packed ``bitset`` engine (all ``2^r`` states
+as lanes of one compiled step, array refinement, integer-bitset BFS) --
+on extraction, state classification and functional sync-sequence search,
+and writes the results to ``BENCH_equiv.json``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m benchmarks.perf_equiv --quick
+    PYTHONPATH=src python -m benchmarks.perf_equiv --full -o BENCH_equiv.json
+
+Every row cross-checks the two engines -- identical transition tables,
+identical classification block ids, identical sync sequence -- so a
+benchmark run is also an end-to-end parity check.  Each row records the
+parameters needed to regenerate its circuit (``circuit_from_params``),
+which is how ``benchmarks.perf_guard --equiv-baseline`` re-measures the
+bitset legs against a committed baseline.
+
+This module is *not* collected by pytest (``testpaths = ["tests"]``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import statistics
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit import Circuit, CircuitBuilder, GateType
+from repro.core.experiments import TABLE2_CIRCUITS, build_pair
+from repro.equivalence import classify, extract_stg, find_functional_sync_sequence
+from repro.simulation import clear_compile_cache
+
+# Sync-search budgets, shared by both engines so cutoffs are comparable.
+SYNC_MAX_LENGTH = 6
+SYNC_MAX_VISITED = 2_000
+
+QUICK_PARAMS: Tuple[Dict[str, object], ...] = (
+    {"kind": "table2", "spec": "dk16.ji.sd", "variant": "original"},
+    {"kind": "random", "seed": 7, "num_inputs": 3, "num_gates": 30, "num_dffs": 8},
+    {"kind": "random", "seed": 11, "num_inputs": 4, "num_gates": 45, "num_dffs": 10},
+)
+FULL_EXTRA_PARAMS: Tuple[Dict[str, object], ...] = (
+    {"kind": "random", "seed": 13, "num_inputs": 4, "num_gates": 60, "num_dffs": 12},
+    {"kind": "table2", "spec": "pma.jo.sd", "variant": "original"},
+)
+
+
+def _workload_random_circuit(
+    seed: int, num_inputs: int, num_gates: int, num_dffs: int
+) -> Circuit:
+    """A deterministic random sequential circuit for benchmark workloads.
+
+    Gates draw operands from earlier signals plus the registered feedback
+    names, so the circuit is sequential with feedback and free of
+    combinational cycles; dangling signals are attached to extra outputs
+    to keep the netlist strictly valid.
+    """
+    rng = random.Random(seed)
+    builder = CircuitBuilder(f"bench_rand{seed}_{num_dffs}d{num_inputs}i")
+    inputs = [builder.input(f"i{k}") for k in range(num_inputs)]
+    dff_names = [f"q{k}" for k in range(num_dffs)]
+    available = inputs + dff_names
+    gate_types = [
+        GateType.AND,
+        GateType.OR,
+        GateType.NAND,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.NOT,
+    ]
+    gates: List[str] = []
+    used = set()
+    for k in range(num_gates):
+        gate_type = rng.choice(gate_types)
+        arity = 1 if gate_type is GateType.NOT else rng.randint(2, 3)
+        operands = [rng.choice(available) for _ in range(arity)]
+        used.update(operands)
+        name = f"g{k}"
+        builder.gate(name, gate_type, operands)
+        gates.append(name)
+        available.append(name)
+    if len(gates) < num_dffs:
+        raise ValueError("need at least as many gates as flip-flops")
+    sources = rng.sample(gates, num_dffs)
+    for name, source in zip(dff_names, sources):
+        builder.dff(name, source)
+        used.add(source)
+    observed = set()
+    for k in range(2):
+        choice = rng.choice(gates)
+        builder.output(f"z{k}", choice)
+        observed.add(choice)
+    extra = 0
+    for signal in gates + dff_names:
+        if signal not in used and signal not in observed:
+            builder.output(f"zx{extra}", signal)
+            observed.add(signal)
+            extra += 1
+    return builder.build()
+
+
+def circuit_from_params(params: Dict[str, object]) -> Circuit:
+    """Regenerate a benchmark-row circuit from its recorded parameters."""
+    kind = params["kind"]
+    if kind == "table2":
+        spec = next(s for s in TABLE2_CIRCUITS if s.name == params["spec"])
+        pair = build_pair(spec)
+        return pair.retimed if params["variant"] == "retimed" else pair.original
+    if kind == "random":
+        return _workload_random_circuit(
+            int(params["seed"]),
+            int(params["num_inputs"]),
+            int(params["num_gates"]),
+            int(params["num_dffs"]),
+        )
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
+def _time(fn, repeats: int) -> Tuple[float, object]:
+    """Best-of-``repeats`` wall time and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def time_engine_leg(
+    circuit: Circuit, engine: str, repeats: int
+) -> Tuple[Dict[str, float], object, object, object]:
+    """(timings, stg, classification, sequence) for one engine on one row."""
+    classify_engine = "array" if engine == "bitset" else "reference"
+    extract_s, stg = _time(
+        lambda: extract_stg(circuit, engine=engine, use_store=False), repeats
+    )
+    classify_s, classification = _time(
+        lambda: classify([stg], engine=classify_engine), repeats
+    )
+    sync_s, sequence = _time(
+        lambda: find_functional_sync_sequence(
+            stg,
+            max_length=SYNC_MAX_LENGTH,
+            max_visited=SYNC_MAX_VISITED,
+            classification=classification,
+            engine=engine,
+        ),
+        repeats,
+    )
+    timings = {
+        "extract_s": extract_s,
+        "classify_s": classify_s,
+        "sync_s": sync_s,
+        "total_s": extract_s + classify_s + sync_s,
+    }
+    return timings, stg, classification, sequence
+
+
+def bench_row(params: Dict[str, object], repeats: int) -> Dict[str, object]:
+    """One benchmark row: both engines on one circuit, parity asserted."""
+    circuit = circuit_from_params(params)
+    # The scalar engine costs O(states x vectors x circuit) per repeat;
+    # best-of-1 keeps the harness bounded while the bitset side still gets
+    # warm-cache best-of-``repeats`` (compile cache shared within the run).
+    ref, ref_stg, ref_cls, ref_seq = time_engine_leg(circuit, "reference", 1)
+    bit, bit_stg, bit_cls, bit_seq = time_engine_leg(circuit, "bitset", repeats)
+
+    parity = (
+        ref_stg.next_index == bit_stg.next_index
+        and ref_stg.output_index == bit_stg.output_index
+        and ref_cls.class_of == bit_cls.class_of
+        and ref_seq == bit_seq
+    )
+    if not parity:
+        raise AssertionError(f"engine parity violated on {circuit.name}")
+
+    num_classes = len(set(bit_cls.class_array(0)))
+    row: Dict[str, object] = {
+        "circuit": circuit.name,
+        "params": params,
+        "num_gates": circuit.num_gates(),
+        "num_dffs": circuit.num_registers(),
+        "num_inputs": len(circuit.input_names),
+        "num_states": len(bit_stg.states),
+        "num_vectors": len(bit_stg.alphabet),
+        "num_classes": num_classes,
+        "sync_length": None if bit_seq is None else len(bit_seq),
+        "reference": {k: round(v, 4) for k, v in ref.items()},
+        "bitset": {k: round(v, 4) for k, v in bit.items()},
+        "speedup_extract": round(ref["extract_s"] / max(bit["extract_s"], 1e-9), 2),
+        "speedup_classify": round(
+            ref["classify_s"] / max(bit["classify_s"], 1e-9), 2
+        ),
+        "speedup_sync": round(ref["sync_s"] / max(bit["sync_s"], 1e-9), 2),
+        "speedup_total": round(ref["total_s"] / max(bit["total_s"], 1e-9), 2),
+        "parity": parity,
+    }
+    return row
+
+
+def run(args: argparse.Namespace) -> Dict[str, object]:
+    from benchmarks.provenance import open_bench_journal, provenance_meta
+
+    clear_compile_cache()
+    journal = open_bench_journal("bench-equiv")
+    if journal is not None:
+        journal.event("run_start", mode="full" if args.full else "quick")
+    workload = QUICK_PARAMS + (FULL_EXTRA_PARAMS if args.full else ())
+    rows: List[Dict[str, object]] = []
+    for params in workload:
+        print(f"  {params} ...", flush=True)
+        row = bench_row(params, args.repeats)
+        rows.append(row)
+        print(
+            f"    {row['circuit']}: reference {row['reference']['total_s']}s, "
+            f"bitset {row['bitset']['total_s']}s "
+            f"({row['speedup_total']}x total, "
+            f"{row['speedup_extract']}x extract)",
+            flush=True,
+        )
+    totals = [row["speedup_total"] for row in rows]
+    report = {
+        "meta": {
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": platform.python_version(),
+            "mode": "full" if args.full else "quick",
+            "workload": {
+                "repeats": args.repeats,
+                "sync_max_length": SYNC_MAX_LENGTH,
+                "sync_max_visited": SYNC_MAX_VISITED,
+            },
+            **provenance_meta(journal),
+        },
+        "circuits": rows,
+        "summary": {
+            "min_speedup_total": min(totals),
+            "geomean_speedup_total": round(statistics.geometric_mean(totals), 2),
+            "max_speedup_total": max(totals),
+            "geomean_speedup_extract": round(
+                statistics.geometric_mean(r["speedup_extract"] for r in rows), 2
+            ),
+            "all_engines_agree": all(row["parity"] for row in rows),
+        },
+    }
+    if journal is not None:
+        journal.close(ok=True)
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="extended workload incl. 12-register and input-heavy circuits",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="three-circuit quick set (the default; kept for explicitness)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_equiv.json",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="bitset timing repeats (best-of)"
+    )
+    args = parser.parse_args(argv)
+    if args.full and args.quick:
+        parser.error("--quick and --full are mutually exclusive")
+
+    print(f"equivalence-engine benchmark ({'full' if args.full else 'quick'} mode)")
+    report = run(args)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    summary = report["summary"]
+    print(
+        f"speedup bitset vs reference (total): "
+        f"min {summary['min_speedup_total']}x / "
+        f"geomean {summary['geomean_speedup_total']}x / "
+        f"max {summary['max_speedup_total']}x"
+    )
+    print(f"all engines agree: {summary['all_engines_agree']}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,4 @@
-"""CI perf guard: dual-kernel throughput vs the committed baseline.
+"""CI perf guard: kernel throughput vs the committed baselines.
 
 Re-runs the deterministic PODEM phase (serial engine, dual kernel) on the
 quick circuit set under the *baseline's own recorded budget* and compares
@@ -7,9 +7,18 @@ committed ``BENCH_atpg.json``.  The run fails when the geometric mean of
 the per-circuit ratios falls below ``--min-ratio`` (default 0.7, i.e. a
 >30% frames/sec regression).
 
+With ``--equiv-baseline BENCH_equiv.json`` it additionally regenerates
+each equivalence-benchmark circuit from the row's recorded parameters,
+re-times the bitset engine's extract + classify + sync-search leg, and
+fails when the geomean of baseline-time / current-time ratios falls
+below ``--equiv-min-ratio`` (default 0.5).  Deterministic row facts
+(class counts, sync-sequence length) are also re-checked, so a semantic
+regression of the bitset engine fails the guard even when it got faster.
+
 Run from the repository root::
 
-    PYTHONPATH=src python -m benchmarks.perf_guard --baseline BENCH_atpg.json
+    PYTHONPATH=src python -m benchmarks.perf_guard --baseline BENCH_atpg.json \
+        --equiv-baseline BENCH_equiv.json
 
 The geometric mean -- not the worst row -- is guarded so one noisy row on
 a shared runner cannot fail the build by itself; a real kernel regression
@@ -114,6 +123,58 @@ def run_guard(baseline_path: str, min_ratio: float) -> int:
     return 0
 
 
+def run_equiv_guard(baseline_path: str, min_ratio: float) -> int:
+    """Guard the bitset STG engine against its committed baseline."""
+    from benchmarks.perf_equiv import circuit_from_params, time_engine_leg
+
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    repeats = int(baseline["meta"]["workload"].get("repeats", 2))
+    clear_compile_cache()
+    ratios = []
+    for row in baseline["circuits"]:
+        circuit = circuit_from_params(row["params"])
+        timings, _, classification, sequence = time_engine_leg(
+            circuit, "bitset", repeats
+        )
+        num_classes = len(set(classification.class_array(0)))
+        sync_length = None if sequence is None else len(sequence)
+        if (num_classes, sync_length) != (
+            row["num_classes"],
+            row["sync_length"],
+        ):
+            print(
+                f"FAIL: {row['circuit']}: bitset engine results diverge from "
+                f"{baseline_path} (classes {num_classes} vs "
+                f"{row['num_classes']}, sync length {sync_length} vs "
+                f"{row['sync_length']})",
+                file=sys.stderr,
+            )
+            return 1
+        base = float(row["bitset"]["total_s"])
+        ratio = base / max(timings["total_s"], 1e-9)
+        ratios.append(ratio)
+        print(
+            f"  {row['circuit']}: baseline {base:.4f}s, "
+            f"current {timings['total_s']:.4f}s (ratio {ratio:.2f})",
+            flush=True,
+        )
+    geomean = statistics.geometric_mean(ratios)
+    print(
+        f"geomean equiv-engine time ratio: {geomean:.2f} "
+        f"(min allowed {min_ratio})"
+    )
+    if geomean < min_ratio:
+        print(
+            f"FAIL: bitset STG engine slowed down more than "
+            f"{(1.0 / min_ratio):.1f}x vs {baseline_path}",
+            file=sys.stderr,
+        )
+        return 1
+    print("equiv perf guard passed")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -128,8 +189,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="minimum allowed current/baseline frames-per-sec geomean "
         "(default: %(default)s, i.e. fail on a >30%% regression)",
     )
+    parser.add_argument(
+        "--equiv-baseline",
+        default=None,
+        help="equivalence-engine baseline (BENCH_equiv.json) to also guard",
+    )
+    parser.add_argument(
+        "--equiv-min-ratio",
+        type=float,
+        default=0.5,
+        help="minimum allowed baseline/current equiv-time geomean "
+        "(default: %(default)s, i.e. fail on a >2x slowdown)",
+    )
     args = parser.parse_args(argv)
-    return run_guard(args.baseline, args.min_ratio)
+    status = run_guard(args.baseline, args.min_ratio)
+    if args.equiv_baseline is not None:
+        equiv_status = run_equiv_guard(args.equiv_baseline, args.equiv_min_ratio)
+        status = status or equiv_status
+    return status
 
 
 if __name__ == "__main__":

@@ -6,6 +6,8 @@ equivalent-state class {01, 10, 11}, and the two machines are
 space-equivalent; <11> synchronizes both to equivalent states (Theorem 1).
 """
 
+import pytest
+
 from repro.equivalence import classify, extract_stg, space_equivalent, states_equivalent
 from repro.papercircuits import fig2_pair
 from repro.simulation import SequentialSimulator
@@ -19,11 +21,13 @@ def test_fig2_characteristics(benchmark):
     assert c2.num_registers() == 2
 
 
-def test_fig2_state_space(benchmark):
+@pytest.mark.parametrize("engine", ["bitset", "reference"])
+def test_fig2_state_space(benchmark, engine):
     c1, c2, _ = fig2_pair()
 
     def analyse():
-        stg1, stg2 = extract_stg(c1), extract_stg(c2)
+        stg1 = extract_stg(c1, engine=engine, use_store=False)
+        stg2 = extract_stg(c2, engine=engine, use_store=False)
         equivalent = space_equivalent(stg1, stg2)
         classes = classify([stg2]).equivalence_classes(0)
         return stg1, stg2, equivalent, classes

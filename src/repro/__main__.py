@@ -11,6 +11,11 @@ Commands:
   benchmark circuit and print the test set (``testset`` text format);
 * ``flow <fsm> <style> <script> [seconds]`` — run the Fig. 6
   retime-for-testability flow on the retimed circuit;
+* ``equiv <fsm> <style> <script>`` — explicit state-space analysis: state
+  counts, equivalence classes and the shortest functional synchronizing
+  sequence (``--engine bitset|reference`` selects the STG engine,
+  ``--retimed`` analyses the retimed circuit, ``--max-length N`` bounds the
+  sequence search); prints artifact-store hit/miss stats;
 * ``store stats`` / ``store gc [max_bytes]`` / ``store clear`` — inspect,
   size-bound or empty the persistent artifact store.
 
@@ -65,7 +70,15 @@ def _budget(argv, position) -> AtpgBudget:
 
 def _pop_flags(rest):
     """Split ``rest`` into positionals and the shared option set."""
-    options = {"store": True, "resume": False, "workers": None, "kernel": "dual"}
+    options = {
+        "store": True,
+        "resume": False,
+        "workers": None,
+        "kernel": "dual",
+        "engine": None,
+        "retimed": False,
+        "max_length": None,
+    }
     positional = []
     index = 0
     while index < len(rest):
@@ -76,6 +89,8 @@ def _pop_flags(rest):
             options["store"] = False
         elif argument == "--resume":
             options["resume"] = True
+        elif argument == "--retimed":
+            options["retimed"] = True
         elif argument == "--workers":
             index += 1
             if index >= len(rest):
@@ -86,6 +101,16 @@ def _pop_flags(rest):
             if index >= len(rest):
                 raise ValueError("--kernel needs a name (dual or scalar)")
             options["kernel"] = rest[index]
+        elif argument == "--engine":
+            index += 1
+            if index >= len(rest):
+                raise ValueError("--engine needs a name (bitset or reference)")
+            options["engine"] = rest[index]
+        elif argument == "--max-length":
+            index += 1
+            if index >= len(rest):
+                raise ValueError("--max-length needs a count")
+            options["max_length"] = int(rest[index])
         else:
             positional.append(argument)
         index += 1
@@ -102,6 +127,60 @@ def _open_run(options, label):
         RunJournal.create(store.journal_dir, label) if store is not None else None
     )
     return store, journal
+
+
+def _equiv_command(spec, options) -> int:
+    """Explicit state-space analysis of one benchmark circuit."""
+    from repro.equivalence import (
+        DEFAULT_ENGINE,
+        StateSpaceTooLarge,
+        classify,
+        extract_stg,
+        find_functional_sync_sequence,
+    )
+    from repro.store.core import default_store
+
+    store = default_store() if options["store"] else None
+    pair = build_pair(spec, store=store)
+    circuit = pair.retimed if options["retimed"] else pair.original
+    engine = options["engine"]
+    max_length = options["max_length"] if options["max_length"] is not None else 8
+    try:
+        stg = extract_stg(circuit, engine=engine, use_store=options["store"])
+    except StateSpaceTooLarge as error:
+        print(f"state space too large: {error}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    classification = classify([stg])
+    num_classes = len(set(classification.class_array(0)))
+    sequence = find_functional_sync_sequence(
+        stg, max_length=max_length, classification=classification
+    )
+    print(
+        f"circuit {circuit.name}: {circuit.num_gates()} gates, "
+        f"{circuit.num_registers()} dffs, {len(circuit.input_names)} inputs"
+    )
+    print(
+        f"engine {engine or DEFAULT_ENGINE}: {len(stg.states)} states x "
+        f"{len(stg.alphabet)} vectors, {num_classes} equivalence classes"
+    )
+    if sequence is None:
+        print(f"functional sync sequence: none found (max length {max_length})")
+    elif not sequence:
+        print("functional sync sequence: empty (all states already equivalent)")
+    else:
+        rendered = " ".join("".join(str(bit) for bit in v) for v in sequence)
+        print(f"functional sync sequence ({len(sequence)} vectors): {rendered}")
+    if store is not None:
+        stats = store.stats
+        print(
+            f"store: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.writes} writes",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def _store_command(rest) -> int:
@@ -144,7 +223,7 @@ def main(argv=None) -> int:
     if command == "store":
         return _store_command(rest)
 
-    if command in ("synth", "retime", "atpg", "flow"):
+    if command in ("synth", "retime", "atpg", "flow", "equiv"):
         try:
             rest, options = _pop_flags(rest)
         except ValueError as error:
@@ -158,6 +237,8 @@ def main(argv=None) -> int:
         if command == "synth":
             sys.stdout.write(write_bench(build_pair(spec).original))
             return 0
+        if command == "equiv":
+            return _equiv_command(spec, options)
         if command == "retime":
             pair = build_pair(spec)
             rows = [

@@ -88,6 +88,7 @@ class PreservationReport:
     retimed_detected: int
     missed: List[StuckAtFault] = field(default_factory=list)
     explained_by_register_split: List[StuckAtFault] = field(default_factory=list)
+    time_equivalence_checked: bool = False  # Lemma 2 STG check ran and held
 
     @property
     def holds(self) -> bool:
@@ -101,6 +102,8 @@ def verify_preservation(
     test_set: TestSet,
     retimed: Optional[Circuit] = None,
     engine: str = "parallel",
+    check_time_equivalence: bool = False,
+    stg_engine: Optional[str] = None,
 ) -> PreservationReport:
     """Empirically check Theorem 4 on a test set.
 
@@ -110,6 +113,12 @@ def verify_preservation(
     corresponding class in the original went undetected (the register
     split/merge effect of Section V.C: those are expected misses and are
     reported separately).
+
+    With ``check_time_equivalence=True`` the report additionally validates
+    Lemma 2 on the explicit state space (``K ≡Nt K'`` with the plan's
+    bound) via the STG engine selected by ``stg_engine``; machines beyond
+    the engine's limits skip the check (``time_equivalence_checked`` stays
+    False), a bound violation raises :class:`ValueError`.
     """
     retimed_circuit = retimed if retimed is not None else retiming.apply()
     correspondence = FaultCorrespondence(original, retimed_circuit)
@@ -141,6 +150,29 @@ def verify_preservation(
         retimed_faults=len(retimed_faults),
         retimed_detected=result_retimed.num_detected,
     )
+    if check_time_equivalence:
+        from repro.equivalence import (
+            StateSpaceTooLarge,
+            extract_stg,
+            time_equivalence_bound,
+        )
+
+        try:
+            stg_original = extract_stg(original, engine=stg_engine)
+            stg_retimed = extract_stg(retimed_circuit, engine=stg_engine)
+        except StateSpaceTooLarge:
+            pass  # machine too large for the chosen engine: skip, don't fail
+        else:
+            found = time_equivalence_bound(
+                stg_original, stg_retimed, max_steps=plan.time_equivalence_bound
+            )
+            if found is None:
+                raise ValueError(
+                    f"{original.name} and {retimed_circuit.name} are not "
+                    f"{plan.time_equivalence_bound}-time-equivalent: "
+                    "Lemma 2 violated"
+                )
+            report.time_equivalence_checked = True
     for fault in retimed_faults:
         if fault in result_retimed.detections:
             continue

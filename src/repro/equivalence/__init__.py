@@ -3,10 +3,20 @@
 STG extraction (including faulty machines), state equivalence via joint
 partition refinement, space/time containment and equivalence relations, and
 structural/functional synchronizing sequences.
+
+Extraction, classification and the functional sync-sequence searches all
+run on a bit-packed engine by default (flat transition tables built by
+lane-parallel simulation, state sets as int bitsets); the scalar seed
+implementations stay available as ``engine="reference"`` and are asserted
+result-identical by the cross-engine parity suite.
 """
 
 from repro.equivalence.explicit import (
+    DEFAULT_ENGINE,
+    ENGINE_LIMITS,
+    EngineLimits,
     ExplicitSTG,
+    STG_FORMAT_VERSION,
     StateSpaceTooLarge,
     all_vectors,
     extract_stg,
@@ -33,6 +43,10 @@ from repro.equivalence.syncseq import (
 
 __all__ = [
     "ExplicitSTG",
+    "EngineLimits",
+    "ENGINE_LIMITS",
+    "DEFAULT_ENGINE",
+    "STG_FORMAT_VERSION",
     "extract_stg",
     "all_vectors",
     "StateSpaceTooLarge",

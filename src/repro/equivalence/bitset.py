@@ -1,0 +1,214 @@
+"""Bit-packed state-space kernel: lane-parallel STG extraction and bitset ops.
+
+The explicit state-transition-graph layer used to enumerate all
+``2^r x 2^i`` (state, vector) pairs one scalar simulation at a time.  This
+module packs **all ``2^r`` initial states as lanes** of the compiled
+bit-parallel stepper (:class:`~repro.simulation.vector_codegen.
+VectorFastStepper`): one ``step_clean``/``step_inject`` call per input
+vector advances every state of the machine simultaneously, and the
+resulting next-state/output rail planes are decoded into flat integer
+arrays indexed ``[vector_idx][state_idx]``.
+
+Lane numbering is the state index itself: lane ``s`` carries the state
+whose register bits are the binary digits of ``s`` (register ``j`` holds
+bit ``r - 1 - j``), which is exactly the lexicographic order of
+:func:`repro.equivalence.explicit.all_vectors`.
+
+The second half of the module is bitset arithmetic over state *sets*
+represented as plain Python ints (bit ``s`` set <=> state index ``s`` in
+the set): byte-table iteration over members and table-driven set images
+(``image_bitset``), the primitives behind the functional synchronizing-
+sequence searches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.faults.model import StuckAtFault
+from repro.simulation.cache import vector_fast_stepper
+
+#: Offsets of the set bits of every byte value -- the work table for
+#: C-speed iteration over bitset members via ``int.to_bytes``.
+BYTE_BITS: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple(bit for bit in range(8) if byte >> bit & 1) for byte in range(256)
+)
+
+
+# -- bitset primitives -------------------------------------------------------
+
+
+def iter_bit_indices(bits: int, num_bits: int) -> Iterator[int]:
+    """Indices of the set bits of ``bits``, ascending.
+
+    Byte-table based: O(num_bits / 8) C-level iteration plus one small-int
+    step per member, instead of O(popcount) big-int ``bits & -bits`` scans
+    (quadratic for dense sets over large state spaces).
+    """
+    table = BYTE_BITS
+    data = bits.to_bytes((num_bits + 7) // 8, "little")
+    for base, byte in enumerate(data):
+        if byte:
+            base8 = base << 3
+            for offset in table[byte]:
+                yield base8 | offset
+
+
+def bitset_from_indices(indices: Iterable[int]) -> int:
+    bits = 0
+    for index in indices:
+        bits |= 1 << index
+    return bits
+
+
+def image_bitset(row: Sequence[int], bits: int, num_bits: int) -> int:
+    """Image of the state set ``bits`` under the successor table ``row``.
+
+    ``row[s]`` is the successor *index* of state ``s`` under one fixed
+    input vector.  The image is accumulated in a bytearray (O(1) per
+    member) rather than by OR-ing ``1 << row[s]`` big ints (O(words) per
+    member), so dense images over large state spaces stay linear.
+    """
+    out = bytearray((num_bits + 7) // 8)
+    table = BYTE_BITS
+    data = bits.to_bytes(len(out), "little")
+    for base, byte in enumerate(data):
+        if byte:
+            base8 = base << 3
+            for offset in table[byte]:
+                target = row[base8 | offset]
+                out[target >> 3] |= 1 << (target & 7)
+    return int.from_bytes(out, "little")
+
+
+# -- lane packing ------------------------------------------------------------
+
+
+def state_plane(register: int, num_registers: int) -> int:
+    """The ones-rail of register ``register`` with all ``2^r`` states packed
+    one per lane: bit ``s`` is set iff state ``s`` has that register at 1.
+
+    Register ``j`` carries index bit ``p = r - 1 - j``, so the plane is the
+    classic alternating mask (``...1100`` for ``p = 1``), built by doubling
+    rather than per-lane loops.
+    """
+    position = num_registers - 1 - register
+    half = 1 << position
+    unit = ((1 << half) - 1) << half  # one period: 2^p zeros then 2^p ones
+    width = half << 1
+    total = 1 << num_registers
+    while width < total:
+        unit |= unit << width
+        width <<= 1
+    return unit
+
+
+def all_state_lanes(num_registers: int) -> Tuple[Tuple[int, int], ...]:
+    """Dual-rail packing of the full binary state space, one state per lane."""
+    total = 1 << num_registers
+    mask = (1 << total) - 1
+    rails = []
+    for register in range(num_registers):
+        ones = state_plane(register, num_registers)
+        rails.append((ones, mask ^ ones))
+    return tuple(rails)
+
+
+def decode_plane_into(
+    indices: List[int], ones: int, weight: int, num_lanes: int
+) -> None:
+    """Add ``weight`` to ``indices[s]`` for every set lane of ``ones``."""
+    table = BYTE_BITS
+    data = ones.to_bytes((num_lanes + 7) // 8, "little")
+    for base, byte in enumerate(data):
+        if byte:
+            base8 = base << 3
+            for offset in table[byte]:
+                indices[base8 | offset] += weight
+
+
+# -- lane-parallel STG extraction -------------------------------------------
+
+
+def extract_arrays_bitset(
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    alphabet: Sequence[Tuple[int, ...]],
+) -> Tuple[Tuple[Tuple[int, ...], ...], Tuple[Tuple[int, ...], ...]]:
+    """``(next_index, output_index)`` flat tables for the (faulty) machine.
+
+    One compiled bit-parallel step per input vector, all ``2^r`` states in
+    lanes; stuck-at faults are injected through the stepper's runtime
+    ``sa1``/``sa0`` masks over the full lane width, so the same compiled
+    function serves the fault-free and every faulty machine.
+    """
+    stepper = vector_fast_stepper(circuit)
+    num_registers = stepper.compiled.num_registers
+    num_lanes = 1 << num_registers
+    mask = (1 << num_lanes) - 1
+    state_rails = all_state_lanes(num_registers)
+
+    if faults:
+        sa1, sa0 = stepper.blank_injection_masks()
+        # Last fault wins per line, matching the reference simulator's
+        # forced-value dict (a later s-a-1 on a line overrides an earlier
+        # s-a-0 rather than producing a contradictory X).
+        forced = {fault.line: fault.value for fault in faults}
+        for line, value in forced.items():
+            slot = stepper.line_slot[line]
+            if value == 1:
+                sa1[slot] = mask
+            else:
+                sa0[slot] = mask
+        step = lambda vector: stepper.step_inject(  # noqa: E731
+            state_rails, vector, mask, sa1, sa0
+        )
+    else:
+        step = lambda vector: stepper.step_clean(  # noqa: E731
+            state_rails, vector, mask
+        )
+
+    num_outputs = len(circuit.output_names)
+    next_index: List[Tuple[int, ...]] = []
+    output_index: List[Tuple[int, ...]] = []
+    for vector in alphabet:
+        packed = stepper.broadcast_vector(vector, num_lanes)
+        out_rails, next_rails = step(packed)
+        next_row = [0] * num_lanes
+        for register, (ones, zeros) in enumerate(next_rails):
+            _check_binary(circuit, ones, zeros, mask, "register", register)
+            decode_plane_into(
+                next_row, ones, 1 << (num_registers - 1 - register), num_lanes
+            )
+        out_row = [0] * num_lanes
+        for position, (ones, zeros) in enumerate(out_rails):
+            _check_binary(circuit, ones, zeros, mask, "output", position)
+            decode_plane_into(
+                out_row, ones, 1 << (num_outputs - 1 - position), num_lanes
+            )
+        next_index.append(tuple(next_row))
+        output_index.append(tuple(out_row))
+    return tuple(next_index), tuple(output_index)
+
+
+def _check_binary(
+    circuit: Circuit, ones: int, zeros: int, mask: int, what: str, position: int
+) -> None:
+    if (ones ^ zeros) & mask != mask:
+        raise ValueError(
+            f"{circuit.name}: {what} {position} is not binary on every lane; "
+            "the STG engines require binary states and input vectors"
+        )
+
+
+__all__ = [
+    "BYTE_BITS",
+    "all_state_lanes",
+    "bitset_from_indices",
+    "decode_plane_into",
+    "extract_arrays_bitset",
+    "image_bitset",
+    "iter_bit_indices",
+    "state_plane",
+]

@@ -4,85 +4,417 @@ The paper's Section II definitions (state equivalence, space/time
 containment, functional synchronizing sequences) are all properties of the
 state transition graph.  For circuits with a modest number of flip-flops
 (the paper's examples have 1-3, the synthesized benchmarks 5-7) the STG can
-be built exactly by enumerating all binary states and input vectors and
-simulating one clock cycle for each pair.
+be built exactly by enumerating all binary states and input vectors.
 
-Faulty machines are first-class: pass a fault to :func:`extract_stg` to get
-the STG of the faulty circuit ``K^f``.
+Two engines build the same tables:
+
+* ``engine="bitset"`` (default) packs all ``2^r`` initial states as lanes
+  of the compiled bit-parallel stepper and advances the whole state space
+  with **one vectorized step per input vector**
+  (:mod:`repro.equivalence.bitset`);
+* ``engine="reference"`` runs one scalar
+  :class:`~repro.simulation.sequential.SequentialSimulator` step per
+  (state, vector) pair -- the obviously-correct engine the bitset engine is
+  cross-checked against.
+
+Either way the machine is stored as **flat integer tables** indexed
+``[vector_idx][state_idx]``: ``next_index`` holds successor state indices,
+``output_index`` holds output vectors packed MSB-first into ints.  The
+:class:`ExplicitSTG` facade keeps the historical dict-style ``next_state``
+/ ``output`` mappings as lazy views, and exposes the index/bitset API the
+classification and sync-sequence searches run on.
+
+Faulty machines are first-class: pass a fault (or a sequence of faults, for
+multiple-fault machines) to :func:`extract_stg` to get the STG of the
+faulty circuit ``K^f``.  Extracted tables are memoized in the
+content-addressed artifact store (kind ``stg``) keyed by circuit digest,
+fault coordinates and alphabet; ``use_store=False`` or
+``REPRO_STORE_DISABLE=1`` bypasses the store.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.circuit.netlist import Circuit
+from repro.equivalence import bitset as _bitset
 from repro.faults.model import StuckAtFault
 from repro.simulation.sequential import SequentialSimulator
 
 State = Tuple[int, ...]
 Vector = Tuple[int, ...]
 
-MAX_EXPLICIT_REGISTERS = 16
-MAX_EXPLICIT_INPUTS = 10
+#: Bump when the ``stg`` artifact payload layout or table semantics change;
+#: folded into :func:`repro.store.core.schema_version`.
+STG_FORMAT_VERSION = 1
+
+DEFAULT_ENGINE = "bitset"
+
+
+@dataclass(frozen=True)
+class EngineLimits:
+    """Largest machine one extraction engine will enumerate."""
+
+    registers: int
+    inputs: int
+    transitions: Optional[int]  # cap on 2^r * |alphabet|; None = unchecked
+
+
+#: Measured on the benchmark sweep (see ``BENCH_equiv.json``): the bitset
+#: engine sustains 2^18-state sweeps in seconds where the scalar reference
+#: engine is already minutes at 2^12.  The reference engine keeps its
+#: historical caps so ``engine="reference"`` behaves exactly like the seed.
+ENGINE_LIMITS: Dict[str, EngineLimits] = {
+    "bitset": EngineLimits(registers=18, inputs=12, transitions=1 << 22),
+    "reference": EngineLimits(registers=16, inputs=10, transitions=None),
+}
+
+MAX_EXPLICIT_REGISTERS = ENGINE_LIMITS[DEFAULT_ENGINE].registers
+MAX_EXPLICIT_INPUTS = ENGINE_LIMITS[DEFAULT_ENGINE].inputs
 
 
 class StateSpaceTooLarge(ValueError):
     """Raised when explicit enumeration would be intractable."""
 
 
-@dataclass(frozen=True)
-class ExplicitSTG:
-    """A fully enumerated Mealy machine."""
+def _require_engine(engine: Optional[str]) -> str:
+    engine = DEFAULT_ENGINE if engine is None else engine
+    if engine not in ENGINE_LIMITS:
+        raise ValueError(
+            f"unknown STG engine {engine!r} (choose from "
+            f"{', '.join(sorted(ENGINE_LIMITS))})"
+        )
+    return engine
 
-    name: str
-    num_inputs: int
-    num_registers: int
-    alphabet: Tuple[Vector, ...]
-    states: Tuple[State, ...]
-    next_state: Dict[Tuple[State, Vector], State]
-    output: Dict[Tuple[State, Vector], Tuple[int, ...]]
+
+def _pack_bits(bits: Sequence[int]) -> int:
+    packed = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(
+                f"STG tables require binary values, got {bit!r} in {tuple(bits)}"
+            )
+        packed = packed << 1 | bit
+    return packed
+
+
+def _unpack_bits(packed: int, width: int) -> Tuple[int, ...]:
+    return tuple((packed >> (width - 1 - position)) & 1 for position in range(width))
+
+
+class _TableView(Mapping):
+    """Read-only dict-compatible view over one flat (vector, state) table."""
+
+    __slots__ = ("_stg", "_lookup")
+
+    def __init__(self, stg: "ExplicitSTG", lookup) -> None:
+        self._stg = stg
+        self._lookup = lookup
+
+    def __getitem__(self, key):
+        state, vector = key
+        stg = self._stg
+        try:
+            state_idx = stg._state_index[tuple(state)]
+            vector_idx = stg._vector_index[tuple(vector)]
+        except KeyError:
+            raise KeyError(key) from None
+        return self._lookup(stg, vector_idx, state_idx)
+
+    def __iter__(self):
+        for state in self._stg.states:
+            for vector in self._stg.alphabet:
+                yield (state, vector)
+
+    def __len__(self) -> int:
+        return len(self._stg.states) * len(self._stg.alphabet)
+
+
+def _next_lookup(stg: "ExplicitSTG", vector_idx: int, state_idx: int) -> State:
+    return stg.states[stg.next_index[vector_idx][state_idx]]
+
+def _output_lookup(
+    stg: "ExplicitSTG", vector_idx: int, state_idx: int
+) -> Tuple[int, ...]:
+    return stg.output_tuple(stg.output_index[vector_idx][state_idx])
+
+
+class ExplicitSTG:
+    """A fully enumerated Mealy machine over flat transition tables.
+
+    State ``states[s]`` and vector ``alphabet[v]`` meet at table slot
+    ``[v][s]``: ``next_index[v][s]`` is the successor *state index*,
+    ``output_index[v][s]`` the output vector packed MSB-first into an int.
+    The historical dict-style constructor (``next_state``/``output`` keyed
+    by ``(state, vector)``) still works and is converted to tables.
+
+    State *sets* travel as Python-int bitsets (bit ``s`` <=> ``states[s]``)
+    through :meth:`bitset_of_states` / :meth:`states_of_bitset` /
+    :meth:`image_bitset`; set images are memoized per ``(vector_idx,
+    bitset)``.  Per-vector successor-state tuples are cached so the
+    frozenset-facing API (:meth:`successors`, :meth:`step_set`) stops
+    re-hashing ``(state, vector)`` pair keys.
+    """
+
+    __slots__ = (
+        "name",
+        "num_inputs",
+        "num_registers",
+        "num_outputs",
+        "alphabet",
+        "states",
+        "next_index",
+        "output_index",
+        "_state_index",
+        "_vector_index",
+        "_successor_states",
+        "_output_tuples",
+        "_image_memo",
+        "_image_hits",
+        "_image_misses",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        num_inputs: int,
+        num_registers: int,
+        alphabet: Sequence[Vector],
+        states: Sequence[State],
+        next_state: Optional[Mapping[Tuple[State, Vector], State]] = None,
+        output: Optional[Mapping[Tuple[State, Vector], Tuple[int, ...]]] = None,
+        *,
+        num_outputs: Optional[int] = None,
+        next_index: Optional[Sequence[Sequence[int]]] = None,
+        output_index: Optional[Sequence[Sequence[int]]] = None,
+    ) -> None:
+        self.name = name
+        self.num_inputs = num_inputs
+        self.num_registers = num_registers
+        self.alphabet: Tuple[Vector, ...] = tuple(tuple(v) for v in alphabet)
+        self.states: Tuple[State, ...] = tuple(tuple(s) for s in states)
+        self._state_index: Dict[State, int] = {
+            state: index for index, state in enumerate(self.states)
+        }
+        self._vector_index: Dict[Vector, int] = {
+            vector: index for index, vector in enumerate(self.alphabet)
+        }
+        if next_index is None or output_index is None:
+            if next_state is None or output is None:
+                raise TypeError(
+                    "ExplicitSTG needs either (next_state, output) mappings "
+                    "or (next_index, output_index) tables"
+                )
+            next_index, output_index, inferred = self._tables_from_dicts(
+                next_state, output
+            )
+            if num_outputs is None:
+                num_outputs = inferred
+        if num_outputs is None:
+            raise TypeError("num_outputs is required with table construction")
+        self.num_outputs = num_outputs
+        self.next_index: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(row) for row in next_index
+        )
+        self.output_index: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(row) for row in output_index
+        )
+        self._successor_states: List[Optional[Tuple[State, ...]]] = [None] * len(
+            self.alphabet
+        )
+        self._output_tuples: Dict[int, Tuple[int, ...]] = {}
+        self._image_memo: Dict[Tuple[int, int], int] = {}
+        self._image_hits = 0
+        self._image_misses = 0
+
+    def _tables_from_dicts(self, next_state, output):
+        num_outputs = 0
+        for value in output.values():
+            num_outputs = len(value)
+            break
+        next_rows: List[Tuple[int, ...]] = []
+        output_rows: List[Tuple[int, ...]] = []
+        state_index = self._state_index
+        for vector in self.alphabet:
+            next_rows.append(
+                tuple(
+                    state_index[tuple(next_state[(state, vector)])]
+                    for state in self.states
+                )
+            )
+            output_rows.append(
+                tuple(_pack_bits(output[(state, vector)]) for state in self.states)
+            )
+        return tuple(next_rows), tuple(output_rows), num_outputs
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplicitSTG({self.name!r}, states={len(self.states)}, "
+            f"vectors={len(self.alphabet)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExplicitSTG):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.num_inputs == other.num_inputs
+            and self.num_registers == other.num_registers
+            and self.num_outputs == other.num_outputs
+            and self.alphabet == other.alphabet
+            and self.states == other.states
+            and self.next_index == other.next_index
+            and self.output_index == other.output_index
+        )
+
+    __hash__ = None  # mutable caches inside; identity-free hashing is a trap
+
+    # -- dict-compatible views ---------------------------------------------
+
+    @property
+    def next_state(self) -> Mapping[Tuple[State, Vector], State]:
+        """``(state, vector) -> successor state`` view over the tables."""
+        return _TableView(self, _next_lookup)
+
+    @property
+    def output(self) -> Mapping[Tuple[State, Vector], Tuple[int, ...]]:
+        """``(state, vector) -> output tuple`` view over the tables."""
+        return _TableView(self, _output_lookup)
+
+    # -- index arithmetic ---------------------------------------------------
+
+    def index_of_state(self, state: State) -> int:
+        return self._state_index[tuple(state)]
+
+    def index_of_vector(self, vector: Vector) -> int:
+        return self._vector_index[tuple(vector)]
+
+    def output_tuple(self, packed: int) -> Tuple[int, ...]:
+        """Unpack one ``output_index`` entry into the historical tuple form."""
+        cached = self._output_tuples.get(packed)
+        if cached is None:
+            cached = _unpack_bits(packed, self.num_outputs)
+            self._output_tuples[packed] = cached
+        return cached
+
+    def successor_table(self, vector_index: int) -> Tuple[State, ...]:
+        """``state_idx -> successor State`` for one vector, built once."""
+        table = self._successor_states[vector_index]
+        if table is None:
+            states = self.states
+            table = tuple(states[i] for i in self.next_index[vector_index])
+            self._successor_states[vector_index] = table
+        return table
+
+    # -- bitset state sets --------------------------------------------------
+
+    @property
+    def full_bitset(self) -> int:
+        """The set of all states, as a bitset."""
+        return (1 << len(self.states)) - 1
+
+    def bitset_of_states(self, states: Iterable[State]) -> int:
+        index = self._state_index
+        return _bitset.bitset_from_indices(index[tuple(s)] for s in states)
+
+    def states_of_bitset(self, bits: int) -> FrozenSet[State]:
+        states = self.states
+        return frozenset(
+            states[i] for i in _bitset.iter_bit_indices(bits, len(states))
+        )
+
+    def iter_bitset_indices(self, bits: int) -> Iterator[int]:
+        return _bitset.iter_bit_indices(bits, len(self.states))
+
+    def image_bitset(self, bits: int, vector_index: int) -> int:
+        """Image of the state set ``bits`` under ``alphabet[vector_index]``,
+        memoized per ``(vector_index, bits)``."""
+        key = (vector_index, bits)
+        memo = self._image_memo
+        cached = memo.get(key)
+        if cached is not None:
+            self._image_hits += 1
+            return cached
+        self._image_misses += 1
+        result = _bitset.image_bitset(
+            self.next_index[vector_index], bits, len(self.states)
+        )
+        memo[key] = result
+        return result
+
+    def step_all_bitset(self, bits: int) -> int:
+        """Union of the images of ``bits`` under every alphabet vector."""
+        result = 0
+        for vector_index in range(len(self.alphabet)):
+            result |= self.image_bitset(bits, vector_index)
+        return result
+
+    def states_after_bitset(self, steps: int) -> int:
+        bits = self.full_bitset
+        for _ in range(steps):
+            bits = self.step_all_bitset(bits)
+        return bits
+
+    def image_cache_stats(self) -> Dict[str, int]:
+        return {
+            "hits": self._image_hits,
+            "misses": self._image_misses,
+            "entries": len(self._image_memo),
+        }
+
+    # -- historical frozenset/tuple API ------------------------------------
 
     def successors(self, state: State) -> List[State]:
-        return [self.next_state[(state, vector)] for vector in self.alphabet]
+        state_idx = self._state_index[state]
+        return [
+            self.successor_table(vector_index)[state_idx]
+            for vector_index in range(len(self.alphabet))
+        ]
 
     def step_set(self, states: Iterable[State], vector: Vector) -> FrozenSet[State]:
         """Image of a state set under one input vector."""
-        return frozenset(self.next_state[(state, vector)] for state in states)
+        table = self.successor_table(self._vector_index[tuple(vector)])
+        index = self._state_index
+        return frozenset(table[index[state]] for state in states)
 
-    def run(self, state: State, vectors: Sequence[Vector]) -> Tuple[State, List[Tuple[int, ...]]]:
+    def run(
+        self, state: State, vectors: Sequence[Vector]
+    ) -> Tuple[State, List[Tuple[int, ...]]]:
         """Final state and per-cycle outputs from ``state`` under ``vectors``."""
         outputs = []
-        current = state
+        current = self._state_index[tuple(state)]
         for vector in vectors:
-            outputs.append(self.output[(current, vector)])
-            current = self.next_state[(current, vector)]
-        return current, outputs
+            vector_index = self._vector_index[tuple(vector)]
+            outputs.append(self.output_tuple(self.output_index[vector_index][current]))
+            current = self.next_index[vector_index][current]
+        return self.states[current], outputs
 
     def states_after(self, steps: int) -> FrozenSet[State]:
         """``K_i``: states reachable from *any* state after ``i`` transitions."""
-        current: FrozenSet[State] = frozenset(self.states)
-        for _ in range(steps):
-            current = frozenset(
-                self.next_state[(state, vector)]
-                for state in current
-                for vector in self.alphabet
-            )
-        return current
+        return self.states_of_bitset(self.states_after_bitset(steps))
 
     def reachable_from(self, start: State) -> FrozenSet[State]:
         """All states reachable from ``start`` (the paper's *valid states*
         when ``start`` is a reset state)."""
-        seen: Set[State] = {start}
-        frontier = [start]
+        seen = 1 << self._state_index[start]
+        frontier = seen
         while frontier:
-            state = frontier.pop()
-            for successor in self.successors(state):
-                if successor not in seen:
-                    seen.add(successor)
-                    frontier.append(successor)
-        return frozenset(seen)
+            frontier = self.step_all_bitset(frontier) & ~seen
+            seen |= frontier
+        return self.states_of_bitset(seen)
 
 
 def all_vectors(width: int) -> List[Vector]:
@@ -90,55 +422,207 @@ def all_vectors(width: int) -> List[Vector]:
     return [tuple(bits) for bits in itertools.product((0, 1), repeat=width)]
 
 
+FaultSpec = Union[StuckAtFault, Sequence[StuckAtFault], None]
+
+
+def _normalize_faults(fault: FaultSpec) -> Tuple[StuckAtFault, ...]:
+    if fault is None:
+        return ()
+    if isinstance(fault, (list, tuple)):
+        return tuple(fault)
+    return (fault,)
+
+
+def _check_limits(
+    circuit: Circuit,
+    engine: str,
+    num_registers: int,
+    num_vectors: Optional[int],
+) -> None:
+    limits = ENGINE_LIMITS[engine]
+    if num_registers > limits.registers:
+        raise StateSpaceTooLarge(
+            f"{circuit.name}: {num_registers} flip-flops is too many for the "
+            f"{engine} engine (limit {limits.registers}; enumerating would "
+            f"cost 2^{num_registers} = {1 << num_registers} states)"
+        )
+    if num_vectors is None:
+        num_inputs = len(circuit.input_names)
+        if num_inputs > limits.inputs:
+            raise StateSpaceTooLarge(
+                f"{circuit.name}: {num_inputs} inputs is too many for the "
+                f"{engine} engine's full alphabet (limit {limits.inputs}; "
+                f"enumerating would cost 2^{num_inputs} = {1 << num_inputs} "
+                f"vectors per state)"
+            )
+        num_vectors = 1 << num_inputs
+    transitions = (1 << num_registers) * num_vectors
+    if limits.transitions is not None and transitions > limits.transitions:
+        raise StateSpaceTooLarge(
+            f"{circuit.name}: the {engine} engine caps enumeration at "
+            f"{limits.transitions} transitions; this machine costs "
+            f"{1 << num_registers} states x {num_vectors} vectors = "
+            f"{transitions} transitions"
+        )
+
+
+def _extract_arrays_reference(
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    alphabet: Sequence[Vector],
+    states: Sequence[State],
+) -> Tuple[Tuple[Tuple[int, ...], ...], Tuple[Tuple[int, ...], ...]]:
+    """One scalar simulation per (state, vector) pair -- the seed algorithm."""
+    simulator = SequentialSimulator(circuit, fault=list(faults) if faults else None)
+    state_index = {tuple(state): index for index, state in enumerate(states)}
+    next_rows: List[Tuple[int, ...]] = []
+    output_rows: List[Tuple[int, ...]] = []
+    for vector in alphabet:
+        next_row: List[int] = []
+        output_row: List[int] = []
+        for state in states:
+            result = simulator.step(state, vector)
+            next_row.append(state_index[result.next_state])
+            output_row.append(_pack_bits(result.outputs))
+        next_rows.append(tuple(next_row))
+        output_rows.append(tuple(output_row))
+    return tuple(next_rows), tuple(output_rows)
+
+
+#: Records larger than this many (state, vector) table entries are computed
+#: but not persisted: a 2^18-state x 4-vector table would be a multi-MB
+#: JSON document, slower to decode than to recompute with the bitset engine.
+_STORE_MAX_ENTRIES = 1 << 16
+
+
+def _stg_store_key(store, circuit: Circuit, faults, alphabet) -> str:
+    from repro.circuit.digest import circuit_digest
+    from repro.store.artifacts import encode_faults
+
+    return store.key(
+        "stg",
+        circuit_digest(circuit),
+        encode_faults(faults),
+        [list(map(int, vector)) for vector in alphabet],
+    )
+
+
 def extract_stg(
     circuit: Circuit,
-    fault: Optional[StuckAtFault] = None,
+    fault: FaultSpec = None,
     alphabet: Optional[Sequence[Vector]] = None,
+    engine: Optional[str] = None,
+    use_store: bool = True,
 ) -> ExplicitSTG:
     """Enumerate the (possibly faulty) machine's full STG.
 
-    Raises :class:`StateSpaceTooLarge` when the circuit has more than
-    ``MAX_EXPLICIT_REGISTERS`` flip-flops or ``MAX_EXPLICIT_INPUTS`` inputs
-    (with the default full alphabet).
+    Args:
+        circuit: the machine to enumerate.
+        fault: one :class:`~repro.faults.model.StuckAtFault`, a sequence of
+            them (a multiple-fault machine), or ``None`` for fault-free.
+        alphabet: input vectors to enumerate (default: the full binary
+            alphabet over the circuit's inputs).
+        engine: ``"bitset"`` (lane-parallel, default) or ``"reference"``
+            (scalar simulation); both produce identical tables.
+        use_store: memoize the tables in the content-addressed artifact
+            store (skipped automatically for oversized machines and when
+            the store is disabled).
+
+    Raises :class:`StateSpaceTooLarge` when the machine exceeds the chosen
+    engine's limits (:data:`ENGINE_LIMITS`); the message names the engine,
+    the limit and the estimated enumeration cost.
     """
+    engine = _require_engine(engine)
+    faults = _normalize_faults(fault)
     num_registers = circuit.num_registers()
-    if num_registers > MAX_EXPLICIT_REGISTERS:
-        raise StateSpaceTooLarge(
-            f"{circuit.name}: {num_registers} flip-flops is too many for "
-            f"explicit enumeration (max {MAX_EXPLICIT_REGISTERS})"
-        )
+    _check_limits(
+        circuit, engine, num_registers, None if alphabet is None else len(alphabet)
+    )
     if alphabet is None:
-        if len(circuit.input_names) > MAX_EXPLICIT_INPUTS:
-            raise StateSpaceTooLarge(
-                f"{circuit.name}: {len(circuit.input_names)} inputs is too "
-                f"many for the full alphabet (max {MAX_EXPLICIT_INPUTS})"
-            )
         alphabet = all_vectors(len(circuit.input_names))
     alphabet = tuple(tuple(v) for v in alphabet)
+    for vector in alphabet:
+        if any(bit not in (0, 1) for bit in vector):
+            raise ValueError(
+                f"{circuit.name}: STG extraction needs a binary alphabet, "
+                f"got vector {vector!r}"
+            )
 
-    simulator = SequentialSimulator(circuit, fault=fault)
     states = tuple(all_vectors(num_registers))
-    next_state: Dict[Tuple[State, Vector], State] = {}
-    output: Dict[Tuple[State, Vector], Tuple[int, ...]] = {}
-    for state in states:
-        for vector in alphabet:
-            result = simulator.step(state, vector)
-            next_state[(state, vector)] = result.next_state
-            output[(state, vector)] = result.outputs
-    suffix = "" if fault is None else f"^{fault.describe(circuit)}"
+    num_outputs = len(circuit.output_names)
+    if faults:
+        suffix = "^" + "+".join(f.describe(circuit) for f in faults)
+    else:
+        suffix = ""
+    name = circuit.name + suffix
+
+    store = None
+    key = None
+    persistable = len(states) * len(alphabet) <= _STORE_MAX_ENTRIES
+    if use_store and persistable:
+        from repro.store.core import default_store
+
+        store = default_store()
+    if store is not None:
+        from repro.store.artifacts import stg_arrays_from_payload
+
+        key = _stg_store_key(store, circuit, faults, alphabet)
+        payload = store.get("stg", key)
+        if payload is not None:
+            tables = stg_arrays_from_payload(payload, circuit, faults, alphabet)
+            if tables is not None:
+                return ExplicitSTG(
+                    name=name,
+                    num_inputs=len(circuit.input_names),
+                    num_registers=num_registers,
+                    alphabet=alphabet,
+                    states=states,
+                    num_outputs=tables[0],
+                    next_index=tables[1],
+                    output_index=tables[2],
+                )
+
+    if engine == "bitset":
+        next_index, output_index = _bitset.extract_arrays_bitset(
+            circuit, faults, alphabet
+        )
+    else:
+        next_index, output_index = _extract_arrays_reference(
+            circuit, faults, alphabet, states
+        )
+
+    if store is not None:
+        from repro.store.artifacts import stg_payload
+
+        try:
+            store.put(
+                "stg",
+                key,
+                stg_payload(
+                    circuit, faults, alphabet, num_outputs, next_index, output_index
+                ),
+            )
+        except OSError:
+            pass  # unwritable store degrades to recomputation
+
     return ExplicitSTG(
-        name=circuit.name + suffix,
+        name=name,
         num_inputs=len(circuit.input_names),
         num_registers=num_registers,
         alphabet=alphabet,
         states=states,
-        next_state=next_state,
-        output=output,
+        num_outputs=num_outputs,
+        next_index=next_index,
+        output_index=output_index,
     )
 
 
 __all__ = [
     "ExplicitSTG",
+    "EngineLimits",
+    "ENGINE_LIMITS",
+    "DEFAULT_ENGINE",
+    "STG_FORMAT_VERSION",
     "extract_stg",
     "all_vectors",
     "StateSpaceTooLarge",

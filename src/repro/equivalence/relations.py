@@ -7,6 +7,14 @@ same output for every input and equivalent successors (the classic Mealy
 machine bisimulation, which for deterministic complete machines coincides
 with sequential I/O equivalence).
 
+The default refinement loop (``engine="array"``) runs Moore-style rounds
+directly over the machines' flat ``next_index``/``output_index`` tables:
+signatures are small tuples of ints, block ids are dense lists indexed by
+state index, and no ``(state, vector)`` pair is ever hashed.  The seed
+implementation over dict signatures survives as ``engine="reference"`` and
+the two are block-id-identical (same first-occurrence tie-breaking), which
+the cross-engine parity suite asserts.
+
 On top of the classifier:
 
 * ``space_contains(a, b)``   --  ``a ⊇s b``: every state of ``b`` has an
@@ -19,7 +27,7 @@ On top of the classifier:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.equivalence.explicit import ExplicitSTG, State
@@ -38,23 +46,39 @@ class StateClassification:
         return self.class_of[a] == self.class_of[b]
 
     def classes_of_machine(self, index: int) -> FrozenSet[int]:
-        return frozenset(
-            cls
-            for (machine, _state), cls in self.class_of.items()
-            if machine == index
-        )
+        return frozenset(self.class_array(index))
 
     def equivalence_classes(self, index: int) -> Dict[int, List[State]]:
         """class id -> states of machine ``index`` in that class."""
         classes: Dict[int, List[State]] = {}
-        for (machine, state), cls in self.class_of.items():
-            if machine == index:
-                classes.setdefault(cls, []).append(state)
+        machine = self.machines[index]
+        for state, cls in zip(machine.states, self.class_array(index)):
+            classes.setdefault(cls, []).append(state)
         return classes
 
+    def class_array(self, index: int) -> Tuple[int, ...]:
+        """Class ids of machine ``index``'s states, in state-index order."""
+        machine = self.machines[index]
+        class_of = self.class_of
+        return tuple(class_of[(index, state)] for state in machine.states)
 
-def classify(machines: Sequence[ExplicitSTG]) -> StateClassification:
-    """Joint bisimulation partition refinement."""
+    def class_bitsets(self, index: int) -> Dict[int, int]:
+        """class id -> bitset of machine ``index``'s states in that class."""
+        masks: Dict[int, int] = {}
+        for state_idx, cls in enumerate(self.class_array(index)):
+            masks[cls] = masks.get(cls, 0) | (1 << state_idx)
+        return masks
+
+
+def classify(
+    machines: Sequence[ExplicitSTG], engine: str = "array"
+) -> StateClassification:
+    """Joint bisimulation partition refinement.
+
+    ``engine="array"`` (default) refines over the flat tables;
+    ``engine="reference"`` is the seed dict-signature implementation kept
+    for cross-checking.  Both assign identical block ids.
+    """
     if not machines:
         raise ValueError("need at least one machine")
     alphabet = machines[0].alphabet
@@ -64,12 +88,70 @@ def classify(machines: Sequence[ExplicitSTG]) -> StateClassification:
                 f"machines {machines[0].name!r} and {machine.name!r} have "
                 "different input alphabets"
             )
+    if engine == "reference":
+        return _classify_reference(machines, alphabet)
+    if engine != "array":
+        raise ValueError(f"unknown classify engine {engine!r}")
+    return _classify_array(machines, alphabet)
+
+
+def _classify_array(
+    machines: Sequence[ExplicitSTG], alphabet: Tuple
+) -> StateClassification:
+    vector_range = range(len(alphabet))
+    # Initial partition: output signature over the whole alphabet.  The
+    # packed output ints are compared raw -- a machine's output width
+    # disambiguates them across machines of different widths, keeping the
+    # signature -> block mapping injective (ids then match the reference
+    # engine's, which compares unpacked tuples).
+    block_ids: Dict[Tuple, int] = {}
+    class_arrays: List[List[int]] = []
+    for machine in machines:
+        output_index = machine.output_index
+        width = machine.num_outputs
+        arr: List[int] = []
+        for state_idx in range(len(machine.states)):
+            key = (width,) + tuple(output_index[v][state_idx] for v in vector_range)
+            block = block_ids.get(key)
+            if block is None:
+                block = block_ids[key] = len(block_ids)
+            arr.append(block)
+        class_arrays.append(arr)
+    num_classes = len(block_ids)
+    while True:
+        block_ids = {}
+        new_arrays: List[List[int]] = []
+        for machine, arr in zip(machines, class_arrays):
+            next_index = machine.next_index
+            new: List[int] = []
+            for state_idx in range(len(machine.states)):
+                key = (arr[state_idx],) + tuple(
+                    arr[next_index[v][state_idx]] for v in vector_range
+                )
+                block = block_ids.get(key)
+                if block is None:
+                    block = block_ids[key] = len(block_ids)
+                new.append(block)
+            new_arrays.append(new)
+        if len(block_ids) == num_classes:
+            class_of = {
+                (index, state): new_arrays[index][state_idx]
+                for index, machine in enumerate(machines)
+                for state_idx, state in enumerate(machine.states)
+            }
+            return StateClassification(tuple(machines), class_of)
+        class_arrays = new_arrays
+        num_classes = len(block_ids)
+
+
+def _classify_reference(
+    machines: Sequence[ExplicitSTG], alphabet: Tuple
+) -> StateClassification:
     universe: List[MachineState] = [
         (index, state)
         for index, machine in enumerate(machines)
         for state in machine.states
     ]
-    # Initial partition: output signature over the whole alphabet.
     signature: Dict[MachineState, Tuple] = {
         (index, state): tuple(
             machines[index].output[(state, vector)] for vector in alphabet
@@ -118,27 +200,26 @@ def states_equivalent(
 def space_contains(a: ExplicitSTG, b: ExplicitSTG) -> bool:
     """``a ⊇s b``: every state in ``b`` has at least one equivalent in ``a``."""
     classification = classify([a, b])
-    available = classification.classes_of_machine(0)
-    return all(
-        classification.class_of[(1, state)] in available for state in b.states
-    )
+    available = set(classification.class_array(0))
+    return all(cls in available for cls in classification.class_array(1))
 
 
 def space_equivalent(a: ExplicitSTG, b: ExplicitSTG) -> bool:
     """``a ≡s b``: mutual space containment."""
     classification = classify([a, b])
-    classes_a = classification.classes_of_machine(0)
-    classes_b = classification.classes_of_machine(1)
+    classes_a = set(classification.class_array(0))
+    classes_b = set(classification.class_array(1))
     return classes_a == classes_b
 
 
 def time_contains(a: ExplicitSTG, b: ExplicitSTG, steps: int) -> bool:
     """``a ⊇(steps)t b``: every state of ``b_steps`` has an equivalent in ``a``."""
     classification = classify([a, b])
-    available = classification.classes_of_machine(0)
+    available = set(classification.class_array(0))
+    classes_b = classification.class_array(1)
+    after = b.states_after_bitset(steps)
     return all(
-        classification.class_of[(1, state)] in available
-        for state in b.states_after(steps)
+        classes_b[state_idx] in available for state_idx in b.iter_bitset_indices(after)
     )
 
 
@@ -151,15 +232,19 @@ def time_equivalence_bound(
     ``N`` (``K_i ⊇s K_{i+1}``), so the least bound is well defined.
     """
     classification = classify([a, b])
+    classes_a = classification.class_array(0)
+    classes_b = classification.class_array(1)
+    available_a = set(classes_a)
+    available_b = set(classes_b)
     for steps in range(max_steps + 1):
         classes_a_after = {
-            classification.class_of[(0, state)] for state in a.states_after(steps)
+            classes_a[state_idx]
+            for state_idx in a.iter_bitset_indices(a.states_after_bitset(steps))
         }
         classes_b_after = {
-            classification.class_of[(1, state)] for state in b.states_after(steps)
+            classes_b[state_idx]
+            for state_idx in b.iter_bitset_indices(b.states_after_bitset(steps))
         }
-        available_a = classification.classes_of_machine(0)
-        available_b = classification.classes_of_machine(1)
         if classes_b_after <= available_a and classes_a_after <= available_b:
             return steps
     return None

@@ -91,7 +91,9 @@ def covered_states(ternary_state: Sequence[Trit]):
 
 
 def synchronizes_up_to_equivalence(
-    circuit: Circuit, vectors: Sequence[Sequence[Trit]]
+    circuit: Circuit,
+    vectors: Sequence[Sequence[Trit]],
+    engine: Optional[str] = None,
 ) -> bool:
     """Three-valued sync where leftover X bits must be unobservable.
 
@@ -111,7 +113,7 @@ def synchronizes_up_to_equivalence(
     final = structural_final_state(circuit, vectors)
     if X not in final:
         return True
-    stg = extract_stg(circuit)
+    stg = extract_stg(circuit, engine=engine)
     classification = classify([stg])
     classes = {
         classification.class_of[(0, state)] for state in covered_states(final)
@@ -120,6 +122,45 @@ def synchronizes_up_to_equivalence(
 
 
 # -- functional (STG-based) ----------------------------------------------------
+#
+# State sets travel as Python-int bitsets (bit s <=> stg.states[s]) in the
+# default engine: images are table lookups through the STG's memoized
+# (vector_idx, bitset) cache, the "single equivalence class" test is one
+# mask comparison, and BFS dedup hashes machine ints instead of frozensets
+# of tuples.  The seed frozenset implementations survive as
+# ``engine="reference"``; both traverse in identical (BFS x alphabet)
+# order, so they find identical sequences and hit identical search-budget
+# cutoffs.
+
+
+def _require_sync_engine(engine: str) -> str:
+    if engine not in ("bitset", "reference"):
+        raise ValueError(f"unknown sync-sequence engine {engine!r}")
+    return engine
+
+
+def _machine_index_of(stg: ExplicitSTG, classification: StateClassification) -> int:
+    for index, machine in enumerate(classification.machines):
+        if machine is stg:
+            return index
+    return 0
+
+
+def _class_masks(
+    stg: ExplicitSTG, classification: StateClassification
+) -> Tuple[Tuple[int, ...], Dict[int, int]]:
+    machine_index = _machine_index_of(stg, classification)
+    return (
+        classification.class_array(machine_index),
+        classification.class_bitsets(machine_index),
+    )
+
+
+def _bitset_within_one_class(
+    bits: int, class_array: Sequence[int], class_masks: Dict[int, int]
+) -> bool:
+    lowest = (bits & -bits).bit_length() - 1
+    return bits & ~class_masks[class_array[lowest]] == 0
 
 
 def _within_one_class(
@@ -135,26 +176,42 @@ def is_functional_sync_sequence(
     stg: ExplicitSTG,
     vectors: Sequence[Vector],
     classification: Optional[StateClassification] = None,
+    engine: str = "bitset",
 ) -> bool:
     """Applied from every initial state, the machine lands in one
     equivalence class of states (a known and unique state up to
     equivalence, per the paper's definition)."""
+    _require_sync_engine(engine)
     if classification is None:
         classification = classify([stg])
-    current: FrozenSet[State] = frozenset(stg.states)
+    if engine == "reference":
+        current: FrozenSet[State] = frozenset(stg.states)
+        for vector in vectors:
+            current = stg.step_set(current, tuple(vector))
+        return _within_one_class(
+            current, classification, _machine_index_of(stg, classification)
+        )
+    bits = stg.full_bitset
     for vector in vectors:
-        current = stg.step_set(current, tuple(vector))
-    return _within_one_class(current, classification)
+        bits = stg.image_bitset(bits, stg.index_of_vector(vector))
+    class_array, class_masks = _class_masks(stg, classification)
+    return _bitset_within_one_class(bits, class_array, class_masks)
 
 
 def functional_final_states(
-    stg: ExplicitSTG, vectors: Sequence[Vector]
+    stg: ExplicitSTG, vectors: Sequence[Vector], engine: str = "bitset"
 ) -> FrozenSet[State]:
     """Image of the full state set under the sequence."""
-    current: FrozenSet[State] = frozenset(stg.states)
+    _require_sync_engine(engine)
+    if engine == "reference":
+        current: FrozenSet[State] = frozenset(stg.states)
+        for vector in vectors:
+            current = stg.step_set(current, tuple(vector))
+        return current
+    bits = stg.full_bitset
     for vector in vectors:
-        current = stg.step_set(current, tuple(vector))
-    return current
+        bits = stg.image_bitset(bits, stg.index_of_vector(vector))
+    return stg.states_of_bitset(bits)
 
 
 def find_functional_sync_sequence(
@@ -162,12 +219,54 @@ def find_functional_sync_sequence(
     max_length: int = 10,
     max_visited: int = 200_000,
     classification: Optional[StateClassification] = None,
+    engine: str = "bitset",
 ) -> Optional[List[Vector]]:
-    """Shortest functional synchronizing sequence by BFS over state sets."""
+    """Shortest functional synchronizing sequence by BFS over state sets.
+
+    Returns None when no sequence of length <= ``max_length`` exists or the
+    ``max_visited`` set budget is exhausted.  Both engines explore sets in
+    the same order, so results (and budget cutoffs) are identical.
+    """
+    _require_sync_engine(engine)
     if classification is None:
         classification = classify([stg])
+    if engine == "reference":
+        return _find_functional_reference(
+            stg, max_length, max_visited, classification
+        )
+    class_array, class_masks = _class_masks(stg, classification)
+    start = stg.full_bitset
+    if _bitset_within_one_class(start, class_array, class_masks):
+        return []
+    vector_range = range(len(stg.alphabet))
+    visited: Set[int] = {start}
+    queue: deque = deque([(start, [])])
+    while queue:
+        bits, path = queue.popleft()
+        if len(path) >= max_length:
+            continue
+        for vector_index in vector_range:
+            image = stg.image_bitset(bits, vector_index)
+            new_path = path + [stg.alphabet[vector_index]]
+            if _bitset_within_one_class(image, class_array, class_masks):
+                return new_path
+            if image not in visited:
+                if len(visited) >= max_visited:
+                    return None
+                visited.add(image)
+                queue.append((image, new_path))
+    return None
+
+
+def _find_functional_reference(
+    stg: ExplicitSTG,
+    max_length: int,
+    max_visited: int,
+    classification: StateClassification,
+) -> Optional[List[Vector]]:
+    machine_index = _machine_index_of(stg, classification)
     start: FrozenSet[State] = frozenset(stg.states)
-    if _within_one_class(start, classification):
+    if _within_one_class(start, classification, machine_index):
         return []
     visited: Set[FrozenSet[State]] = {start}
     queue: deque = deque([(start, [])])
@@ -178,7 +277,7 @@ def find_functional_sync_sequence(
         for vector in stg.alphabet:
             image = stg.step_set(states, vector)
             new_path = path + [vector]
-            if _within_one_class(image, classification):
+            if _within_one_class(image, classification, machine_index):
                 return new_path
             if image not in visited:
                 if len(visited) >= max_visited:

@@ -95,8 +95,12 @@ def verify_retiming(
     labels: Optional[Dict[str, int]] = None,
     check_behaviour: bool = False,
     max_state_bits: int = 10,
+    engine: Optional[str] = None,
 ) -> RetimingVerification:
     """Verify that ``retimed`` is a legal retiming of ``original``.
+
+    ``engine`` selects the STG extraction engine for the behavioural check
+    (``"bitset"``/``"reference"``, default the package default).
 
     Raises :class:`RetimingError` (structure/label/legality problems) or
     :class:`ValueError` on behavioural mismatch.
@@ -121,7 +125,9 @@ def verify_retiming(
         from repro.equivalence import extract_stg, time_equivalence_bound
 
         found = time_equivalence_bound(
-            extract_stg(original), extract_stg(retimed), max_steps=bound
+            extract_stg(original, engine=engine),
+            extract_stg(retimed, engine=engine),
+            max_steps=bound,
         )
         if found is None:
             raise ValueError(

@@ -24,6 +24,24 @@ Vector = Tuple[Trit, ...]
 State = Tuple[Trit, ...]
 
 
+def _iter_fault_lines(fault) -> List[Tuple[LineRef, Trit]]:
+    """Normalize a fault argument to ``(line, value)`` pairs.
+
+    Accepts ``None``, one ``(LineRef, value)`` pair, one object with
+    ``line``/``value`` attributes (:class:`~repro.faults.model.StuckAtFault`
+    duck type), or a list/tuple of either form (a multiple-fault machine).
+    """
+    if fault is None:
+        return []
+    if hasattr(fault, "line") and hasattr(fault, "value"):
+        return [(fault.line, fault.value)]
+    if isinstance(fault, (list, tuple)):
+        if len(fault) == 2 and hasattr(fault[0], "edge_index"):
+            return [(fault[0], fault[1])]  # one bare (LineRef, value) pair
+        return [pair for item in fault for pair in _iter_fault_lines(item)]
+    raise TypeError(f"unsupported fault specification: {fault!r}")
+
+
 @dataclass(frozen=True)
 class StepResult:
     """Values produced by one clock cycle."""
@@ -50,24 +68,21 @@ class SequentialSimulator:
 
     Args:
         circuit: the circuit to simulate.
-        fault: optional ``(line, stuck_value)`` single stuck-at fault; the
-            value observed by the line's consumer is forced every cycle.
+        fault: optional ``(line, stuck_value)`` stuck-at fault -- or a list
+            of faults for a multiple-fault machine; each value observed by
+            a faulty line's consumer is forced every cycle.
     """
 
     def __init__(
         self,
         circuit: Circuit,
-        fault: Optional[Tuple[LineRef, Trit]] = None,
+        fault=None,
         compiled: Optional[CompiledCircuit] = None,
     ):
         self.circuit = circuit
         self.compiled = compiled if compiled is not None else CompiledCircuit(circuit)
         self._forced: Dict[LineRef, Trit] = {}
-        if fault is not None:
-            if hasattr(fault, "line") and hasattr(fault, "value"):
-                line, value = fault.line, fault.value  # StuckAtFault duck type
-            else:
-                line, value = fault
+        for line, value in _iter_fault_lines(fault):
             if value not in (ZERO, ONE):
                 raise ValueError(f"stuck value must be 0 or 1, got {value!r}")
             edge = circuit.edge(line.edge_index)

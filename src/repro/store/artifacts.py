@@ -13,10 +13,13 @@ kind            contents
 ``testset``     a :class:`~repro.testset.model.TestSet` in its text format
 ``atpg``        a complete :class:`~repro.atpg.engine.AtpgResult`
 ``faultsim``    a :class:`~repro.faultsim.result.FaultSimResult` summary
+``stg``         explicit state-transition-graph tables (flat
+                ``next_index``/``output_index`` arrays of one possibly
+                faulty machine, see :mod:`repro.equivalence.explicit`)
 ==============  =========================================================
 
 Artifacts that carry edge-indexed coordinates (``faults``, ``atpg``,
-``faultsim``, ``stepper``) additionally record
+``faultsim``, ``stepper``, ``stg``) additionally record
 :func:`~repro.circuit.digest.structural_identity`; their loaders refuse --
 returning ``None``, a plain miss -- when the raw structure of the circuit
 at hand differs from the one the artifact was computed on.  The content
@@ -296,6 +299,71 @@ def faultsim_from_payload(
         return None
 
 
+# -- explicit STG tables ---------------------------------------------------
+
+
+def stg_payload(
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    alphabet: Sequence[Tuple[int, ...]],
+    num_outputs: int,
+    next_index: Sequence[Sequence[int]],
+    output_index: Sequence[Sequence[int]],
+) -> Dict[str, object]:
+    """Flat STG tables of one (possibly faulty) machine.
+
+    The tables are state-index/edge-index-coordinate data, so the payload
+    records the structural identity *and* echoes the fault coordinates and
+    alphabet; the loader refuses on any mismatch with what the caller is
+    about to compute, making a stale or colliding record a plain miss.
+    """
+    return {
+        "structure": structural_identity(circuit),
+        "faults": encode_faults(faults),
+        "alphabet": [list(map(int, vector)) for vector in alphabet],
+        "num_outputs": int(num_outputs),
+        "next_index": [list(map(int, row)) for row in next_index],
+        "output_index": [list(map(int, row)) for row in output_index],
+    }
+
+
+def stg_arrays_from_payload(
+    payload: Dict[str, object],
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    alphabet: Sequence[Tuple[int, ...]],
+) -> Optional[Tuple[int, Tuple[Tuple[int, ...], ...], Tuple[Tuple[int, ...], ...]]]:
+    """``(num_outputs, next_index, output_index)`` or ``None`` on mismatch."""
+    if payload.get("structure") != structural_identity(circuit):
+        return None
+    if payload.get("faults") != encode_faults(faults):
+        return None
+    if payload.get("alphabet") != [list(map(int, vector)) for vector in alphabet]:
+        return None
+    try:
+        num_states = 1 << circuit.num_registers()
+        next_index = tuple(
+            tuple(int(entry) for entry in row) for row in payload["next_index"]
+        )
+        output_index = tuple(
+            tuple(int(entry) for entry in row) for row in payload["output_index"]
+        )
+        num_outputs = int(payload["num_outputs"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    if len(next_index) != len(alphabet) or len(output_index) != len(alphabet):
+        return None
+    for row in next_index:
+        if len(row) != num_states or any(
+            not 0 <= entry < num_states for entry in row
+        ):
+            return None
+    for row in output_index:
+        if len(row) != num_states:
+            return None
+    return num_outputs, next_index, output_index
+
+
 # -- stepper source --------------------------------------------------------
 
 
@@ -352,6 +420,8 @@ __all__ = [
     "retiming_payload",
     "stepper_payload",
     "stepper_sources_from_payload",
+    "stg_arrays_from_payload",
+    "stg_payload",
     "testset_from_payload",
     "testset_payload",
 ]

@@ -9,7 +9,8 @@ Layout on disk::
         <kind>/<k0k1>/<key>.json   artifact records, sharded by key prefix
 
 The schema version concatenates the store format, the circuit-digest
-version and both kernel-codegen versions, so bumping any of them moves new
+version, the kernel-codegen versions and the STG table format, so bumping
+any of them moves new
 artifacts to a fresh tree and stale ones become garbage for :meth:`
 ArtifactStore.gc` -- invalidation by versioning, never by in-place edits.
 
@@ -52,13 +53,14 @@ class StoreError(RuntimeError):
 
 def schema_version() -> str:
     """The composite schema version governing the active artifact tree."""
+    from repro.equivalence.explicit import STG_FORMAT_VERSION
     from repro.simulation.codegen import CODEGEN_VERSION
     from repro.simulation.dual_codegen import DUAL_CODEGEN_VERSION
     from repro.simulation.vector_codegen import VECTOR_CODEGEN_VERSION
 
     return (
         f"{STORE_FORMAT}.{DIGEST_VERSION}.{CODEGEN_VERSION}"
-        f".{VECTOR_CODEGEN_VERSION}.{DUAL_CODEGEN_VERSION}"
+        f".{VECTOR_CODEGEN_VERSION}.{DUAL_CODEGEN_VERSION}.{STG_FORMAT_VERSION}"
     )
 
 

@@ -1,0 +1,178 @@
+"""Cross-engine parity: the bitset STG engine must be result-identical to
+the scalar reference engine -- same tables, same classification block ids,
+same sync sequences (including tie-breaking and search-budget cutoffs), on
+fault-free and faulty machines alike."""
+
+import random
+
+import pytest
+
+from repro.equivalence import (
+    classify,
+    extract_stg,
+    find_functional_sync_sequence,
+    functional_final_states,
+    is_functional_sync_sequence,
+    space_contains,
+    space_equivalent,
+    time_equivalence_bound,
+)
+from repro.faults.collapse import collapse_faults
+from repro.papercircuits import fig3_pair, fig5_pair, n2_g1_q12_fault
+from tests.helpers import (
+    feedback_and,
+    pipelined_logic,
+    random_circuit,
+    resettable_counter,
+    resettable_random_circuit,
+    toggle_counter,
+)
+
+CIRCUITS = [
+    ("feedback_and", feedback_and),
+    ("toggle_counter", toggle_counter),
+    ("resettable_counter", resettable_counter),
+    ("pipelined_logic", pipelined_logic),
+    ("rand7", lambda: random_circuit(7)),
+    ("rand13_4dff", lambda: random_circuit(13, num_dffs=4)),
+    ("rrand3", lambda: resettable_random_circuit(3)),
+    ("fig3_l1", lambda: fig3_pair()[0]),
+    ("fig3_l2", lambda: fig3_pair()[1]),
+    ("fig5_n1", lambda: fig5_pair()[0]),
+    ("fig5_n2", lambda: fig5_pair()[1]),
+]
+
+
+def both_engines(circuit, **kwargs):
+    reference = extract_stg(circuit, engine="reference", use_store=False, **kwargs)
+    bitset = extract_stg(circuit, engine="bitset", use_store=False, **kwargs)
+    return reference, bitset
+
+
+def assert_stg_identical(reference, bitset):
+    assert reference.name == bitset.name
+    assert reference.states == bitset.states
+    assert reference.alphabet == bitset.alphabet
+    assert reference.num_outputs == bitset.num_outputs
+    assert reference.next_index == bitset.next_index
+    assert reference.output_index == bitset.output_index
+    assert reference == bitset
+
+
+class TestExtractionParity:
+    @pytest.mark.parametrize("name,make", CIRCUITS, ids=[c[0] for c in CIRCUITS])
+    def test_fault_free_tables_identical(self, name, make):
+        assert_stg_identical(*both_engines(make()))
+
+    @pytest.mark.parametrize("name,make", CIRCUITS, ids=[c[0] for c in CIRCUITS])
+    def test_faulty_tables_identical(self, name, make):
+        circuit = make()
+        rng = random.Random(11)
+        faults = collapse_faults(circuit).representatives
+        for fault in rng.sample(faults, min(3, len(faults))):
+            assert_stg_identical(*both_engines(circuit, fault=fault))
+
+    def test_multiple_fault_tables_identical(self):
+        circuit = fig5_pair()[0]
+        faults = collapse_faults(circuit).representatives[:2]
+        assert_stg_identical(*both_engines(circuit, fault=faults))
+
+    def test_custom_alphabet_tables_identical(self):
+        circuit = random_circuit(19)
+        alphabet = [(0, 0, 0), (1, 1, 1), (1, 0, 1)]
+        reference, bitset = both_engines(circuit, alphabet=alphabet)
+        assert reference.alphabet == tuple(alphabet)
+        assert_stg_identical(reference, bitset)
+
+
+class TestClassificationParity:
+    @pytest.mark.parametrize("name,make", CIRCUITS, ids=[c[0] for c in CIRCUITS])
+    def test_single_machine_block_ids_identical(self, name, make):
+        reference, bitset = both_engines(make())
+        assert (
+            classify([reference], engine="reference").class_of
+            == classify([bitset], engine="array").class_of
+        )
+
+    def test_joint_classification_block_ids_identical(self):
+        l1, l2, _ = fig3_pair()
+        ref1, bit1 = both_engines(l1)
+        ref2, bit2 = both_engines(l2)
+        assert (
+            classify([ref1, ref2], engine="reference").class_of
+            == classify([bit1, bit2], engine="array").class_of
+        )
+
+    def test_joint_classification_with_faulty_machine(self):
+        circuit = fig5_pair()[1]
+        fault = n2_g1_q12_fault(circuit)
+        good_ref, good_bit = both_engines(circuit)
+        bad_ref, bad_bit = both_engines(circuit, fault=fault)
+        assert (
+            classify([good_ref, bad_ref], engine="reference").class_of
+            == classify([good_bit, bad_bit], engine="array").class_of
+        )
+
+    @pytest.mark.parametrize("name,make", CIRCUITS[:7], ids=[c[0] for c in CIRCUITS[:7]])
+    def test_relations_agree_across_engines(self, name, make):
+        circuit = make()
+        fault = collapse_faults(circuit).representatives[0]
+        good_ref, good_bit = both_engines(circuit)
+        bad_ref, bad_bit = both_engines(circuit, fault=fault)
+        assert space_contains(good_ref, bad_ref) == space_contains(good_bit, bad_bit)
+        assert space_equivalent(good_ref, bad_ref) == space_equivalent(
+            good_bit, bad_bit
+        )
+        assert time_equivalence_bound(good_ref, bad_ref, 4) == time_equivalence_bound(
+            good_bit, bad_bit, 4
+        )
+
+
+class TestSyncSequenceParity:
+    @pytest.mark.parametrize("name,make", CIRCUITS, ids=[c[0] for c in CIRCUITS])
+    def test_found_sequences_identical(self, name, make):
+        reference, bitset = both_engines(make())
+        found_ref = find_functional_sync_sequence(reference, engine="reference")
+        found_bit = find_functional_sync_sequence(bitset, engine="bitset")
+        assert found_ref == found_bit
+        if found_bit is not None:
+            assert is_functional_sync_sequence(bitset, found_bit, engine="bitset")
+            assert is_functional_sync_sequence(
+                reference, found_bit, engine="reference"
+            )
+            assert functional_final_states(
+                reference, found_bit, engine="reference"
+            ) == functional_final_states(bitset, found_bit, engine="bitset")
+
+    def test_budget_cutoff_identical(self):
+        """Both engines give up at the same max_visited budget."""
+        circuit = random_circuit(13, num_dffs=4)
+        reference, bitset = both_engines(circuit)
+        for budget in (1, 2, 5):
+            assert find_functional_sync_sequence(
+                reference, max_visited=budget, engine="reference"
+            ) == find_functional_sync_sequence(
+                bitset, max_visited=budget, engine="bitset"
+            )
+
+    def test_observation1_pair_across_engines(self):
+        """Fig. 3: <11> functionally synchronizes L1 but not L2 -- on both
+        engines, with identical final state sets."""
+        l1, l2, _ = fig3_pair()
+        for engine in ("reference", "bitset"):
+            stg1 = extract_stg(l1, engine=engine, use_store=False)
+            stg2 = extract_stg(l2, engine=engine, use_store=False)
+            assert is_functional_sync_sequence(stg1, [(1, 1)], engine=engine)
+            assert not is_functional_sync_sequence(stg2, [(1, 1)], engine=engine)
+            assert functional_final_states(
+                stg1, [(1, 1)], engine=engine
+            ) == frozenset({(1,)})
+
+    def test_faulty_machine_sequences_identical(self):
+        """Observation 2 machinery: sync search on faulty machines agrees."""
+        _, n2, _ = fig5_pair()
+        fault = n2_g1_q12_fault(n2)
+        reference, bitset = both_engines(n2, fault=fault)
+        assert find_functional_sync_sequence(
+            reference, engine="reference"
+        ) == find_functional_sync_sequence(bitset, engine="bitset")

@@ -157,33 +157,50 @@ class TestFig5Observation2:
         sim = SequentialSimulator(n2, fault=n2_g1_q12_fault(n2))
         assert sim.is_synchronizing([prefix] + EXAMPLE2_SEQUENCE)
 
-    def test_corresponding_fault_is_multiple_fault_equivalent(self):
+    @pytest.mark.parametrize("engine", ["bitset", "reference"])
+    def test_corresponding_fault_is_multiple_fault_equivalent(self, engine):
         """The G1-Q12 fault in N2 is space-equivalent to the *multiple*
         s-a-1 fault on I1-Q1 and I2-Q2 in N1 (checked behaviourally via
         parallel injection)."""
         n1, n2, _ = fig5_pair()
         from repro.equivalence import space_equivalent
-        from repro.logic.three_valued import ONE
 
-        multi_faults = []
-        for edge in n1.edges:
-            if edge.sink == "G1" and edge.weight == 1:
-                multi_faults.append(StuckAtFault(LineRef(edge.index, 1), ONE))
-        assert len(multi_faults) == 2
-        stg_multi = _extract_multi_fault_stg(n1, multi_faults)
-        stg_single = extract_stg(n2, fault=n2_g1_q12_fault(n2))
+        multi_faults = _n1_multi_fault(n1)
+        stg_multi = extract_stg(n1, fault=multi_faults, engine=engine)
+        stg_single = extract_stg(n2, fault=n2_g1_q12_fault(n2), engine=engine)
         assert space_equivalent(stg_multi, stg_single)
 
+    def test_multi_fault_extraction_matches_dict_construction(self):
+        """The dict-style ExplicitSTG constructor (historical API) builds
+        the same machine as multi-fault extract_stg."""
+        n1, _, _ = fig5_pair()
+        multi_faults = _n1_multi_fault(n1)
+        stg_dicts = _extract_multi_fault_stg_via_dicts(n1, multi_faults)
+        stg = extract_stg(n1, fault=multi_faults)
+        assert stg_dicts.next_index == stg.next_index
+        assert stg_dicts.output_index == stg.output_index
+        assert stg_dicts.states == stg.states
+        assert stg_dicts.alphabet == stg.alphabet
 
-def _extract_multi_fault_stg(circuit, faults):
-    """STG of a circuit under a multiple stuck-at fault (scalar sim with
-    several forced lines)."""
+
+def _n1_multi_fault(n1):
+    from repro.logic.three_valued import ONE
+
+    multi_faults = []
+    for edge in n1.edges:
+        if edge.sink == "G1" and edge.weight == 1:
+            multi_faults.append(StuckAtFault(LineRef(edge.index, 1), ONE))
+    assert len(multi_faults) == 2
+    return multi_faults
+
+
+def _extract_multi_fault_stg_via_dicts(circuit, faults):
+    """STG of a circuit under a multiple stuck-at fault, built through the
+    historical dict-of-tuples ExplicitSTG constructor."""
     from repro.equivalence.explicit import ExplicitSTG, all_vectors
     from repro.simulation.sequential import SequentialSimulator
 
-    simulator = SequentialSimulator(circuit)
-    for fault in faults:
-        simulator._forced[fault.line] = fault.value
+    simulator = SequentialSimulator(circuit, fault=list(faults))
     states = tuple(all_vectors(circuit.num_registers()))
     alphabet = tuple(all_vectors(len(circuit.input_names)))
     next_state, output = {}, {}

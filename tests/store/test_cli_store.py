@@ -58,6 +58,9 @@ class TestRunFlags:
             "resume": False,
             "workers": None,
             "kernel": "dual",
+            "engine": None,
+            "retimed": False,
+            "max_length": None,
         }
 
     def test_pop_flags_parses_everything(self):
@@ -72,6 +75,11 @@ class TestRunFlags:
                 "sd",
                 "--kernel",
                 "scalar",
+                "--engine",
+                "reference",
+                "--retimed",
+                "--max-length",
+                "5",
             ]
         )
         assert positional == ["dk16", "ji", "sd"]
@@ -80,6 +88,9 @@ class TestRunFlags:
             "resume": True,
             "workers": 3,
             "kernel": "scalar",
+            "engine": "reference",
+            "retimed": True,
+            "max_length": 5,
         }
 
     def test_workers_without_count_is_an_error(self):

@@ -40,3 +40,22 @@ class TestCli:
         captured = capsys.readouterr()
         assert "# testset" in captured.out
         assert "FC" in captured.err
+
+    def test_equiv_reports_classes_and_sequence(self, capsys):
+        assert main(["equiv", "dk16", "ji", "sd"]) == 0
+        captured = capsys.readouterr()
+        assert "32 states x 16 vectors" in captured.out
+        assert "equivalence classes" in captured.out
+        assert "functional sync sequence" in captured.out
+        assert "store:" in captured.err
+
+    def test_equiv_reference_engine_matches(self, capsys):
+        assert main(["equiv", "dk16", "ji", "sd", "--engine", "reference"]) == 0
+        out = capsys.readouterr().out
+        assert "engine reference" in out
+        assert "28 equivalence classes" in out
+
+    def test_equiv_rejects_oversized_circuit(self, capsys):
+        # s820 has 18 primary inputs -- beyond every engine's vector limit.
+        assert main(["equiv", "s820", "jc", "rugged"]) == 1
+        assert "state space too large" in capsys.readouterr().err
