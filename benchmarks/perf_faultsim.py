@@ -4,7 +4,10 @@ Times the three fault-simulation engines -- scalar serial, interpreted
 bit-parallel (``VectorSimulator``) and the code-generated bit-parallel
 kernel (``VectorFastStepper``) -- on the paper's Table II circuit pairs,
 sweeps the fault-group width on the largest circuit of the run, and
-writes the results to ``BENCH_faultsim.json``.
+writes the results to ``BENCH_faultsim.json``.  The compiled kernel is
+timed on **both word backends** (bigint reference and, when installed,
+the numpy word-plane; see :mod:`repro.simulation.backends`), with a
+bit-for-bit detection cross-check between them on every row.
 
 Run from the repository root::
 
@@ -33,6 +36,7 @@ from repro.faults.collapse import collapse_faults
 from repro.faultsim import DEFAULT_GROUP_SIZE, parallel_fault_simulate
 from repro.faultsim.serial import serial_fault_simulate
 from repro.simulation import clear_compile_cache
+from repro.simulation.backends import numpy_available
 
 QUICK_NAMES = ("dk16.ji.sd", "s510.jo.sr", "s820.jo.sd")
 GROUP_SIZES = (64, 256, 1024)
@@ -79,9 +83,12 @@ def bench_circuit(
     faults = collapse_faults(circuit).representatives
     sequences = _random_sequences(circuit, seed, count, length)
 
+    # The bigint backend is the reference: always available, and the
+    # compiled-vs-interpreted trend stays comparable across hosts with and
+    # without the numpy extra.
     compiled_s, compiled = _time(
         lambda: parallel_fault_simulate(
-            circuit, sequences, faults, kernel="compiled"
+            circuit, sequences, faults, kernel="compiled", backend="bigint"
         ),
         repeats,
     )
@@ -103,6 +110,19 @@ def bench_circuit(
         "speedup_compiled_vs_interpreted": round(interpreted_s / compiled_s, 2),
         "kernels_agree": compiled.detections == interpreted.detections,
     }
+    if numpy_available():
+        numpy_s, numpy_result = _time(
+            lambda: parallel_fault_simulate(
+                circuit, sequences, faults, kernel="compiled", backend="numpy"
+            ),
+            repeats,
+        )
+        row["numpy_s"] = round(numpy_s, 4)
+        row["speedup_numpy_vs_bigint"] = round(compiled_s / numpy_s, 2)
+        row["backends_agree"] = (
+            numpy_result.detections == compiled.detections
+            and numpy_result.potential == compiled.potential
+        )
     if serial_faults:
         # The scalar engine costs O(faults x vectors x circuit); timing the
         # full fault list would dominate the harness by minutes per row, so
@@ -126,24 +146,44 @@ def bench_circuit(
 def sweep_group_size(
     circuit, seed: int, count: int, length: int, repeats: int
 ) -> List[Dict[str, object]]:
-    """Compiled-kernel wall time as a function of fault-group width."""
+    """Compiled-kernel wall time as a function of fault-group width.
+
+    Each width is timed per backend so the default-group-size choice can
+    be read off for both word implementations (the numpy word-plane's
+    dispatch floor is amortized by width; bigints are not).
+    """
     faults = collapse_faults(circuit).representatives
     sequences = _random_sequences(circuit, seed, count, length)
+    backends = ("bigint", "numpy") if numpy_available() else ("bigint",)
     rows = []
     for group_size in GROUP_SIZES:
-        elapsed, result = _time(
-            lambda: parallel_fault_simulate(
-                circuit, sequences, faults, group_size=group_size
-            ),
-            repeats,
-        )
-        rows.append(
-            {
-                "group_size": group_size,
-                "seconds": round(elapsed, 4),
-                "detected": result.num_detected,
-            }
-        )
+        row: Dict[str, object] = {
+            "group_size": group_size,
+            "words_per_plane": (group_size + 63) >> 6,
+        }
+        detections = {}
+        for backend in backends:
+            elapsed, result = _time(
+                lambda: parallel_fault_simulate(
+                    circuit,
+                    sequences,
+                    faults,
+                    group_size=group_size,
+                    backend=backend,
+                ),
+                repeats,
+            )
+            row[f"{backend}_s"] = round(elapsed, 4)
+            row["detected"] = result.num_detected
+            detections[backend] = result.detections
+        # Back-compat: "seconds" stays the reference-backend time.
+        row["seconds"] = row["bigint_s"]
+        if "numpy" in backends:
+            row["speedup_numpy_vs_bigint"] = round(
+                row["bigint_s"] / row["numpy_s"], 2
+            )
+            row["backends_agree"] = detections["numpy"] == detections["bigint"]
+        rows.append(row)
     return rows
 
 
@@ -171,10 +211,16 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
                 serial_faults=0 if args.no_serial else args.serial_faults,
             )
             rows.append(row)
+            numpy_note = (
+                f", numpy {row['numpy_s']}s ({row['speedup_numpy_vs_bigint']}x)"
+                if "numpy_s" in row
+                else ""
+            )
             print(
                 f"    compiled {row['compiled_s']}s, "
                 f"interpreted {row['interpreted_s']}s "
-                f"({row['speedup_compiled_vs_interpreted']}x)",
+                f"({row['speedup_compiled_vs_interpreted']}x)"
+                f"{numpy_note}",
                 flush=True,
             )
             if sweep_target is None or row["num_faults"] > sweep_target[1]:
@@ -199,7 +245,7 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
                 "repeats": args.repeats,
             },
             "default_group_size": DEFAULT_GROUP_SIZE,
-            **provenance_meta(journal),
+            **provenance_meta(journal, backend="auto"),
         },
         "circuits": rows,
         "group_size_sweep": sweep,
@@ -210,11 +256,22 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
             ),
             "max_speedup_compiled_vs_interpreted": max(speedups),
             "all_engines_agree": all(
-                row["kernels_agree"] and row.get("serial_agrees", True)
+                row["kernels_agree"]
+                and row.get("serial_agrees", True)
+                and row.get("backends_agree", True)
                 for row in rows
             ),
         },
     }
+    backend_speedups = [
+        row["speedup_numpy_vs_bigint"]
+        for row in rows
+        if "speedup_numpy_vs_bigint" in row
+    ]
+    if backend_speedups:
+        report["summary"]["geomean_speedup_numpy_vs_bigint"] = round(
+            statistics.geometric_mean(backend_speedups), 2
+        )
     if journal is not None:
         journal.close(ok=True)
     return report
@@ -275,6 +332,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"median {summary['median_speedup_compiled_vs_interpreted']}x / "
         f"max {summary['max_speedup_compiled_vs_interpreted']}x"
     )
+    if "geomean_speedup_numpy_vs_bigint" in summary:
+        print(
+            f"speedup numpy vs bigint (geomean): "
+            f"{summary['geomean_speedup_numpy_vs_bigint']}x"
+        )
     print(f"all engines agree: {summary['all_engines_agree']}")
     print(f"wrote {args.output}")
     return 0

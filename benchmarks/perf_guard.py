@@ -15,6 +15,14 @@ below ``--equiv-min-ratio`` (default 0.5).  Deterministic row facts
 (class counts, sync-sequence length) are also re-checked, so a semantic
 regression of the bitset engine fails the guard even when it got faster.
 
+With ``--faultsim-baseline BENCH_faultsim.json`` it re-times the
+compiled fault-simulation kernel **per word backend** (bigint always;
+numpy when installed) under the baseline's recorded workload and guards
+each backend's geomean baseline-time / current-time ratio separately
+against ``--faultsim-min-ratio`` (default 0.5) -- a regression in one
+backend cannot hide behind the other's headroom.  The run also
+cross-checks that both backends still detect the identical fault set.
+
 Run from the repository root::
 
     PYTHONPATH=src python -m benchmarks.perf_guard --baseline BENCH_atpg.json \
@@ -175,6 +183,95 @@ def run_equiv_guard(baseline_path: str, min_ratio: float) -> int:
     return 0
 
 
+def run_faultsim_guard(baseline_path: str, min_ratio: float) -> int:
+    """Guard the compiled fault-sim kernel, one ratio series per backend."""
+    from benchmarks.perf_faultsim import _random_sequences, _time
+    from repro.faults.collapse import collapse_faults as collapse
+    from repro.faultsim import parallel_fault_simulate
+    from repro.simulation.backends import numpy_available
+
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    workload = baseline["meta"]["workload"]
+    repeats = int(workload.get("repeats", 2))
+    baseline_rows = {row["circuit"]: row for row in baseline["circuits"]}
+    names = [
+        name
+        for base in QUICK_NAMES
+        for name in (base, base + ".re")
+        if name in baseline_rows
+    ]
+    if not names:
+        print(
+            "baseline has no quick-set rows; regenerate it with "
+            "benchmarks.perf_faultsim",
+            file=sys.stderr,
+        )
+        return 2
+    backends = ["bigint"] + (["numpy"] if numpy_available() else [])
+    baseline_field = {"bigint": "compiled_s", "numpy": "numpy_s"}
+    clear_compile_cache()
+    ratios: Dict[str, list] = {backend: [] for backend in backends}
+    for name in names:
+        spec_name = name[:-3] if name.endswith(".re") else name
+        spec = next(s for s in TABLE2_CIRCUITS if s.name == spec_name)
+        pair = build_pair(spec)
+        circuit = pair.retimed if name.endswith(".re") else pair.original
+        faults = collapse(circuit).representatives
+        sequences = _random_sequences(
+            circuit,
+            int(workload["seed"]),
+            int(workload["sequences"]),
+            int(workload["length"]),
+        )
+        detections = {}
+        for backend in backends:
+            field = baseline_field[backend]
+            if field not in baseline_rows[name]:
+                continue  # baseline predates this backend's rows
+            elapsed, result = _time(
+                lambda: parallel_fault_simulate(
+                    circuit, sequences, faults, backend=backend
+                ),
+                repeats,
+            )
+            detections[backend] = result.detections
+            base = float(baseline_rows[name][field])
+            ratio = base / max(elapsed, 1e-9)
+            ratios[backend].append(ratio)
+            print(
+                f"  {name} [{backend}]: baseline {base:.4f}s, "
+                f"current {elapsed:.4f}s (ratio {ratio:.2f})",
+                flush=True,
+            )
+        if len(detections) == 2 and detections["bigint"] != detections["numpy"]:
+            print(
+                f"FAIL: {name}: numpy and bigint backends disagree on "
+                "detections",
+                file=sys.stderr,
+            )
+            return 1
+    status = 0
+    for backend, series in ratios.items():
+        if not series:
+            continue
+        geomean = statistics.geometric_mean(series)
+        print(
+            f"geomean fault-sim time ratio [{backend}]: {geomean:.2f} "
+            f"(min allowed {min_ratio})"
+        )
+        if geomean < min_ratio:
+            print(
+                f"FAIL: {backend} fault-sim backend slowed down more than "
+                f"{(1.0 / min_ratio):.1f}x vs {baseline_path}",
+                file=sys.stderr,
+            )
+            status = 1
+    if status == 0:
+        print("fault-sim perf guard passed")
+    return status
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -201,11 +298,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="minimum allowed baseline/current equiv-time geomean "
         "(default: %(default)s, i.e. fail on a >2x slowdown)",
     )
+    parser.add_argument(
+        "--faultsim-baseline",
+        default=None,
+        help="fault-sim baseline (BENCH_faultsim.json) to also guard, "
+        "per word backend",
+    )
+    parser.add_argument(
+        "--faultsim-min-ratio",
+        type=float,
+        default=0.5,
+        help="minimum allowed baseline/current fault-sim time geomean per "
+        "backend (default: %(default)s, i.e. fail on a >2x slowdown)",
+    )
     args = parser.parse_args(argv)
     status = run_guard(args.baseline, args.min_ratio)
     if args.equiv_baseline is not None:
         equiv_status = run_equiv_guard(args.equiv_baseline, args.equiv_min_ratio)
         status = status or equiv_status
+    if args.faultsim_baseline is not None:
+        faultsim_status = run_faultsim_guard(
+            args.faultsim_baseline, args.faultsim_min_ratio
+        )
+        status = status or faultsim_status
     return status
 
 

@@ -30,19 +30,43 @@ def git_sha() -> Optional[str]:
     return sha if result.returncode == 0 and sha else None
 
 
-def provenance_meta(journal=None) -> Dict[str, object]:
+def backend_meta(backend: str = "auto", width: Optional[int] = None) -> Dict[str, object]:
+    """What word implementation a measurement actually ran on.
+
+    ``backend`` is the knob as requested; the resolved backend, the numpy
+    version behind it (``None`` on bigint), and -- when ``width`` is given
+    -- the effective uint64 word count per plane at that lane width are
+    recorded so numbers from different backends never get compared as if
+    they were the same engine.
+    """
+    from repro.simulation.backends import numpy_version, resolve_backend
+
+    resolved = resolve_backend(backend)
+    meta: Dict[str, object] = {
+        "backend": resolved,
+        "backend_requested": backend,
+        "numpy_version": numpy_version() if resolved == "numpy" else None,
+    }
+    if width is not None:
+        meta["lane_width"] = width
+        meta["words_per_plane"] = (width + 63) >> 6
+    return meta
+
+
+def provenance_meta(journal=None, backend: Optional[str] = None) -> Dict[str, object]:
     """Commit, store-counter and journal fields for a ``meta`` block.
 
     Store counters are this process's session counters (hits/misses/writes
     against the default artifact store plus the persistent stepper-source
-    level), captured at call time -- call after the measured work.
+    level), captured at call time -- call after the measured work.  Pass
+    ``backend`` to also fold :func:`backend_meta` in.
     """
     from repro.simulation.cache import compile_cache_stats
     from repro.store.core import default_store
 
     store = default_store()
     cache_stats = compile_cache_stats()
-    return {
+    meta: Dict[str, object] = {
         "git_sha": git_sha(),
         "store": None if store is None else store.stats.as_dict(),
         "stepper_cache": {
@@ -52,6 +76,9 @@ def provenance_meta(journal=None) -> Dict[str, object]:
         },
         "journal": None if journal is None else journal.path,
     }
+    if backend is not None:
+        meta.update(backend_meta(backend))
+    return meta
 
 
 def open_bench_journal(label: str):
@@ -66,4 +93,4 @@ def open_bench_journal(label: str):
     return RunJournal.create(store.journal_dir, label)
 
 
-__all__ = ["git_sha", "open_bench_journal", "provenance_meta"]
+__all__ = ["backend_meta", "git_sha", "open_bench_journal", "provenance_meta"]

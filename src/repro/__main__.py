@@ -31,7 +31,11 @@ journal each run under its ``journals/`` directory.  Flags:
 * ``--workers N`` — run the deterministic ATPG phase on N worker processes;
 * ``--kernel dual|scalar`` — select the PODEM resimulation kernel (the
   bit-packed dual-machine kernel is the default; both produce bit-identical
-  test sets, so this is a speed knob, not a behaviour knob).
+  test sets, so this is a speed knob, not a behaviour knob);
+* ``--backend auto|bigint|numpy`` — select the word implementation of the
+  bit-parallel kernels (``auto``, the default, uses numpy for wide fault
+  groups when installed and bigints otherwise; all backends are
+  bit-identical, so this too is purely a speed knob).
 """
 
 from __future__ import annotations
@@ -75,6 +79,7 @@ def _pop_flags(rest):
         "resume": False,
         "workers": None,
         "kernel": "dual",
+        "backend": "auto",
         "engine": None,
         "retimed": False,
         "max_length": None,
@@ -101,6 +106,11 @@ def _pop_flags(rest):
             if index >= len(rest):
                 raise ValueError("--kernel needs a name (dual or scalar)")
             options["kernel"] = rest[index]
+        elif argument == "--backend":
+            index += 1
+            if index >= len(rest):
+                raise ValueError("--backend needs a name (auto, bigint or numpy)")
+            options["backend"] = rest[index]
         elif argument == "--engine":
             index += 1
             if index >= len(rest):
@@ -146,7 +156,12 @@ def _equiv_command(spec, options) -> int:
     engine = options["engine"]
     max_length = options["max_length"] if options["max_length"] is not None else 8
     try:
-        stg = extract_stg(circuit, engine=engine, use_store=options["store"])
+        stg = extract_stg(
+            circuit,
+            engine=engine,
+            use_store=options["store"],
+            backend=options["backend"],
+        )
     except StateSpaceTooLarge as error:
         print(f"state space too large: {error}", file=sys.stderr)
         return 1
@@ -264,6 +279,7 @@ def main(argv=None) -> int:
                 journal=journal,
                 workers=options["workers"],
                 kernel=options["kernel"],
+                backend=options["backend"],
                 resume=options["resume"],
             )
             try:
@@ -291,6 +307,7 @@ def main(argv=None) -> int:
                 journal=journal,
                 workers=options["workers"],
                 kernel=options["kernel"],
+                backend=options["backend"],
                 resume=options["resume"],
             )
             try:

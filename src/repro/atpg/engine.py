@@ -45,6 +45,7 @@ from repro.faults.collapse import collapse_faults
 from repro.faults.model import StuckAtFault
 from repro.faultsim.parallel import parallel_fault_simulate
 from repro.logic.three_valued import X
+from repro.simulation.backends import resolve_backend
 from repro.simulation.cache import vector_fast_stepper
 from repro.simulation.codegen import FastStepper
 from repro.simulation.vector_codegen import VectorFastStepper, rail_pair_trit
@@ -269,6 +270,7 @@ def _random_phase(
     budget: AtpgBudget,
     meter: EffortMeter,
     rng: random.Random,
+    backend: str = "auto",
 ) -> Tuple[List[StuckAtFault], int]:
     """Batched weighted-random phase; returns (remaining, random_detected).
 
@@ -296,7 +298,7 @@ def _random_phase(
             for _ in range(count)
         ]
         produced += count
-        result = parallel_fault_simulate(circuit, batch, remaining)
+        result = parallel_fault_simulate(circuit, batch, remaining, backend=backend)
         by_walk: Dict[int, Set[StuckAtFault]] = {}
         for fault, detection in result.detections.items():
             by_walk.setdefault(detection.sequence_index, set()).add(fault)
@@ -329,6 +331,7 @@ def run_atpg(
     workers: Optional[int] = None,
     engine: Optional[str] = None,
     kernel: str = "dual",
+    backend: str = "auto",
     checkpoint=None,
     resume: bool = False,
 ) -> AtpgResult:
@@ -348,6 +351,11 @@ def run_atpg(
     ``"scalar"``, see :class:`~repro.atpg.podem.PodemEngine`); the two
     produce bit-identical results at different speeds.
 
+    ``backend`` selects the word implementation for the bit-parallel
+    kernels (``"bigint"``, ``"numpy"``, or ``"auto"``, see
+    :mod:`repro.simulation.backends`).  All backends produce bit-identical
+    detections and test sets; only the speed differs.
+
     ``checkpoint`` (an :class:`~repro.store.checkpoint.AtpgCheckpoint`)
     makes the run journal its per-fault outcomes as it goes; with
     ``resume=True`` a valid checkpoint for the same (circuit, faults,
@@ -364,6 +372,8 @@ def run_atpg(
         raise ValueError(
             f"unknown kernel {kernel!r} (expected one of {PODEM_KERNELS})"
         )
+    # Fail fast on an unknown/unavailable backend, before any phase runs.
+    resolve_backend(backend)
     if engine is None:
         engine = "process" if workers is not None and workers > 1 else "serial"
         engine_reason = f"inferred from workers={workers}"
@@ -410,7 +420,7 @@ def run_atpg(
         if checkpoint is not None:
             checkpoint.start(circuit, faults, budget)
         remaining, random_detected = _random_phase(
-            circuit, remaining, detected, sequences, budget, meter, rng
+            circuit, remaining, detected, sequences, budget, meter, rng, backend
         )
         if checkpoint is not None:
             checkpoint.record_random_phase(sequences, detected, random_detected)
@@ -457,7 +467,10 @@ def run_atpg(
             return
         if outcome.detected and outcome.sequence is not None:
             replay = parallel_fault_simulate(
-                circuit, [outcome.sequence], [f for f in queue if f not in detected]
+                circuit,
+                [outcome.sequence],
+                [f for f in queue if f not in detected],
+                backend=backend,
             )
             newly = set(replay.detections)
             if fault not in newly:
@@ -488,7 +501,14 @@ def run_atpg(
         # sees the exact interleaving an uninterrupted run would have.
         pending = [f for f in queue if restored_outcome(f) is None]
         pool = iter_podem_partitioned(
-            circuit, pending, budget, max_frames, workers, meter.remaining(), kernel
+            circuit,
+            pending,
+            budget,
+            max_frames,
+            workers,
+            meter.remaining(),
+            kernel,
+            backend,
         )
         for fault in queue:
             record = restored_outcome(fault)
@@ -516,7 +536,7 @@ def run_atpg(
                 checkpoint.record_fault(fault, outcome)
             absorb(fault, outcome)
     else:
-        podem = PodemEngine(circuit, kernel=kernel)
+        podem = PodemEngine(circuit, kernel=kernel, backend=backend)
         for fault in queue:
             if fault in detected:
                 continue

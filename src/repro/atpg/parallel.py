@@ -92,10 +92,14 @@ _WORKER_STATE: Dict[str, object] = {}
 
 
 def _worker_init(
-    circuit: Circuit, budget: AtpgBudget, pool_seconds: float, kernel: str = "dual"
+    circuit: Circuit,
+    budget: AtpgBudget,
+    pool_seconds: float,
+    kernel: str = "dual",
+    backend: str = "auto",
 ) -> None:
     warm_compile_cache(circuit)
-    _WORKER_STATE["engine"] = PodemEngine(circuit, kernel=kernel)
+    _WORKER_STATE["engine"] = PodemEngine(circuit, kernel=kernel, backend=backend)
     _WORKER_STATE["budget"] = budget
     # The parent's remaining wall-clock allowance, anchored to this
     # process's own monotonic clock the moment the worker starts.
@@ -146,6 +150,7 @@ def iter_podem_partitioned(
     workers: int,
     pool_seconds: float,
     kernel: str = "dual",
+    backend: str = "auto",
 ) -> Iterator[Tuple[StuckAtFault, FaultOutcome]]:
     """PODEM every fault on a ``workers``-wide process pool, **streaming**.
 
@@ -172,7 +177,7 @@ def iter_podem_partitioned(
         max_workers=min(workers, len(chunks)),
         mp_context=context,
         initializer=_worker_init,
-        initargs=(circuit, budget, pool_seconds, kernel),
+        initargs=(circuit, budget, pool_seconds, kernel, backend),
     ) as pool:
         futures = [
             pool.submit(_worker_chunk, (chunk, max_frames)) for chunk in chunks
@@ -190,6 +195,7 @@ def podem_partitioned(
     workers: int,
     pool_seconds: float,
     kernel: str = "dual",
+    backend: str = "auto",
 ) -> List[FaultOutcome]:
     """PODEM every fault on a ``workers``-wide process pool.
 
@@ -201,7 +207,7 @@ def podem_partitioned(
     return [
         outcome
         for _fault, outcome in iter_podem_partitioned(
-            circuit, faults, budget, max_frames, workers, pool_seconds, kernel
+            circuit, faults, budget, max_frames, workers, pool_seconds, kernel, backend
         )
     ]
 

@@ -218,7 +218,7 @@ class _DualMachine:
 
     def __init__(self, engine: "PodemEngine", fault: StuckAtFault, inputs, meter):
         stepper = engine.dual
-        self.step = stepper.step_dual
+        self.step = engine.dual_step
         # Per-fault frame memo, shared across escalation levels (the engine
         # resets it per generate()).  Chronological backtracking revisits
         # the same (entering states, packed inputs) configuration
@@ -536,16 +536,31 @@ class PodemEngine:
     per-fault scalar steppers.  Both produce bit-identical results.
     """
 
-    def __init__(self, circuit: Circuit, kernel: str = "dual"):
+    def __init__(self, circuit: Circuit, kernel: str = "dual", backend: str = "auto"):
         if kernel not in PODEM_KERNELS:
             raise ValueError(
                 f"unknown kernel {kernel!r}; expected one of {PODEM_KERNELS}"
             )
+        from repro.simulation.backends import resolve_backend
+
         self.circuit = circuit
         self.kernel = kernel
+        # PODEM's dual kernel packs exactly two lanes per call, so the numpy
+        # word form has no lane parallelism to amortize its dispatch cost:
+        # ``auto`` therefore resolves to bigints here (unlike the wide
+        # fault-simulation kernel).  An explicit ``numpy`` request gets the
+        # bit-identical word execution for cross-backend validation.
+        self.backend = "bigint" if backend == "auto" else resolve_backend(backend)
         self.compiled = compiled_circuit(circuit)
         self.good_step = fast_stepper(circuit).step
         self.dual = dual_fast_stepper(circuit) if kernel == "dual" else None
+        self.dual_step = None
+        if self.dual is not None:
+            self.dual_step = (
+                self.dual.word_step()
+                if self.backend == "numpy"
+                else self.dual.step_dual
+            )
         self.num_inputs = len(circuit.input_names)
         self.num_registers = self.compiled.num_registers
         self._pi_index = {name: i for i, name in enumerate(circuit.input_names)}

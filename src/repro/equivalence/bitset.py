@@ -135,6 +135,7 @@ def extract_arrays_bitset(
     circuit: Circuit,
     faults: Sequence[StuckAtFault],
     alphabet: Sequence[Tuple[int, ...]],
+    backend: str = "auto",
 ) -> Tuple[Tuple[Tuple[int, ...], ...], Tuple[Tuple[int, ...], ...]]:
     """``(next_index, output_index)`` flat tables for the (faulty) machine.
 
@@ -142,13 +143,21 @@ def extract_arrays_bitset(
     lanes; stuck-at faults are injected through the stepper's runtime
     ``sa1``/``sa0`` masks over the full lane width, so the same compiled
     function serves the fault-free and every faulty machine.
+
+    ``backend`` picks the word implementation (see
+    :mod:`repro.simulation.backends`): the bigint entry points, or the
+    numpy word-plane runner whose plane decode is a vectorized
+    ``unpackbits`` instead of the byte-table loop.  Both produce identical
+    tables (the engine-parity suite asserts it).
     """
+    from repro.simulation.backends import resolve_backend
+
     stepper = vector_fast_stepper(circuit)
     num_registers = stepper.compiled.num_registers
     num_lanes = 1 << num_registers
     mask = (1 << num_lanes) - 1
-    state_rails = all_state_lanes(num_registers)
 
+    sa1 = sa0 = None
     if faults:
         sa1, sa0 = stepper.blank_injection_masks()
         # Last fault wins per line, matching the reference simulator's
@@ -161,6 +170,12 @@ def extract_arrays_bitset(
                 sa1[slot] = mask
             else:
                 sa0[slot] = mask
+
+    if resolve_backend(backend) == "numpy":
+        return _extract_arrays_wordplane(circuit, stepper, alphabet, sa1, sa0)
+
+    state_rails = all_state_lanes(num_registers)
+    if faults:
         step = lambda vector: stepper.step_inject(  # noqa: E731
             state_rails, vector, mask, sa1, sa0
         )
@@ -190,6 +205,93 @@ def extract_arrays_bitset(
         next_index.append(tuple(next_row))
         output_index.append(tuple(out_row))
     return tuple(next_index), tuple(output_index)
+
+
+def _extract_arrays_wordplane(
+    circuit: Circuit,
+    stepper,
+    alphabet: Sequence[Tuple[int, ...]],
+    sa1: Optional[Sequence[int]],
+    sa0: Optional[Sequence[int]],
+) -> Tuple[Tuple[Tuple[int, ...], ...], Tuple[Tuple[int, ...], ...]]:
+    """The numpy word-plane leg of :func:`extract_arrays_bitset`.
+
+    The per-plane decode -- add ``weight`` to every state index whose lane
+    bit is set -- becomes one ``unpackbits`` plus a weighted accumulate per
+    plane, replacing the per-member byte-table loop of
+    :func:`decode_plane_into`.
+    """
+    import numpy as np
+
+    from repro.simulation.wordplane import (
+        width_mask_words,
+        wordplane_plan,
+        words_from_int,
+    )
+
+    num_registers = stepper.compiled.num_registers
+    num_lanes = 1 << num_registers
+    num_outputs = len(circuit.output_names)
+    runner = wordplane_plan(stepper).runner(num_lanes)
+    if sa1 is not None:
+        runner.set_group(sa1, sa0)
+    mask_words = width_mask_words(num_lanes, runner.words)
+    state_words = np.zeros((2 * num_registers, runner.words), dtype=np.uint64)
+    for register in range(num_registers):
+        ones = words_from_int(
+            state_plane(register, num_registers), runner.words
+        )
+        state_words[2 * register] = ones
+        state_words[2 * register + 1] = mask_words & ~ones
+
+    def lane_bits(words: "np.ndarray") -> "np.ndarray":
+        return np.unpackbits(
+            words.view(np.uint8), count=num_lanes, bitorder="little"
+        )
+
+    next_index: List[Tuple[int, ...]] = []
+    output_index: List[Tuple[int, ...]] = []
+    reg0 = runner.plan.reg0
+    for vector in alphabet:
+        # Every vector restarts from the full packed state space.
+        runner.V[reg0 : reg0 + 2 * num_registers] = state_words
+        runner.set_broadcast_vector(vector)
+        runner.step()
+        next_block = runner.next_state_view()
+        next_row = np.zeros(num_lanes, dtype=np.int64)
+        for register in range(num_registers):
+            ones = next_block[2 * register]
+            zeros = next_block[2 * register + 1]
+            _check_binary_words(
+                circuit, ones, zeros, mask_words, "register", register
+            )
+            next_row += lane_bits(ones).astype(np.int64) << (
+                num_registers - 1 - register
+            )
+        out_block = runner.output_view()
+        out_row = np.zeros(num_lanes, dtype=np.int64)
+        for position in range(num_outputs):
+            ones = out_block[2 * position]
+            zeros = out_block[2 * position + 1]
+            _check_binary_words(
+                circuit, ones, zeros, mask_words, "output", position
+            )
+            out_row += lane_bits(ones).astype(np.int64) << (
+                num_outputs - 1 - position
+            )
+        next_index.append(tuple(int(v) for v in next_row))
+        output_index.append(tuple(int(v) for v in out_row))
+    return tuple(next_index), tuple(output_index)
+
+
+def _check_binary_words(
+    circuit: Circuit, ones, zeros, mask_words, what: str, position: int
+) -> None:
+    if not ((ones ^ zeros) & mask_words == mask_words).all():
+        raise ValueError(
+            f"{circuit.name}: {what} {position} is not binary on every lane; "
+            "the STG engines require binary states and input vectors"
+        )
 
 
 def _check_binary(

@@ -513,6 +513,7 @@ def extract_stg(
     alphabet: Optional[Sequence[Vector]] = None,
     engine: Optional[str] = None,
     use_store: bool = True,
+    backend: str = "auto",
 ) -> ExplicitSTG:
     """Enumerate the (possibly faulty) machine's full STG.
 
@@ -527,6 +528,9 @@ def extract_stg(
         use_store: memoize the tables in the content-addressed artifact
             store (skipped automatically for oversized machines and when
             the store is disabled).
+        backend: word implementation for the bitset engine (``"bigint"``,
+            ``"numpy"``, or ``"auto"``); tables are identical either way,
+            so the store key deliberately ignores it.
 
     Raises :class:`StateSpaceTooLarge` when the machine exceeds the chosen
     engine's limits (:data:`ENGINE_LIMITS`); the message names the engine,
@@ -584,7 +588,7 @@ def extract_stg(
 
     if engine == "bitset":
         next_index, output_index = _bitset.extract_arrays_bitset(
-            circuit, faults, alphabet
+            circuit, faults, alphabet, backend=backend
         )
     else:
         next_index, output_index = _extract_arrays_reference(

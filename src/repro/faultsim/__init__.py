@@ -24,6 +24,8 @@ def fault_simulate(
     engine: str = "parallel",
     drop: bool = True,
     group_size: int = DEFAULT_GROUP_SIZE,
+    backend: str = "auto",
+    workers: Optional[int] = None,
 ) -> FaultSimResult:
     """Fault-simulate a test set (a list of test sequences).
 
@@ -36,10 +38,36 @@ def fault_simulate(
       ``VectorSimulator`` (reference for the compiled kernel);
     * ``"serial"`` -- one scalar faulty machine per fault (the reference
       engine).
+
+    ``backend`` picks the word implementation for the parallel compiled
+    kernel (``"bigint"``, ``"numpy"``, or ``"auto"`` to prefer numpy when
+    the optional dependency is installed); the other engines ignore it.
+
+    ``workers`` > 1 shards the fault list of the ``"parallel"`` engine
+    across that many worker processes (see
+    :func:`repro.faultsim.shard.sharded_fault_simulate`); results are
+    bit-identical to the single-process run.
     """
     if engine == "parallel":
+        if workers is not None and workers > 1:
+            from repro.faultsim.shard import sharded_fault_simulate
+
+            return sharded_fault_simulate(
+                circuit,
+                sequences,
+                faults,
+                workers=workers,
+                drop=drop,
+                group_size=group_size,
+                backend=backend,
+            )
         return parallel_fault_simulate(
-            circuit, sequences, faults, drop=drop, group_size=group_size
+            circuit,
+            sequences,
+            faults,
+            drop=drop,
+            group_size=group_size,
+            backend=backend,
         )
     if engine == "parallel-interpreted":
         return parallel_fault_simulate(

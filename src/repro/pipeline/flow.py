@@ -98,6 +98,11 @@ class FlowPipeline:
         journal: run journal receiving stage events and artifact pins.
         workers / engine / kernel: forwarded to
             :func:`~repro.atpg.engine.run_atpg`.
+        backend: word implementation for the bit-parallel kernels
+            (``"bigint"``, ``"numpy"``, or ``"auto"``; see
+            :mod:`repro.simulation.backends`), forwarded to ATPG and fault
+            simulation.  Results are bit-identical across backends, so
+            stage memoization keys deliberately ignore it.
         resume: let the ATPG stage restore a surviving checkpoint for its
             exact (circuit, faults, budget) key before targeting faults.
         checkpoint_path: override the checkpoint location (defaults to the
@@ -112,6 +117,7 @@ class FlowPipeline:
         workers: Optional[int] = None,
         engine: Optional[str] = None,
         kernel: str = "dual",
+        backend: str = "auto",
         resume: bool = False,
         checkpoint_path: Optional[str] = None,
     ):
@@ -120,6 +126,7 @@ class FlowPipeline:
         self.workers = workers
         self.engine = engine
         self.kernel = kernel
+        self.backend = backend
         self.resume = resume
         self.checkpoint_path = checkpoint_path
         self.stages: List[StageRecord] = []
@@ -301,6 +308,7 @@ class FlowPipeline:
                 workers=self.workers,
                 engine=self.engine,
                 kernel=self.kernel,
+                backend=self.backend,
                 checkpoint=checkpoint,
                 resume=self.resume,
             )
@@ -366,7 +374,9 @@ class FlowPipeline:
             "faultsim", key, lambda p: faultsim_from_payload(p, circuit)
         )
         if result is None:
-            result = fault_simulate(circuit, test_set.as_lists(), faults)
+            result = fault_simulate(
+                circuit, test_set.as_lists(), faults, backend=self.backend
+            )
             self._save("faultsim", key, faultsim_payload(circuit, result))
         self._stage_end(
             "faultsim",

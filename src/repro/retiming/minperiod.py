@@ -25,12 +25,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-import numpy as np
+try:  # numpy is the optional [perf] extra; retiming needs its dense solvers
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None  # type: ignore[assignment]
 
 from repro.circuit.netlist import Circuit, Node
 from repro.retiming.core import FIXED_KINDS, Retiming, RetimingError
 
-_INF = np.int64(1) << 40
+# Plain int so the module imports without numpy; every use site either
+# compares against int64 arrays (where it promotes losslessly) or fills
+# int64 arrays (where the dtype clamps it back to int64).
+_INF = 1 << 40
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise RuntimeError(
+            "min-period retiming requires the optional numpy dependency "
+            "(install the [perf] extra)"
+        )
 
 
 @dataclass(frozen=True)
@@ -57,6 +71,7 @@ def wd_matrices(
     circuit: Circuit, delay: Optional[Callable[[Node], int]] = None
 ) -> WDMatrices:
     """Compute the Leiserson--Saxe ``W``/``D`` matrices."""
+    _require_numpy()
     if delay is None:
         delay = circuit.default_delay
     names = tuple(sorted(circuit.nodes))
@@ -163,6 +178,7 @@ def feasible_retiming_for_period(
     wd: Optional[WDMatrices] = None,
 ) -> Optional[Retiming]:
     """A legal retiming achieving clock period <= ``period``, or None."""
+    _require_numpy()
     if wd is None:
         wd = wd_matrices(circuit, delay)
     B = _constraint_matrix(circuit, wd, period)
@@ -185,6 +201,7 @@ def min_period_retiming(
     circuit: Circuit, delay: Optional[Callable[[Node], int]] = None
 ) -> MinPeriodResult:
     """Exact minimum clock-period retiming with a fixed I/O interface."""
+    _require_numpy()
     if delay is None:
         delay = circuit.default_delay
     wd = wd_matrices(circuit, delay)

@@ -32,7 +32,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import networkx as nx
-import numpy as np
+
+try:  # numpy (the optional [perf] extra) is only needed for period bounds
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None  # type: ignore[assignment]
 
 from repro.circuit.netlist import Circuit, Node
 from repro.retiming.core import FIXED_KINDS, Retiming, RetimingError

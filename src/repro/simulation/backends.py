@@ -1,0 +1,84 @@
+"""Kernel backend selection: ``bigint`` (reference) vs ``numpy`` word-plane.
+
+Every compiled kernel in this package runs on Python bigints by default --
+arbitrary-precision integers are always available and CPython's bitwise
+loops are respectable.  The optional ``numpy`` backend lowers the same
+dual-rail programs to vectorized ops over ``uint64`` lane-word arrays (see
+:mod:`repro.simulation.wordplane`), which wins once a fault group is wide
+enough to amortize per-call ufunc dispatch.
+
+numpy itself is an optional ``[perf]`` extra, so every import goes through
+:func:`numpy_or_none` and callers pass ``backend="auto"`` to get numpy when
+it is importable and the bigint reference otherwise.  ``resolve_backend``
+is the single policy point: flows thread the user's knob down here and
+never import numpy directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+#: Recognized values for every ``backend=`` knob in the package.
+BACKENDS: Tuple[str, ...] = ("auto", "bigint", "numpy")
+
+#: Bump whenever the word-plane lowering changes observable layout or
+#: semantics.  Lives here (not in :mod:`repro.simulation.wordplane`) so the
+#: artifact store can fold it into its schema version without importing
+#: numpy; wordplane re-exports it.
+WORDPLANE_VERSION = 1
+
+_NUMPY = None
+_NUMPY_CHECKED = False
+
+
+def numpy_or_none():
+    """The ``numpy`` module when importable, else ``None`` (cached)."""
+    global _NUMPY, _NUMPY_CHECKED
+    if not _NUMPY_CHECKED:
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - exercised via fake-absent tests
+            numpy = None
+        _NUMPY = numpy
+        _NUMPY_CHECKED = True
+    return _NUMPY
+
+
+def numpy_available() -> bool:
+    """True when the optional numpy dependency is importable."""
+    return numpy_or_none() is not None
+
+
+def numpy_version() -> Optional[str]:
+    """The installed numpy version string, or ``None`` when absent."""
+    module = numpy_or_none()
+    return None if module is None else getattr(module, "__version__", "unknown")
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Resolve a user-facing backend knob to ``"bigint"`` or ``"numpy"``.
+
+    ``"auto"`` selects numpy when importable and falls back to bigint;
+    ``"numpy"`` insists and raises when the extra is not installed, so a
+    user who asked for it explicitly never gets a silent fallback.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r} (expected one of {BACKENDS})")
+    if backend == "auto":
+        return "numpy" if numpy_available() else "bigint"
+    if backend == "numpy" and not numpy_available():
+        raise RuntimeError(
+            "backend='numpy' requires the optional numpy dependency "
+            "(install the [perf] extra) -- use backend='auto' to fall back"
+        )
+    return backend
+
+
+__all__ = [
+    "BACKENDS",
+    "WORDPLANE_VERSION",
+    "numpy_available",
+    "numpy_or_none",
+    "numpy_version",
+    "resolve_backend",
+]

@@ -151,8 +151,14 @@ def _store():
 
 def _stepper_key(store, circuit: Circuit) -> str:
     from repro.circuit.digest import circuit_digest
+    from repro.simulation.backends import WORDPLANE_VERSION
 
-    return store.key("stepper", circuit_digest(circuit))
+    # The word-plane backend lowers its plan *from* the persisted program
+    # (same slot numbering), so the backend generation is part of the key:
+    # artifacts produced under an older lowering never feed a newer backend.
+    return store.key(
+        "stepper", circuit_digest(circuit), f"wordplane{WORDPLANE_VERSION}"
+    )
 
 
 def _load_sources(circuit: Circuit):

@@ -237,6 +237,27 @@ class VectorFastStepper:
         """The generated ``(clean, inject)`` source texts (for debugging)."""
         return self._source_clean, self._source_inject
 
+    def word_runner(self, width: int):
+        """A word-plane runner for this kernel: the numpy backend.
+
+        The runner executes the same dual-rail program as ``step_inject``
+        over ``uint64`` lane-word arrays (see
+        :mod:`repro.simulation.wordplane`), with the identical injection
+        slot numbering, and is bit-identical to the bigint entry points.
+        Raises :class:`RuntimeError` when the optional numpy dependency is
+        not installed.
+        """
+        from repro.simulation.backends import numpy_or_none
+
+        if numpy_or_none() is None:
+            raise RuntimeError(
+                "word_runner requires the optional numpy dependency "
+                "(install the [perf] extra)"
+            )
+        from repro.simulation.wordplane import wordplane_plan
+
+        return wordplane_plan(self).runner(width)
+
 
 def _filled(value: Trit, width: int) -> RailPair:
     mask = (1 << width) - 1

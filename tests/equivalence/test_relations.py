@@ -15,7 +15,13 @@ from repro.equivalence import (
 )
 from repro.retiming import Retiming, min_period_retiming
 
-from tests.helpers import feedback_and, random_circuit, resettable_counter, toggle_counter
+from tests.helpers import (
+    feedback_and,
+    random_circuit,
+    requires_numpy,
+    resettable_counter,
+    toggle_counter,
+)
 
 
 class TestExtraction:
@@ -124,6 +130,7 @@ class TestContainment:
         assert time_contains(stg1, stg2, 1)
         assert time_contains(stg1, stg2, 2)
 
+    @requires_numpy
     def test_lemma2_bound_on_retimed_circuits(self):
         """K ==Nt K' with N = max(F_stem, B_stem) for real retimings."""
         for seed in range(4):

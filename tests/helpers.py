@@ -6,7 +6,22 @@ import itertools
 import random
 from typing import List, Tuple
 
+import pytest
+
 from repro.circuit import Circuit, CircuitBuilder, GateType
+
+try:  # the optional [perf] extra
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+#: Skip marker for tests that exercise numpy-only paths (the word-plane
+#: kernel backend and the dense retiming solvers).
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="needs numpy (the optional [perf] extra)"
+)
 
 
 def feedback_and() -> Circuit:

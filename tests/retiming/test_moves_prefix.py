@@ -18,7 +18,12 @@ from repro.retiming import (
 from repro.retiming.core import RetimingError
 from repro.papercircuits import fig1_gate_pair, fig1_stem_pair, fig5_pair
 
-from tests.helpers import pipelined_logic, random_circuit, shift_register
+from tests.helpers import (
+    pipelined_logic,
+    random_circuit,
+    requires_numpy,
+    shift_register,
+)
 
 
 class TestAtomicMoves:
@@ -63,6 +68,7 @@ class TestDecomposition:
         for stage in stages:
             validate(stage)
 
+    @requires_numpy
     @pytest.mark.parametrize("seed", range(5))
     def test_random_retimings_decompose(self, seed):
         circuit = random_circuit(seed + 500, num_inputs=2, num_gates=6, num_dffs=3)

@@ -16,7 +16,7 @@ from repro.retiming import (
 )
 from repro.simulation import SequentialSimulator
 
-from tests.helpers import pipelined_logic, random_circuit
+from tests.helpers import pipelined_logic, random_circuit, requires_numpy
 
 
 def brute_force_optimum(circuit, objective, radius=1):
@@ -57,6 +57,7 @@ def paper_fig2_like() -> "Circuit":
     return builder.build()
 
 
+@requires_numpy
 class TestMinPeriod:
     def test_improves_fig2_like(self):
         circuit = paper_fig2_like()
@@ -154,12 +155,14 @@ class TestMinRegister:
         assert result.registers_after == result.retimed_circuit.num_registers()
         validate(result.retimed_circuit)
 
+    @requires_numpy
     def test_period_bound_respected(self):
         circuit = paper_fig2_like()
         best_period = min_period_retiming(circuit).period_after
         result = min_register_retiming(circuit, max_period=best_period)
         assert result.retimed_circuit.clock_period() <= best_period
 
+    @requires_numpy
     def test_unconstrained_never_worse_than_constrained(self):
         circuit = paper_fig2_like()
         best_period = min_period_retiming(circuit).period_after
@@ -177,6 +180,7 @@ class TestBehaviourPreservation:
     circuits, the values must be equal.
     """
 
+    @requires_numpy
     @pytest.mark.parametrize("seed", range(6))
     def test_minperiod_outputs_agree(self, seed):
         circuit = random_circuit(seed + 40, num_inputs=3, num_gates=10, num_dffs=3)

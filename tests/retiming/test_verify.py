@@ -16,7 +16,7 @@ from repro.retiming.verify import (
 )
 from repro.papercircuits import fig2_pair, fig5_pair
 
-from tests.helpers import random_circuit, resettable_counter
+from tests.helpers import random_circuit, requires_numpy, resettable_counter
 
 
 class TestReconstruction:
@@ -61,7 +61,14 @@ class TestVerification:
         verification = verify_retiming(n1, n2, check_behaviour=True)
         assert verification.prefix_length_tests == 1
 
-    @pytest.mark.parametrize("engine", ["minperiod", "minregister", "performance"])
+    @pytest.mark.parametrize(
+        "engine",
+        [
+            pytest.param("minperiod", marks=requires_numpy),
+            "minregister",
+            "performance",
+        ],
+    )
     def test_engine_outputs_verify(self, engine):
         circuit = resettable_counter()
         if engine == "minperiod":

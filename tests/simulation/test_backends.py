@@ -1,0 +1,281 @@
+"""Cross-backend parity: the numpy word-plane vs the bigint reference.
+
+Every compiled kernel (fault-simulation vector stepper, PODEM's dual
+stepper, the bitset STG extractor) must produce **bit-identical** packed
+words on both backends -- the numpy lowering is a speed knob, never a
+behaviour knob.  These tests mirror the kernel-parity suite in
+``tests/atpg/test_kernel_parity.py``, one backend axis instead of one
+kernel axis.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simulation import backends
+from repro.simulation.backends import BACKENDS, resolve_backend
+from repro.simulation.cache import dual_fast_stepper, vector_fast_stepper
+
+from tests.helpers import random_circuit, requires_numpy, toggle_counter
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    """Make the backend layer behave as if numpy were not installed."""
+    monkeypatch.setattr(backends, "_NUMPY", None)
+    monkeypatch.setattr(backends, "_NUMPY_CHECKED", True)
+
+
+class TestBackendPolicy:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("cupy")
+
+    def test_bigint_always_resolves(self, no_numpy):
+        assert resolve_backend("bigint") == "bigint"
+
+    def test_auto_falls_back_without_numpy(self, no_numpy):
+        assert resolve_backend("auto") == "bigint"
+
+    def test_explicit_numpy_raises_without_numpy(self, no_numpy):
+        with pytest.raises(RuntimeError, match=r"\[perf\]"):
+            resolve_backend("numpy")
+
+    @requires_numpy
+    def test_auto_prefers_numpy_when_available(self):
+        assert resolve_backend("auto") == "numpy"
+
+    def test_knob_values_are_closed(self):
+        assert set(BACKENDS) == {"auto", "bigint", "numpy"}
+
+
+@requires_numpy
+class TestWordPacking:
+    """words_from_int / int_from_words round-trip and mask helpers."""
+
+    @pytest.mark.parametrize("width", [1, 2, 63, 64, 65, 130, 1024])
+    def test_round_trip(self, width):
+        from repro.simulation.wordplane import (
+            int_from_words,
+            word_count,
+            words_from_int,
+        )
+
+        rng = random.Random(width)
+        words = word_count(width)
+        for _ in range(16):
+            value = rng.getrandbits(width)
+            assert int_from_words(words_from_int(value, words)) == value
+
+    @pytest.mark.parametrize("width", [1, 64, 65, 192, 1000])
+    def test_width_mask(self, width):
+        from repro.simulation.wordplane import int_from_words, width_mask_words
+
+        assert int_from_words(width_mask_words(width)) == (1 << width) - 1
+
+
+def _random_rails(rng, count, width):
+    """Random dual-rail (ones, zeros) pairs with disjoint rails."""
+    rails = []
+    for _ in range(count):
+        ones = rng.getrandbits(width)
+        zeros = rng.getrandbits(width) & ~ones
+        rails.append((ones, zeros))
+    return tuple(rails)
+
+
+def _random_injection(rng, stepper, width):
+    """Random per-slot stuck-at masks over a handful of slots."""
+    sa1, sa0 = stepper.blank_injection_masks()
+    for _ in range(4):
+        slot = rng.randrange(stepper.num_injection_slots)
+        lanes = rng.getrandbits(width)
+        if rng.random() < 0.5:
+            sa1[slot] = lanes & ~sa0[slot]
+        else:
+            sa0[slot] = lanes & ~sa1[slot]
+    return sa1, sa0
+
+
+@requires_numpy
+class TestVectorKernelParity:
+    """The word-plane runner vs the bigint ``step_clean``/``step_inject``."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("width", [2, 64, 130])
+    def test_injected_step_matches_bigint(self, seed, width):
+        rng = random.Random(1000 * width + seed)
+        circuit = random_circuit(seed + 300, num_inputs=3, num_gates=20, num_dffs=3)
+        stepper = vector_fast_stepper(circuit)
+        runner = stepper.word_runner(width)
+        mask = (1 << width) - 1
+        sa1, sa0 = _random_injection(rng, stepper, width)
+        runner.set_group(sa1, sa0)
+        for _ in range(4):
+            state = _random_rails(rng, stepper.compiled.num_registers, width)
+            vector = _random_rails(rng, stepper.compiled.num_inputs, width)
+            outputs, next_state = stepper.step_inject(state, vector, mask, sa1, sa0)
+            runner.load_state_ints(state)
+            runner.load_vector_ints(vector)
+            runner.step()
+            assert tuple(runner.output_ints()) == outputs
+            assert tuple(runner.state_ints()) == next_state
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clean_step_matches_bigint(self, seed):
+        width = 96
+        rng = random.Random(seed)
+        circuit = random_circuit(seed + 330, num_inputs=3, num_gates=18, num_dffs=3)
+        stepper = vector_fast_stepper(circuit)
+        runner = stepper.word_runner(width)
+        runner.clear_group()
+        mask = (1 << width) - 1
+        state = _random_rails(rng, stepper.compiled.num_registers, width)
+        vector = _random_rails(rng, stepper.compiled.num_inputs, width)
+        outputs, next_state = stepper.step_clean(state, vector, mask)
+        runner.load_state_ints(state)
+        runner.load_vector_ints(vector)
+        runner.step()
+        assert tuple(runner.output_ints()) == outputs
+        assert tuple(runner.state_ints()) == next_state
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_set_group_forms_agree(self, seed):
+        """Per-lane fault descriptors build the same masks as bigint rails."""
+        from repro.faults.collapse import collapse_faults
+
+        width = 64
+        circuit = random_circuit(seed + 360, num_inputs=3, num_gates=20, num_dffs=3)
+        stepper = vector_fast_stepper(circuit)
+        faults = collapse_faults(circuit).representatives[: width - 1]
+        sa1, sa0 = stepper.blank_injection_masks()
+        slots, values = [], []
+        for lane, fault in enumerate(faults, start=1):
+            slot = stepper.line_slot[fault.line]
+            slots.append(slot)
+            values.append(fault.value)
+            (sa1 if fault.value else sa0)[slot] |= 1 << lane
+        via_ints = stepper.word_runner(width)
+        via_ints.set_group(sa1, sa0)
+        via_faults = stepper.word_runner(width)
+        via_faults.set_group_faults(slots, values)
+        assert (via_ints._table == via_faults._table).all()
+        assert (via_ints._orm == via_faults._orm).all()
+        assert (via_ints._andm == via_faults._andm).all()
+
+
+@requires_numpy
+class TestDualKernelParity:
+    """``word_step`` vs the bigint ``step_dual`` of the PODEM kernel."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_word_step_matches_bigint(self, seed):
+        from repro.faults.collapse import collapse_faults
+
+        rng = random.Random(seed)
+        circuit = random_circuit(seed + 400, num_inputs=3, num_gates=16, num_dffs=3)
+        stepper = dual_fast_stepper(circuit)
+        word_step = stepper.word_step()
+        faults = collapse_faults(circuit).representatives
+        for width in (1, 2, 7, 64, 130):
+            mask = (1 << width) - 1
+            fault = faults[rng.randrange(len(faults))]
+            sa1, sa0 = stepper.injection_masks(fault, width=width)
+            good = _random_rails(rng, stepper.compiled.num_registers, width)
+            bad = _random_rails(rng, stepper.compiled.num_registers, width)
+            vector = _random_rails(rng, stepper.compiled.num_inputs, width)
+            reference = stepper.step_dual(good, bad, vector, mask, sa1, sa0)
+            assert word_step(good, bad, vector, mask, sa1, sa0) == reference
+
+
+@requires_numpy
+class TestEngineBackendParity:
+    """End-to-end engines: identical results on both backends."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fault_simulation_detections_and_potential(self, seed):
+        from repro.faults.collapse import collapse_faults
+        from repro.faultsim import fault_simulate
+
+        rng = random.Random(seed)
+        circuit = random_circuit(seed + 430, num_inputs=4, num_gates=35, num_dffs=4)
+        faults = collapse_faults(circuit).representatives
+        sequences = [
+            [tuple(rng.getrandbits(1) for _ in range(4)) for _ in range(16)]
+            for _ in range(3)
+        ]
+        reference = fault_simulate(circuit, sequences, faults, backend="bigint")
+        candidate = fault_simulate(circuit, sequences, faults, backend="numpy")
+        assert candidate.detections == reference.detections
+        assert candidate.potential == reference.potential
+
+    @pytest.mark.parametrize("backend", ["bigint", "numpy"])
+    def test_sharded_fault_simulation_is_exact(self, backend):
+        from repro.faults.collapse import collapse_faults
+        from repro.faultsim import fault_simulate
+        from repro.faultsim.shard import sharded_fault_simulate
+
+        rng = random.Random(99)
+        circuit = random_circuit(901, num_inputs=4, num_gates=40, num_dffs=5)
+        faults = collapse_faults(circuit).representatives
+        sequences = [
+            [tuple(rng.getrandbits(1) for _ in range(4)) for _ in range(16)]
+            for _ in range(3)
+        ]
+        single = fault_simulate(
+            circuit, sequences, faults, group_size=16, backend=backend
+        )
+        sharded = sharded_fault_simulate(
+            circuit, sequences, faults, workers=2, group_size=16, backend=backend
+        )
+        assert sharded.detections == single.detections
+        assert sharded.potential == single.potential
+        assert sharded.faults == single.faults
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_podem_results_identical(self, seed):
+        from repro.atpg.budget import AtpgBudget, EffortMeter
+        from repro.atpg.podem import PodemEngine
+        from repro.faults.collapse import collapse_faults
+
+        circuit = random_circuit(seed + 460, num_inputs=3, num_gates=18, num_dffs=3)
+        faults = collapse_faults(circuit).representatives[:10]
+        budget = AtpgBudget(backtracks_per_fault=8, max_frames=4)
+        reference = PodemEngine(circuit, kernel="dual", backend="bigint")
+        candidate = PodemEngine(circuit, kernel="dual", backend="numpy")
+        for fault in faults:
+            expected = reference.generate(fault, EffortMeter(budget))
+            actual = candidate.generate(fault, EffortMeter(budget))
+            assert (actual.detected, actual.sequence, actual.backtracks) == (
+                expected.detected,
+                expected.sequence,
+                expected.backtracks,
+            )
+
+    @pytest.mark.parametrize("num_faults", [0, 1, 3])
+    def test_bitset_stg_tables_identical(self, num_faults):
+        from repro.equivalence.bitset import extract_arrays_bitset
+        from repro.equivalence.explicit import all_vectors
+        from repro.faults.collapse import collapse_faults
+
+        circuit = toggle_counter()
+        faults = collapse_faults(circuit).representatives[:num_faults]
+        alphabet = all_vectors(len(circuit.input_names))
+        reference = extract_arrays_bitset(circuit, faults, alphabet, backend="bigint")
+        candidate = extract_arrays_bitset(circuit, faults, alphabet, backend="numpy")
+        assert candidate == reference
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bitset_stg_tables_identical_random(self, seed):
+        from repro.equivalence.bitset import extract_arrays_bitset
+        from repro.equivalence.explicit import all_vectors
+        from repro.faults.collapse import collapse_faults
+
+        circuit = random_circuit(seed + 480, num_inputs=2, num_gates=20, num_dffs=4)
+        faults = collapse_faults(circuit).representatives[:2]
+        alphabet = all_vectors(len(circuit.input_names))
+        reference = extract_arrays_bitset(circuit, faults, alphabet, backend="bigint")
+        candidate = extract_arrays_bitset(circuit, faults, alphabet, backend="numpy")
+        assert candidate == reference

@@ -58,6 +58,7 @@ class TestRunFlags:
             "resume": False,
             "workers": None,
             "kernel": "dual",
+            "backend": "auto",
             "engine": None,
             "retimed": False,
             "max_length": None,
@@ -75,6 +76,8 @@ class TestRunFlags:
                 "sd",
                 "--kernel",
                 "scalar",
+                "--backend",
+                "bigint",
                 "--engine",
                 "reference",
                 "--retimed",
@@ -88,6 +91,7 @@ class TestRunFlags:
             "resume": True,
             "workers": 3,
             "kernel": "scalar",
+            "backend": "bigint",
             "engine": "reference",
             "retimed": True,
             "max_length": 5,
@@ -100,6 +104,10 @@ class TestRunFlags:
     def test_kernel_without_name_is_an_error(self):
         with pytest.raises(ValueError):
             _pop_flags(["--kernel"])
+
+    def test_backend_without_name_is_an_error(self):
+        with pytest.raises(ValueError):
+            _pop_flags(["--backend"])
 
     def test_no_store_atpg_writes_nothing(self, capsys):
         assert main(["atpg", "--no-store", "dk16", "ji", "sd", "3"]) == 0

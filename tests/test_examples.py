@@ -6,10 +6,13 @@ from pathlib import Path
 
 import pytest
 
+from tests.helpers import requires_numpy
+
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 FAST_EXAMPLES = [
-    "quickstart.py",
+    # quickstart retimes its circuit, which needs the numpy [perf] extra.
+    pytest.param("quickstart.py", marks=requires_numpy),
     "sync_preservation.py",
     "fault_correspondence_tour.py",
     "compact_and_verify.py",
