@@ -1,23 +1,30 @@
 """Equivalence-engine performance harness.
 
-Times the two explicit-STG engines -- the scalar ``reference`` engine
+Times the explicit-STG engine tiers -- the scalar ``reference`` engine
 (per-state ``SequentialSimulator`` sweeps, dict-based refinement,
-frozenset BFS) and the bit-packed ``bitset`` engine (all ``2^r`` states
-as lanes of one compiled step, array refinement, integer-bitset BFS) --
-on extraction, state classification and functional sync-sequence search,
-and writes the results to ``BENCH_equiv.json``.
+frozenset BFS), the bit-packed ``bitset`` engine (all ``2^r`` states as
+lanes of one compiled step, array refinement, integer-bitset BFS), and
+the reachability-bounded ``reach`` engine (BFS frontier expansion from
+the reset state, one compiled sweep per frontier level) -- on extraction,
+state classification and functional sync-sequence search, and writes the
+results to ``BENCH_equiv.json``.
 
 Run from the repository root::
 
     PYTHONPATH=src python -m benchmarks.perf_equiv --quick
     PYTHONPATH=src python -m benchmarks.perf_equiv --full -o BENCH_equiv.json
 
-Every row cross-checks the two engines -- identical transition tables,
-identical classification block ids, identical sync sequence -- so a
-benchmark run is also an end-to-end parity check.  Each row records the
-parameters needed to regenerate its circuit (``circuit_from_params``),
-which is how ``benchmarks.perf_guard --equiv-baseline`` re-measures the
-bitset legs against a committed baseline.
+Every row cross-checks the engines -- identical transition tables and
+classification block ids on the reference/bitset pair, restricted-table
+agreement between the reach engine and the bitset engine's
+reset-reachable set, bigint/numpy word-backend identity on the reach
+legs -- so a benchmark run is also an end-to-end parity check.  Rows past
+the bitset engine's 18-register wall (the ``ring`` workloads) carry
+``bitset_rejected: true`` and only the reach legs; they are excluded from
+the cross-engine speedup statistics.  Each row records the parameters
+needed to regenerate its circuit (``circuit_from_params``), which is how
+``benchmarks.perf_guard --equiv-baseline`` re-measures the bitset and
+reach legs against a committed baseline.
 
 This module is *not* collected by pytest (``testpaths = ["tests"]``).
 """
@@ -34,8 +41,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit import Circuit, CircuitBuilder, GateType
 from repro.core.experiments import TABLE2_CIRCUITS, build_pair
-from repro.equivalence import classify, extract_stg, find_functional_sync_sequence
+from repro.equivalence import (
+    ENGINE_LIMITS,
+    StateSpaceTooLarge,
+    classify,
+    extract_stg,
+    find_functional_sync_sequence,
+)
 from repro.simulation import clear_compile_cache
+from repro.simulation.backends import numpy_available
 
 # Sync-search budgets, shared by both engines so cutoffs are comparable.
 SYNC_MAX_LENGTH = 6
@@ -45,10 +59,13 @@ QUICK_PARAMS: Tuple[Dict[str, object], ...] = (
     {"kind": "table2", "spec": "dk16.ji.sd", "variant": "original"},
     {"kind": "random", "seed": 7, "num_inputs": 3, "num_gates": 30, "num_dffs": 8},
     {"kind": "random", "seed": 11, "num_inputs": 4, "num_gates": 45, "num_dffs": 10},
+    {"kind": "ring", "width": 12},
+    {"kind": "ring", "width": 28},  # past the bitset wall: reach legs only
 )
 FULL_EXTRA_PARAMS: Tuple[Dict[str, object], ...] = (
     {"kind": "random", "seed": 13, "num_inputs": 4, "num_gates": 60, "num_dffs": 12},
     {"kind": "table2", "spec": "pma.jo.sd", "variant": "original"},
+    {"kind": "ring", "width": 16},
 )
 
 
@@ -106,6 +123,42 @@ def _workload_random_circuit(
     return builder.build()
 
 
+def _workload_token_ring(width: int) -> Circuit:
+    """A one-hot token ring with synchronous reset: ``width`` flip-flops
+    but only ``width + 1`` reset-reachable states (empty + one-hots).
+
+    The sparse-reachability workload for the reach engine: at widths past
+    18 registers the bitset engine rejects the circuit outright, while the
+    reach engine's BFS visits a vanishing fraction of ``2^width``.
+    """
+    builder = CircuitBuilder(f"bench_ring{width}")
+    builder.input("rst")
+    builder.input("start")
+    builder.not_("go", "rst")
+    qs = [f"q{i}" for i in range(width)]
+    level = list(qs)
+    k = 0
+    while len(level) > 1:
+        paired = []
+        for i in range(0, len(level) - 1, 2):
+            paired.append(builder.or_(f"ort{k}", level[i], level[i + 1]))
+            k += 1
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+    builder.not_("none_token", level[0])
+    builder.and_("inj", "start", "none_token")
+    builder.or_("n0", "inj", qs[-1])
+    builder.and_("d0", "go", "n0")
+    builder.dff(qs[0], "d0")
+    for i in range(1, width):
+        builder.and_(f"d{i}", "go", qs[i - 1])
+        builder.dff(qs[i], f"d{i}")
+    builder.buf("zbuf", qs[-1])
+    builder.output("z", "zbuf")
+    return builder.build()
+
+
 def circuit_from_params(params: Dict[str, object]) -> Circuit:
     """Regenerate a benchmark-row circuit from its recorded parameters."""
     kind = params["kind"]
@@ -120,6 +173,8 @@ def circuit_from_params(params: Dict[str, object]) -> Circuit:
             int(params["num_gates"]),
             int(params["num_dffs"]),
         )
+    if kind == "ring":
+        return _workload_token_ring(int(params["width"]))
     raise ValueError(f"unknown workload kind {kind!r}")
 
 
@@ -135,12 +190,15 @@ def _time(fn, repeats: int) -> Tuple[float, object]:
 
 
 def time_engine_leg(
-    circuit: Circuit, engine: str, repeats: int
+    circuit: Circuit, engine: str, repeats: int, backend: str = "auto"
 ) -> Tuple[Dict[str, float], object, object, object]:
     """(timings, stg, classification, sequence) for one engine on one row."""
-    classify_engine = "array" if engine == "bitset" else "reference"
+    classify_engine = "reference" if engine == "reference" else "array"
     extract_s, stg = _time(
-        lambda: extract_stg(circuit, engine=engine, use_store=False), repeats
+        lambda: extract_stg(
+            circuit, engine=engine, use_store=False, backend=backend
+        ),
+        repeats,
     )
     classify_s, classification = _time(
         lambda: classify([stg], engine=classify_engine), repeats
@@ -164,45 +222,130 @@ def time_engine_leg(
     return timings, stg, classification, sequence
 
 
+def _assert_restricted_parity(bit_stg, rch_stg, circuit_name: str) -> None:
+    """The reach tables must be the bitset tables restricted to the
+    reset-reachable set, entry for entry."""
+    zeros = (0,) * len(bit_stg.states[0])
+    if set(rch_stg.states) != set(bit_stg.reachable_from(zeros)):
+        raise AssertionError(f"reach visited set differs on {circuit_name}")
+    bit_index = {state: k for k, state in enumerate(bit_stg.states)}
+    rch_index = {state: k for k, state in enumerate(rch_stg.states)}
+    for v in range(len(bit_stg.alphabet)):
+        bit_next, rch_next = bit_stg.next_index[v], rch_stg.next_index[v]
+        bit_out, rch_out = bit_stg.output_index[v], rch_stg.output_index[v]
+        for state in rch_stg.states:
+            b, r = bit_index[state], rch_index[state]
+            successor = bit_stg.states[bit_next[b]]
+            if rch_next[r] != rch_index[successor] or rch_out[r] != bit_out[b]:
+                raise AssertionError(
+                    f"reach table restriction differs on {circuit_name}"
+                )
+
+
 def bench_row(params: Dict[str, object], repeats: int) -> Dict[str, object]:
-    """One benchmark row: both engines on one circuit, parity asserted."""
+    """One benchmark row: every in-limit engine on one circuit, parity
+    asserted.  Rows past the bitset wall get ``bitset_rejected: true``
+    and carry only the reach legs."""
     circuit = circuit_from_params(params)
-    # The scalar engine costs O(states x vectors x circuit) per repeat;
-    # best-of-1 keeps the harness bounded while the bitset side still gets
-    # warm-cache best-of-``repeats`` (compile cache shared within the run).
-    ref, ref_stg, ref_cls, ref_seq = time_engine_leg(circuit, "reference", 1)
-    bit, bit_stg, bit_cls, bit_seq = time_engine_leg(circuit, "bitset", repeats)
-
-    parity = (
-        ref_stg.next_index == bit_stg.next_index
-        and ref_stg.output_index == bit_stg.output_index
-        and ref_cls.class_of == bit_cls.class_of
-        and ref_seq == bit_seq
-    )
-    if not parity:
-        raise AssertionError(f"engine parity violated on {circuit.name}")
-
-    num_classes = len(set(bit_cls.class_array(0)))
     row: Dict[str, object] = {
         "circuit": circuit.name,
         "params": params,
         "num_gates": circuit.num_gates(),
         "num_dffs": circuit.num_registers(),
         "num_inputs": len(circuit.input_names),
-        "num_states": len(bit_stg.states),
-        "num_vectors": len(bit_stg.alphabet),
-        "num_classes": num_classes,
-        "sync_length": None if bit_seq is None else len(bit_seq),
-        "reference": {k: round(v, 4) for k, v in ref.items()},
-        "bitset": {k: round(v, 4) for k, v in bit.items()},
-        "speedup_extract": round(ref["extract_s"] / max(bit["extract_s"], 1e-9), 2),
-        "speedup_classify": round(
-            ref["classify_s"] / max(bit["classify_s"], 1e-9), 2
-        ),
-        "speedup_sync": round(ref["sync_s"] / max(bit["sync_s"], 1e-9), 2),
-        "speedup_total": round(ref["total_s"] / max(bit["total_s"], 1e-9), 2),
-        "parity": parity,
     }
+
+    bit = bit_stg = None
+    if circuit.num_registers() <= ENGINE_LIMITS["bitset"].registers:
+        # The scalar engine costs O(states x vectors x circuit) per repeat;
+        # best-of-1 keeps the harness bounded while the compiled engines
+        # still get warm-cache best-of-``repeats``.
+        ref, ref_stg, ref_cls, ref_seq = time_engine_leg(circuit, "reference", 1)
+        bit, bit_stg, bit_cls, bit_seq = time_engine_leg(
+            circuit, "bitset", repeats
+        )
+        parity = (
+            ref_stg.next_index == bit_stg.next_index
+            and ref_stg.output_index == bit_stg.output_index
+            and ref_cls.class_of == bit_cls.class_of
+            and ref_seq == bit_seq
+        )
+        if not parity:
+            raise AssertionError(f"engine parity violated on {circuit.name}")
+        row.update(
+            {
+                "num_states": len(bit_stg.states),
+                "num_vectors": len(bit_stg.alphabet),
+                "num_classes": len(set(bit_cls.class_array(0))),
+                "sync_length": None if bit_seq is None else len(bit_seq),
+                "reference": {k: round(v, 4) for k, v in ref.items()},
+                "bitset": {k: round(v, 4) for k, v in bit.items()},
+                "speedup_extract": round(
+                    ref["extract_s"] / max(bit["extract_s"], 1e-9), 2
+                ),
+                "speedup_classify": round(
+                    ref["classify_s"] / max(bit["classify_s"], 1e-9), 2
+                ),
+                "speedup_sync": round(ref["sync_s"] / max(bit["sync_s"], 1e-9), 2),
+                "speedup_total": round(
+                    ref["total_s"] / max(bit["total_s"], 1e-9), 2
+                ),
+                "parity": parity,
+            }
+        )
+    else:
+        try:
+            extract_stg(circuit, engine="bitset", use_store=False)
+        except StateSpaceTooLarge:
+            row["bitset_rejected"] = True
+        else:
+            raise AssertionError(
+                f"{circuit.name} was expected to be past the bitset wall"
+            )
+
+    rch, rch_stg, rch_cls, rch_seq = time_engine_leg(
+        circuit, "reach", repeats, backend="bigint"
+    )
+    row.update(
+        {
+            "reach": {k: round(v, 4) for k, v in rch.items()},
+            "visited_states": rch_stg.visited_states,
+            "peak_frontier": rch_stg.peak_frontier,
+            "reach_levels": rch_stg.levels,
+            "total_states": rch_stg.total_states,
+            "reach_classes": len(set(rch_cls.class_array(0))),
+            "reach_sync_length": None if rch_seq is None else len(rch_seq),
+        }
+    )
+    if numpy_available():
+        npy, npy_stg, _, _ = time_engine_leg(
+            circuit, "reach", repeats, backend="numpy"
+        )
+        if (
+            npy_stg.states != rch_stg.states
+            or npy_stg.next_index != rch_stg.next_index
+            or npy_stg.output_index != rch_stg.output_index
+        ):
+            raise AssertionError(
+                f"reach backend parity violated on {circuit.name}"
+            )
+        row["reach_numpy"] = {k: round(v, 4) for k, v in npy.items()}
+
+    reach_parity = True
+    if bit_stg is not None:
+        if rch_stg.num_registers == circuit.num_registers():
+            _assert_restricted_parity(bit_stg, rch_stg, circuit.name)
+        else:
+            # A non-identity cone relocates the state bits; count checks
+            # still apply but tuple-level restriction does not.
+            reach_parity = rch_stg.visited_states <= len(bit_stg.states)
+        row["speedup_reach_extract"] = round(
+            bit["extract_s"] / max(rch["extract_s"], 1e-9), 2
+        )
+        row["speedup_reach_total"] = round(
+            bit["total_s"] / max(rch["total_s"], 1e-9), 2
+        )
+    row["reach_parity"] = reach_parity
     return row
 
 
@@ -219,14 +362,26 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
         print(f"  {params} ...", flush=True)
         row = bench_row(params, args.repeats)
         rows.append(row)
-        print(
-            f"    {row['circuit']}: reference {row['reference']['total_s']}s, "
-            f"bitset {row['bitset']['total_s']}s "
-            f"({row['speedup_total']}x total, "
-            f"{row['speedup_extract']}x extract)",
-            flush=True,
-        )
-    totals = [row["speedup_total"] for row in rows]
+        if row.get("bitset_rejected"):
+            print(
+                f"    {row['circuit']}: bitset rejected, reach "
+                f"{row['reach']['total_s']}s "
+                f"({row['visited_states']} of {row['total_states']} states)",
+                flush=True,
+            )
+        else:
+            print(
+                f"    {row['circuit']}: reference {row['reference']['total_s']}s, "
+                f"bitset {row['bitset']['total_s']}s "
+                f"({row['speedup_total']}x total, "
+                f"{row['speedup_extract']}x extract), "
+                f"reach {row['reach']['total_s']}s "
+                f"({row['visited_states']} of {row['total_states']} states)",
+                flush=True,
+            )
+    paired = [r for r in rows if "speedup_total" in r]
+    totals = [row["speedup_total"] for row in paired]
+    reach_totals = [r["speedup_reach_total"] for r in rows if "speedup_reach_total" in r]
     report = {
         "meta": {
             "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -245,9 +400,20 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
             "geomean_speedup_total": round(statistics.geometric_mean(totals), 2),
             "max_speedup_total": max(totals),
             "geomean_speedup_extract": round(
-                statistics.geometric_mean(r["speedup_extract"] for r in rows), 2
+                statistics.geometric_mean(r["speedup_extract"] for r in paired), 2
             ),
-            "all_engines_agree": all(row["parity"] for row in rows),
+            # reach vs bitset where both ran; >1 means the frontier BFS beat
+            # full 2^r enumeration (expected on sparse-reachability rows).
+            "geomean_speedup_reach_total": round(
+                statistics.geometric_mean(reach_totals), 2
+            )
+            if reach_totals
+            else None,
+            "bitset_rejected_rows": sum(
+                1 for r in rows if r.get("bitset_rejected")
+            ),
+            "all_engines_agree": all(r["parity"] for r in paired)
+            and all(row["reach_parity"] for row in rows),
         },
     }
     if journal is not None:
@@ -260,12 +426,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--full",
         action="store_true",
-        help="extended workload incl. 12-register and input-heavy circuits",
+        help="extended workload incl. 12-register, input-heavy and "
+        "16-register ring circuits",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="three-circuit quick set (the default; kept for explicitness)",
+        help="five-circuit quick set (the default; kept for explicitness)",
     )
     parser.add_argument(
         "-o",
@@ -291,6 +458,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"min {summary['min_speedup_total']}x / "
         f"geomean {summary['geomean_speedup_total']}x / "
         f"max {summary['max_speedup_total']}x"
+    )
+    print(
+        f"speedup reach vs bitset (total): "
+        f"geomean {summary['geomean_speedup_reach_total']}x "
+        f"({summary['bitset_rejected_rows']} row(s) past the bitset wall)"
     )
     print(f"all engines agree: {summary['all_engines_agree']}")
     print(f"wrote {args.output}")

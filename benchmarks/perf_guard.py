@@ -9,11 +9,16 @@ the per-circuit ratios falls below ``--min-ratio`` (default 0.7, i.e. a
 
 With ``--equiv-baseline BENCH_equiv.json`` it additionally regenerates
 each equivalence-benchmark circuit from the row's recorded parameters,
-re-times the bitset engine's extract + classify + sync-search leg, and
-fails when the geomean of baseline-time / current-time ratios falls
-below ``--equiv-min-ratio`` (default 0.5).  Deterministic row facts
-(class counts, sync-sequence length) are also re-checked, so a semantic
-regression of the bitset engine fails the guard even when it got faster.
+re-times the extract + classify + sync-search leg **per STG engine**
+(bitset, and reach where the baseline has reach rows), and fails when
+any engine's geomean of baseline-time / current-time ratios falls below
+``--equiv-min-ratio`` (default 0.5) -- the reach series is guarded
+separately so a frontier-BFS regression cannot hide behind bitset
+headroom.  Rows marked ``bitset_rejected`` (past the 18-register wall)
+are guarded on the reach leg only.  Deterministic row facts (class
+counts, sync-sequence lengths, visited-state and peak-frontier counts)
+are also re-checked, so a semantic regression of either engine fails
+the guard even when it got faster.
 
 With ``--faultsim-baseline BENCH_faultsim.json`` it re-times the
 compiled fault-simulation kernel **per word backend** (bigint always;
@@ -132,55 +137,100 @@ def run_guard(baseline_path: str, min_ratio: float) -> int:
 
 
 def run_equiv_guard(baseline_path: str, min_ratio: float) -> int:
-    """Guard the bitset STG engine against its committed baseline."""
+    """Guard the bitset and reach STG engines, one ratio series per
+    engine.  Rows marked ``bitset_rejected`` (past the 18-register wall)
+    skip the bitset leg; rows from a pre-reach baseline skip the reach
+    leg."""
     from benchmarks.perf_equiv import circuit_from_params, time_engine_leg
 
     with open(baseline_path) as handle:
         baseline = json.load(handle)
     repeats = int(baseline["meta"]["workload"].get("repeats", 2))
     clear_compile_cache()
-    ratios = []
+    ratios: Dict[str, list] = {"bitset": [], "reach": []}
     for row in baseline["circuits"]:
         circuit = circuit_from_params(row["params"])
-        timings, _, classification, sequence = time_engine_leg(
-            circuit, "bitset", repeats
-        )
-        num_classes = len(set(classification.class_array(0)))
-        sync_length = None if sequence is None else len(sequence)
-        if (num_classes, sync_length) != (
-            row["num_classes"],
-            row["sync_length"],
-        ):
+        if not row.get("bitset_rejected"):
+            timings, _, classification, sequence = time_engine_leg(
+                circuit, "bitset", repeats
+            )
+            num_classes = len(set(classification.class_array(0)))
+            sync_length = None if sequence is None else len(sequence)
+            if (num_classes, sync_length) != (
+                row["num_classes"],
+                row["sync_length"],
+            ):
+                print(
+                    f"FAIL: {row['circuit']}: bitset engine results diverge "
+                    f"from {baseline_path} (classes {num_classes} vs "
+                    f"{row['num_classes']}, sync length {sync_length} vs "
+                    f"{row['sync_length']})",
+                    file=sys.stderr,
+                )
+                return 1
+            base = float(row["bitset"]["total_s"])
+            ratio = base / max(timings["total_s"], 1e-9)
+            ratios["bitset"].append(ratio)
             print(
-                f"FAIL: {row['circuit']}: bitset engine results diverge from "
-                f"{baseline_path} (classes {num_classes} vs "
-                f"{row['num_classes']}, sync length {sync_length} vs "
-                f"{row['sync_length']})",
+                f"  {row['circuit']} [bitset]: baseline {base:.4f}s, "
+                f"current {timings['total_s']:.4f}s (ratio {ratio:.2f})",
+                flush=True,
+            )
+        if "reach" in row:
+            # The baseline's ``reach`` timings are the bigint leg; pin the
+            # backend so the ratio compares like with like.
+            timings, stg, classification, sequence = time_engine_leg(
+                circuit, "reach", repeats, backend="bigint"
+            )
+            sync_length = None if sequence is None else len(sequence)
+            current = (
+                stg.visited_states,
+                stg.peak_frontier,
+                len(set(classification.class_array(0))),
+                sync_length,
+            )
+            expected = (
+                row["visited_states"],
+                row["peak_frontier"],
+                row["reach_classes"],
+                row["reach_sync_length"],
+            )
+            if current != expected:
+                print(
+                    f"FAIL: {row['circuit']}: reach engine results diverge "
+                    f"from {baseline_path} "
+                    f"((visited, peak, classes, sync) {current} vs "
+                    f"{expected})",
+                    file=sys.stderr,
+                )
+                return 1
+            base = float(row["reach"]["total_s"])
+            ratio = base / max(timings["total_s"], 1e-9)
+            ratios["reach"].append(ratio)
+            print(
+                f"  {row['circuit']} [reach]: baseline {base:.4f}s, "
+                f"current {timings['total_s']:.4f}s (ratio {ratio:.2f})",
+                flush=True,
+            )
+    status = 0
+    for engine, series in ratios.items():
+        if not series:
+            continue
+        geomean = statistics.geometric_mean(series)
+        print(
+            f"geomean equiv-engine time ratio [{engine}]: {geomean:.2f} "
+            f"(min allowed {min_ratio})"
+        )
+        if geomean < min_ratio:
+            print(
+                f"FAIL: {engine} STG engine slowed down more than "
+                f"{(1.0 / min_ratio):.1f}x vs {baseline_path}",
                 file=sys.stderr,
             )
-            return 1
-        base = float(row["bitset"]["total_s"])
-        ratio = base / max(timings["total_s"], 1e-9)
-        ratios.append(ratio)
-        print(
-            f"  {row['circuit']}: baseline {base:.4f}s, "
-            f"current {timings['total_s']:.4f}s (ratio {ratio:.2f})",
-            flush=True,
-        )
-    geomean = statistics.geometric_mean(ratios)
-    print(
-        f"geomean equiv-engine time ratio: {geomean:.2f} "
-        f"(min allowed {min_ratio})"
-    )
-    if geomean < min_ratio:
-        print(
-            f"FAIL: bitset STG engine slowed down more than "
-            f"{(1.0 / min_ratio):.1f}x vs {baseline_path}",
-            file=sys.stderr,
-        )
-        return 1
-    print("equiv perf guard passed")
-    return 0
+            status = 1
+    if status == 0:
+        print("equiv perf guard passed")
+    return status
 
 
 def run_faultsim_guard(baseline_path: str, min_ratio: float) -> int:

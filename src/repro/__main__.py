@@ -10,12 +10,15 @@ Commands:
 * ``atpg <fsm> <style> <script> [seconds]`` — run the ATPG engine on a
   benchmark circuit and print the test set (``testset`` text format);
 * ``flow <fsm> <style> <script> [seconds]`` — run the Fig. 6
-  retime-for-testability flow on the retimed circuit;
+  retime-for-testability flow on the retimed circuit (``--verify`` adds a
+  Lemma 2 behavioural check stage, ``--stg-engine`` picks its STG engine);
 * ``equiv <fsm> <style> <script>`` — explicit state-space analysis: state
   counts, equivalence classes and the shortest functional synchronizing
-  sequence (``--engine bitset|reference`` selects the STG engine,
-  ``--retimed`` analyses the retimed circuit, ``--max-length N`` bounds the
-  sequence search); prints artifact-store hit/miss stats;
+  sequence (``--engine bitset|reference|reach|auto`` selects the STG
+  engine, ``--initial reset|all`` picks the reach engine's start set,
+  ``--retimed`` analyses the retimed circuit, ``--max-length N`` bounds
+  the sequence search); ``equiv --help`` prints the per-engine limits
+  table; prints artifact-store hit/miss stats;
 * ``store stats`` / ``store gc [max_bytes]`` / ``store clear`` — inspect,
   size-bound or empty the persistent artifact store.
 
@@ -83,6 +86,9 @@ def _pop_flags(rest):
         "engine": None,
         "retimed": False,
         "max_length": None,
+        "initial": None,
+        "verify": False,
+        "stg_engine": None,
     }
     positional = []
     index = 0
@@ -114,8 +120,24 @@ def _pop_flags(rest):
         elif argument == "--engine":
             index += 1
             if index >= len(rest):
-                raise ValueError("--engine needs a name (bitset or reference)")
+                raise ValueError(
+                    "--engine needs a name (bitset, reference, reach or auto)"
+                )
             options["engine"] = rest[index]
+        elif argument == "--initial":
+            index += 1
+            if index >= len(rest):
+                raise ValueError("--initial needs a start set (reset or all)")
+            options["initial"] = rest[index]
+        elif argument == "--verify":
+            options["verify"] = True
+        elif argument == "--stg-engine":
+            index += 1
+            if index >= len(rest):
+                raise ValueError(
+                    "--stg-engine needs a name (bitset, reference, reach or auto)"
+                )
+            options["stg_engine"] = rest[index]
         elif argument == "--max-length":
             index += 1
             if index >= len(rest):
@@ -139,21 +161,48 @@ def _open_run(options, label):
     return store, journal
 
 
+def _equiv_usage() -> str:
+    from repro.equivalence import engine_limits_table
+
+    return (
+        "usage: python -m repro equiv <fsm> <style> <script> [options]\n"
+        "\n"
+        "options:\n"
+        "  --engine bitset|reference|reach|auto  STG extraction engine\n"
+        "  --initial reset|all      reach engine start set (default reset)\n"
+        "  --retimed                analyse the retimed circuit\n"
+        "  --max-length N           sync-sequence search bound (default 8)\n"
+        "  --backend auto|bigint|numpy  word backend for compiled kernels\n"
+        "  --no-store               bypass the artifact store\n"
+        "\n"
+        "engine limits:\n" + engine_limits_table()
+    )
+
+
 def _equiv_command(spec, options) -> int:
     """Explicit state-space analysis of one benchmark circuit."""
     from repro.equivalence import (
-        DEFAULT_ENGINE,
+        ReachableSTG,
         StateSpaceTooLarge,
         classify,
         extract_stg,
         find_functional_sync_sequence,
+        resolved_engine_name,
     )
     from repro.store.core import default_store
 
+    engine = options["engine"]
+    initial = options["initial"]
+    if initial is not None:
+        if initial not in ("reset", "all"):
+            print(f"--initial must be reset or all, got {initial!r}", file=sys.stderr)
+            return 2
+        if engine != "reach":
+            print("--initial requires --engine reach", file=sys.stderr)
+            return 2
     store = default_store() if options["store"] else None
     pair = build_pair(spec, store=store)
     circuit = pair.retimed if options["retimed"] else pair.original
-    engine = options["engine"]
     max_length = options["max_length"] if options["max_length"] is not None else 8
     try:
         stg = extract_stg(
@@ -161,6 +210,7 @@ def _equiv_command(spec, options) -> int:
             engine=engine,
             use_store=options["store"],
             backend=options["backend"],
+            initial_states=initial,
         )
     except StateSpaceTooLarge as error:
         print(f"state space too large: {error}", file=sys.stderr)
@@ -177,10 +227,19 @@ def _equiv_command(spec, options) -> int:
         f"circuit {circuit.name}: {circuit.num_gates()} gates, "
         f"{circuit.num_registers()} dffs, {len(circuit.input_names)} inputs"
     )
-    print(
-        f"engine {engine or DEFAULT_ENGINE}: {len(stg.states)} states x "
-        f"{len(stg.alphabet)} vectors, {num_classes} equivalence classes"
-    )
+    if isinstance(stg, ReachableSTG):
+        print(
+            f"engine reach: visited {stg.visited_states} of "
+            f"{stg.total_states} states x {len(stg.alphabet)} vectors "
+            f"(peak frontier {stg.peak_frontier}, {stg.levels} levels), "
+            f"{num_classes} equivalence classes"
+        )
+    else:
+        print(
+            f"engine {resolved_engine_name(engine, stg)}: "
+            f"{len(stg.states)} states x "
+            f"{len(stg.alphabet)} vectors, {num_classes} equivalence classes"
+        )
     if sequence is None:
         print(f"functional sync sequence: none found (max length {max_length})")
     elif not sequence:
@@ -237,6 +296,12 @@ def main(argv=None) -> int:
 
     if command == "store":
         return _store_command(rest)
+
+    if command == "equiv" and ("--help" in rest or "-h" in rest):
+        # _pop_flags treats unknown arguments as positionals, so catch the
+        # help request before flag parsing swallows it.
+        print(_equiv_usage())
+        return 0
 
     if command in ("synth", "retime", "atpg", "flow", "equiv"):
         try:
@@ -309,6 +374,8 @@ def main(argv=None) -> int:
                 kernel=options["kernel"],
                 backend=options["backend"],
                 resume=options["resume"],
+                verify=options["verify"],
+                stg_engine=options["stg_engine"] or "auto",
             )
             try:
                 result = pipeline.run_spec(spec, budget=_budget(rest, 3))

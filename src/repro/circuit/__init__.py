@@ -9,6 +9,7 @@ flip-flops on each interconnection and whose edges decompose into *lines*
 
 from repro.circuit.builder import CircuitBuilder
 from repro.circuit.bench_io import parse_bench, read_bench, write_bench
+from repro.circuit.cone import ConeReduction, cone_of_influence
 from repro.circuit.digest import (
     canonical_circuit_text,
     circuit_digest,
@@ -45,6 +46,8 @@ __all__ = [
     "circuit_digest",
     "structural_identity",
     "write_verilog",
+    "ConeReduction",
+    "cone_of_influence",
     "validate",
     "check",
     "is_valid",

@@ -89,6 +89,7 @@ class PreservationReport:
     missed: List[StuckAtFault] = field(default_factory=list)
     explained_by_register_split: List[StuckAtFault] = field(default_factory=list)
     time_equivalence_checked: bool = False  # Lemma 2 STG check ran and held
+    time_equivalence_engine: str = ""  # STG engine that ran it ("" if skipped)
 
     @property
     def holds(self) -> bool:
@@ -118,7 +119,11 @@ def verify_preservation(
     Lemma 2 on the explicit state space (``K ≡Nt K'`` with the plan's
     bound) via the STG engine selected by ``stg_engine``; machines beyond
     the engine's limits skip the check (``time_equivalence_checked`` stays
-    False), a bound violation raises :class:`ValueError`.
+    False), a bound violation raises :class:`ValueError`.  With
+    ``stg_engine="reach"`` (or ``"auto"`` resolving to it) the bound is
+    validated over the *reset-reachable* state sets of the two machines --
+    reachability-bounded rather than full-space Lemma 2; the engine that
+    actually ran is recorded in ``time_equivalence_engine``.
     """
     retimed_circuit = retimed if retimed is not None else retiming.apply()
     correspondence = FaultCorrespondence(original, retimed_circuit)
@@ -154,6 +159,7 @@ def verify_preservation(
         from repro.equivalence import (
             StateSpaceTooLarge,
             extract_stg,
+            resolved_engine_name,
             time_equivalence_bound,
         )
 
@@ -173,6 +179,9 @@ def verify_preservation(
                     "Lemma 2 violated"
                 )
             report.time_equivalence_checked = True
+            report.time_equivalence_engine = resolved_engine_name(
+                stg_engine, stg_original, stg_retimed
+            )
     for fault in retimed_faults:
         if fault in result_retimed.detections:
             continue

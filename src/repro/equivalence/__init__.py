@@ -14,13 +14,18 @@ result-identical by the cross-engine parity suite.
 from repro.equivalence.explicit import (
     DEFAULT_ENGINE,
     ENGINE_LIMITS,
+    ENGINE_TIERS,
     EngineLimits,
     ExplicitSTG,
     STG_FORMAT_VERSION,
     StateSpaceTooLarge,
     all_vectors,
+    engine_limits_table,
     extract_stg,
+    resolved_engine_name,
+    select_engine,
 )
+from repro.equivalence.reach import REACH_FORMAT_VERSION, ReachableSTG
 from repro.equivalence.relations import (
     StateClassification,
     classify,
@@ -43,11 +48,17 @@ from repro.equivalence.syncseq import (
 
 __all__ = [
     "ExplicitSTG",
+    "ReachableSTG",
     "EngineLimits",
     "ENGINE_LIMITS",
+    "ENGINE_TIERS",
     "DEFAULT_ENGINE",
     "STG_FORMAT_VERSION",
+    "REACH_FORMAT_VERSION",
     "extract_stg",
+    "select_engine",
+    "engine_limits_table",
+    "resolved_engine_name",
     "all_vectors",
     "StateSpaceTooLarge",
     "classify",

@@ -6,7 +6,7 @@ state transition graph.  For circuits with a modest number of flip-flops
 (the paper's examples have 1-3, the synthesized benchmarks 5-7) the STG can
 be built exactly by enumerating all binary states and input vectors.
 
-Two engines build the same tables:
+Three engine tiers build compatible tables:
 
 * ``engine="bitset"`` (default) packs all ``2^r`` initial states as lanes
   of the compiled bit-parallel stepper and advances the whole state space
@@ -15,7 +15,13 @@ Two engines build the same tables:
 * ``engine="reference"`` runs one scalar
   :class:`~repro.simulation.sequential.SequentialSimulator` step per
   (state, vector) pair -- the obviously-correct engine the bitset engine is
-  cross-checked against.
+  cross-checked against;
+* ``engine="reach"`` (:mod:`repro.equivalence.reach`) BFS-expands only the
+  states reachable from a reset/initial set, after a cone-of-influence
+  reduction -- reachability-bounded semantics, but it breaks the
+  exhaustive tiers' register wall on sparse machines;
+* ``engine="auto"`` picks the cheapest exhaustive tier that fits, falling
+  back to ``reach`` beyond the bitset limits (:func:`select_engine`).
 
 Either way the machine is stored as **flat integer tables** indexed
 ``[vector_idx][state_idx]``: ``next_index`` holds successor state indices,
@@ -77,24 +83,151 @@ class EngineLimits:
 #: engine sustains 2^18-state sweeps in seconds where the scalar reference
 #: engine is already minutes at 2^12.  The reference engine keeps its
 #: historical caps so ``engine="reference"`` behaves exactly like the seed.
+#: The reach tier enumerates visited states only, so its register cap is a
+#: cone-of-influence cap and its transition cap (``visited x |alphabet|``)
+#: is enforced *during* traversal rather than up front.
 ENGINE_LIMITS: Dict[str, EngineLimits] = {
     "bitset": EngineLimits(registers=18, inputs=12, transitions=1 << 22),
     "reference": EngineLimits(registers=16, inputs=10, transitions=None),
+    "reach": EngineLimits(registers=30, inputs=12, transitions=1 << 24),
 }
 
-MAX_EXPLICIT_REGISTERS = ENGINE_LIMITS[DEFAULT_ENGINE].registers
-MAX_EXPLICIT_INPUTS = ENGINE_LIMITS[DEFAULT_ENGINE].inputs
+#: Engine tiers from cheapest-per-state to largest-capacity; the order the
+#: limits table prints in and the escalation order of the too-large hints.
+ENGINE_TIERS: Tuple[str, ...] = ("reference", "bitset", "reach")
+
+_DEPRECATED_LIMIT_ALIASES = {
+    "MAX_EXPLICIT_REGISTERS": "registers",
+    "MAX_EXPLICIT_INPUTS": "inputs",
+}
+
+
+def __getattr__(name: str):
+    """PEP 562 shim for the pre-``ENGINE_LIMITS`` module constants."""
+    field_name = _DEPRECATED_LIMIT_ALIASES.get(name)
+    if field_name is not None:
+        import warnings
+
+        warnings.warn(
+            f"{name} is deprecated; read "
+            f"ENGINE_LIMITS[engine].{field_name} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(ENGINE_LIMITS[DEFAULT_ENGINE], field_name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class StateSpaceTooLarge(ValueError):
     """Raised when explicit enumeration would be intractable."""
 
 
+def engine_limits_table() -> str:
+    """The per-tier limits, one aligned row per engine.
+
+    Shared by the ``StateSpaceTooLarge`` escalation hints and the
+    ``python -m repro equiv --help`` output.
+    """
+    lines = [f"{'engine':<10} {'registers':>9} {'inputs':>6}  transition cap"]
+    for name in ENGINE_TIERS:
+        limits = ENGINE_LIMITS[name]
+        if limits.transitions is None:
+            cap = "unchecked"
+        else:
+            cap = f"2^{limits.transitions.bit_length() - 1}"
+        if name == "reach":
+            cap += " (visited x |alphabet|, checked during traversal)"
+        lines.append(f"{name:<10} {limits.registers:>9} {limits.inputs:>6}  {cap}")
+    return "\n".join(lines)
+
+
+def _next_tier_hint(engine: str) -> str:
+    """What to try after ``engine`` rejected the machine."""
+    try:
+        position = ENGINE_TIERS.index(engine)
+    except ValueError:
+        position = len(ENGINE_TIERS) - 1
+    if position + 1 >= len(ENGINE_TIERS):
+        return "no larger engine tier exists"
+    next_engine = ENGINE_TIERS[position + 1]
+    limits = ENGINE_LIMITS[next_engine]
+    hint = (
+        f"try engine={next_engine!r} "
+        f"(up to {limits.registers} registers / {limits.inputs} inputs"
+    )
+    if next_engine == "reach":
+        hint += (
+            f", visited x |alphabet| capped at {limits.transitions}; "
+            "reachability-bounded semantics"
+        )
+    elif limits.transitions is not None:
+        hint += f", {limits.transitions} transitions"
+    return hint + ")"
+
+
+def select_engine(
+    circuit: Circuit, alphabet: Optional[Sequence[Vector]] = None
+) -> str:
+    """The ``engine="auto"`` policy: cheapest tier that fits the machine.
+
+    Prefers the exhaustive ``bitset`` tier (exact full-state-space
+    semantics) whenever its register/input/transition limits all fit;
+    escalates to the reachability-bounded ``reach`` tier otherwise.
+    Raises :class:`StateSpaceTooLarge` (with the full limits table) when
+    no tier accepts the machine.
+    """
+    num_registers = circuit.num_registers()
+    num_inputs = len(circuit.input_names)
+    num_vectors = (1 << num_inputs) if alphabet is None else len(alphabet)
+    bitset_limits = ENGINE_LIMITS["bitset"]
+    if (
+        num_registers <= bitset_limits.registers
+        and (alphabet is not None or num_inputs <= bitset_limits.inputs)
+        and (
+            bitset_limits.transitions is None
+            or (1 << num_registers) * num_vectors <= bitset_limits.transitions
+        )
+    ):
+        return "bitset"
+    reach_limits = ENGINE_LIMITS["reach"]
+    if num_registers <= reach_limits.registers and (
+        alphabet is not None or num_inputs <= reach_limits.inputs
+    ):
+        return "reach"
+    raise StateSpaceTooLarge(
+        f"{circuit.name}: {num_registers} flip-flops / {num_inputs} inputs "
+        f"exceeds every engine tier:\n{engine_limits_table()}"
+    )
+
+
+def resolved_engine_name(engine: Optional[str], *stgs: "ExplicitSTG") -> str:
+    """The engine name(s) that actually produced ``stgs``.
+
+    Callers that pass ``engine=None`` or ``"auto"`` to :func:`extract_stg`
+    use this to report which tier ran: a :class:`~repro.equivalence.reach.
+    ReachableSTG` came from ``reach``, anything else from the requested
+    engine (or the package default).  Mixed pairs -- e.g. ``auto`` picking
+    ``bitset`` for a small machine and ``reach`` for its large retiming --
+    join the names with ``+``.
+    """
+    from repro.equivalence.reach import ReachableSTG
+
+    names = []
+    for stg in stgs:
+        if isinstance(stg, ReachableSTG):
+            names.append("reach")
+        elif engine in (None, "auto"):
+            names.append(DEFAULT_ENGINE)
+        else:
+            names.append(engine)
+    return "+".join(sorted(set(names)))
+
+
 def _require_engine(engine: Optional[str]) -> str:
     engine = DEFAULT_ENGINE if engine is None else engine
-    if engine not in ENGINE_LIMITS:
+    if engine != "auto" and engine not in ENGINE_LIMITS:
         raise ValueError(
-            f"unknown STG engine {engine!r} (choose from "
+            f"unknown STG engine {engine!r} (choose from auto, "
             f"{', '.join(sorted(ENGINE_LIMITS))})"
         )
     return engine
@@ -440,11 +573,15 @@ def _check_limits(
     num_vectors: Optional[int],
 ) -> None:
     limits = ENGINE_LIMITS[engine]
-    if num_registers > limits.registers:
+    # The reach tier checks its register cap against the cone-reduced
+    # machine (repro.equivalence.reach) and its transition cap against the
+    # states actually visited, so only the alphabet cost is knowable here.
+    if engine != "reach" and num_registers > limits.registers:
         raise StateSpaceTooLarge(
             f"{circuit.name}: {num_registers} flip-flops is too many for the "
             f"{engine} engine (limit {limits.registers}; enumerating would "
-            f"cost 2^{num_registers} = {1 << num_registers} states)"
+            f"cost 2^{num_registers} = {1 << num_registers} states); "
+            f"{_next_tier_hint(engine)}"
         )
     if num_vectors is None:
         num_inputs = len(circuit.input_names)
@@ -453,16 +590,18 @@ def _check_limits(
                 f"{circuit.name}: {num_inputs} inputs is too many for the "
                 f"{engine} engine's full alphabet (limit {limits.inputs}; "
                 f"enumerating would cost 2^{num_inputs} = {1 << num_inputs} "
-                f"vectors per state)"
+                f"vectors per state); {_next_tier_hint(engine)}"
             )
         num_vectors = 1 << num_inputs
+    if engine == "reach":
+        return
     transitions = (1 << num_registers) * num_vectors
     if limits.transitions is not None and transitions > limits.transitions:
         raise StateSpaceTooLarge(
             f"{circuit.name}: the {engine} engine caps enumeration at "
             f"{limits.transitions} transitions; this machine costs "
             f"{1 << num_registers} states x {num_vectors} vectors = "
-            f"{transitions} transitions"
+            f"{transitions} transitions; {_next_tier_hint(engine)}"
         )
 
 
@@ -514,8 +653,9 @@ def extract_stg(
     engine: Optional[str] = None,
     use_store: bool = True,
     backend: str = "auto",
+    initial_states=None,
 ) -> ExplicitSTG:
-    """Enumerate the (possibly faulty) machine's full STG.
+    """Enumerate the (possibly faulty) machine's STG.
 
     Args:
         circuit: the machine to enumerate.
@@ -524,33 +664,61 @@ def extract_stg(
         alphabet: input vectors to enumerate (default: the full binary
             alphabet over the circuit's inputs).
         engine: ``"bitset"`` (lane-parallel, default) or ``"reference"``
-            (scalar simulation); both produce identical tables.
+            (scalar simulation), which produce identical full-space
+            tables; ``"reach"`` for reachability-bounded traversal
+            (:mod:`repro.equivalence.reach`); or ``"auto"`` to pick by
+            machine size (:func:`select_engine`).
         use_store: memoize the tables in the content-addressed artifact
             store (skipped automatically for oversized machines and when
             the store is disabled).
-        backend: word implementation for the bitset engine (``"bigint"``,
-            ``"numpy"``, or ``"auto"``); tables are identical either way,
-            so the store key deliberately ignores it.
+        backend: word implementation for the lane-parallel engines
+            (``"bigint"``, ``"numpy"``, or ``"auto"``); tables are
+            identical either way, so the store key deliberately ignores
+            it.
+        initial_states: reach engine only -- ``None``/``"reset"`` (the
+            all-zero state), ``"all"`` (full state space, bit-identical to
+            the bitset engine's tables), or an iterable of register-state
+            tuples to seed the traversal from.
 
     Raises :class:`StateSpaceTooLarge` when the machine exceeds the chosen
     engine's limits (:data:`ENGINE_LIMITS`); the message names the engine,
-    the limit and the estimated enumeration cost.
+    the limit, the estimated enumeration cost and the next tier to try.
     """
     engine = _require_engine(engine)
     faults = _normalize_faults(fault)
     num_registers = circuit.num_registers()
+    if alphabet is not None:
+        alphabet = tuple(tuple(v) for v in alphabet)
+        for vector in alphabet:
+            if any(bit not in (0, 1) for bit in vector):
+                raise ValueError(
+                    f"{circuit.name}: STG extraction needs a binary alphabet, "
+                    f"got vector {vector!r}"
+                )
+    if engine == "auto":
+        engine = select_engine(circuit, alphabet)
+    if initial_states is not None and engine != "reach":
+        raise ValueError(
+            f"initial_states is only meaningful for engine='reach' "
+            f"(got engine={engine!r}); the exhaustive engines always "
+            "enumerate the full state space"
+        )
     _check_limits(
         circuit, engine, num_registers, None if alphabet is None else len(alphabet)
     )
     if alphabet is None:
-        alphabet = all_vectors(len(circuit.input_names))
-    alphabet = tuple(tuple(v) for v in alphabet)
-    for vector in alphabet:
-        if any(bit not in (0, 1) for bit in vector):
-            raise ValueError(
-                f"{circuit.name}: STG extraction needs a binary alphabet, "
-                f"got vector {vector!r}"
-            )
+        alphabet = tuple(all_vectors(len(circuit.input_names)))
+    if engine == "reach":
+        from repro.equivalence.reach import extract_stg_reach
+
+        return extract_stg_reach(
+            circuit,
+            faults,
+            alphabet,
+            use_store=use_store,
+            backend=backend,
+            initial_states=initial_states,
+        )
 
     states = tuple(all_vectors(num_registers))
     num_outputs = len(circuit.output_names)
@@ -625,13 +793,15 @@ __all__ = [
     "ExplicitSTG",
     "EngineLimits",
     "ENGINE_LIMITS",
+    "ENGINE_TIERS",
     "DEFAULT_ENGINE",
     "STG_FORMAT_VERSION",
     "extract_stg",
+    "select_engine",
+    "engine_limits_table",
+    "resolved_engine_name",
     "all_vectors",
     "StateSpaceTooLarge",
     "State",
     "Vector",
-    "MAX_EXPLICIT_REGISTERS",
-    "MAX_EXPLICIT_INPUTS",
 ]

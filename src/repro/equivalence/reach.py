@@ -1,0 +1,597 @@
+"""Reachability-bounded STG extraction: the ``engine="reach"`` tier.
+
+The explicit engines (``reference``, ``bitset``) enumerate all ``2^r``
+initial states; real synthesized FSMs typically reach only a tiny fraction
+of that space from their reset state.  This module BFS-expands only the
+states actually reachable from a chosen initial set, packing each frontier
+level into lanes of one compiled bit-parallel sweep per input vector (the
+same ``backend="bigint"|"numpy"`` word kernels the bitset engine uses),
+and grows the flat ``next_index``/``output_index`` tables incrementally as
+new states are interned.
+
+Before traversal the circuit is passed through
+:func:`repro.circuit.cone.cone_of_influence`: registers and gates outside
+every output's support are dropped, so the traversed machine can be
+strictly smaller than the original.  Faults are remapped onto the reduced
+circuit; a fault on a dropped edge cannot affect any output or any kept
+register's next state, so its machine is table-identical to the fault-free
+one.
+
+The result is a :class:`ReachableSTG` -- an :class:`~repro.equivalence.
+explicit.ExplicitSTG` whose state universe *is the reachable set* (in
+deterministic BFS discovery order).  Classification, sync-sequence search
+and :func:`~repro.equivalence.relations.time_equivalence_bound` run on it
+unchanged, with *reachability-bounded* semantics: "all states" means "all
+states reachable from the initial set".  The reachable set is closed under
+transitions, so on the overlap with the exhaustive engines the induced
+classification and sync-sequence results coincide exactly with the
+full-machine results restricted to the reachable states (the cross-engine
+parity suite asserts it); with ``initial_states="all"`` the tables are
+bit-identical to the bitset engine's.
+
+Extracted machines are memoized in the artifact store (kind ``reach-stg``)
+keyed by circuit digest, fault coordinates, alphabet and initial-state
+specification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.circuit.cone import ConeReduction, cone_of_influence
+from repro.circuit.netlist import Circuit, LineRef
+from repro.equivalence import bitset as _bitset
+from repro.equivalence.explicit import (
+    ENGINE_LIMITS,
+    ExplicitSTG,
+    State,
+    StateSpaceTooLarge,
+    Vector,
+    _unpack_bits,
+)
+from repro.faults.model import StuckAtFault
+from repro.simulation.cache import vector_fast_stepper
+
+#: Bump when the ``reach-stg`` artifact payload layout, the traversal
+#: order, or the cone-of-influence reduction semantics change; folded into
+#: :func:`repro.store.core.schema_version`.
+REACH_FORMAT_VERSION = 1
+
+#: Frontier levels are swept in lane blocks of this width.  4096 lanes is
+#: 64 words for the numpy word-plane runner (one fixed-width runner is
+#: reused across all blocks and levels) and keeps the bigint rails at a
+#: comfortable machine-int multiple.
+REACH_LANE_BLOCK = 1 << 12
+
+InitialStates = Union[None, str, Iterable[State]]
+
+
+class ReachableSTG(ExplicitSTG):
+    """An :class:`ExplicitSTG` whose state universe is the reachable set.
+
+    ``states`` holds only the states discovered by the BFS, in
+    deterministic discovery order: the initial set first (sorted by packed
+    state code), then level by level, successors in (vector index, lane
+    index) order.  ``full_bitset`` therefore means "every reachable
+    state", which gives the classification / sync-sequence / Lemma 2
+    machinery reachability-bounded semantics without modification.
+
+    ``num_registers`` is the register count of the cone-reduced machine
+    the states live over; ``total_registers`` is the original circuit's.
+    """
+
+    __slots__ = (
+        "total_registers",
+        "initial_bitset",
+        "peak_frontier",
+        "levels",
+        "dropped_registers",
+    )
+
+    def __init__(
+        self,
+        *args,
+        total_registers: int,
+        initial_bitset: int,
+        peak_frontier: int,
+        levels: int,
+        dropped_registers: int,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.total_registers = total_registers
+        self.initial_bitset = initial_bitset
+        self.peak_frontier = peak_frontier
+        self.levels = levels
+        self.dropped_registers = dropped_registers
+
+    @property
+    def visited_states(self) -> int:
+        """Number of reachable states discovered (== ``len(self.states)``)."""
+        return len(self.states)
+
+    @property
+    def total_states(self) -> int:
+        """Size of the traversed (cone-reduced) machine's full state space."""
+        return 1 << self.num_registers
+
+    def __repr__(self) -> str:
+        return (
+            f"ReachableSTG({self.name!r}, visited={self.visited_states} of "
+            f"{self.total_states}, vectors={len(self.alphabet)}, "
+            f"peak_frontier={self.peak_frontier})"
+        )
+
+
+# -- initial-state specification ---------------------------------------------
+
+
+def _initial_spec_and_codes(
+    circuit: Circuit,
+    cone: ConeReduction,
+    initial_states: InitialStates,
+    num_vectors: int,
+) -> Tuple[object, List[int]]:
+    """Normalize the initial-state request into (store spec, packed codes).
+
+    Codes are packed MSB-first over the *cone* registers (register ``j``
+    carries bit ``rc - 1 - j``, the bitset engine's lane numbering) and
+    returned sorted ascending, so the interning order -- and with it every
+    downstream table -- is deterministic.
+    """
+    reduced_registers = cone.circuit.num_registers()
+    if initial_states is None or initial_states == "reset":
+        return "reset", [0]
+    if initial_states == "all":
+        limits = ENGINE_LIMITS["reach"]
+        if (
+            limits.transitions is not None
+            and (1 << reduced_registers) * num_vectors > limits.transitions
+        ):
+            raise StateSpaceTooLarge(
+                f"{circuit.name}: initial_states='all' over "
+                f"{reduced_registers} registers x {num_vectors} vectors "
+                f"exceeds the reach engine's transition cap "
+                f"({limits.transitions}); use the default reset seed"
+            )
+        return "all", list(range(1 << reduced_registers))
+    if isinstance(initial_states, str):
+        raise ValueError(
+            f"unknown initial_states spec {initial_states!r} "
+            "(choose 'reset', 'all', or an iterable of register states)"
+        )
+    total_registers = circuit.num_registers()
+    codes = set()
+    for state in initial_states:
+        state = tuple(state)
+        if len(state) == total_registers:
+            projected = cone.project_state(state)
+        elif len(state) == reduced_registers and cone.is_identity:
+            projected = state
+        else:
+            raise ValueError(
+                f"{circuit.name}: initial state {state!r} has width "
+                f"{len(state)}, expected {total_registers} register bits"
+            )
+        code = 0
+        for bit in projected:
+            if bit not in (0, 1):
+                raise ValueError(
+                    f"{circuit.name}: initial states must be binary, "
+                    f"got {state!r}"
+                )
+            code = code << 1 | bit
+        codes.add(code)
+    if not codes:
+        raise ValueError(f"{circuit.name}: initial_states is empty")
+    ordered = sorted(codes)
+    return ["explicit", ordered], ordered
+
+
+# -- fault remapping onto the cone -------------------------------------------
+
+
+def _remap_faults(
+    cone: ConeReduction, faults: Sequence[StuckAtFault]
+) -> List[StuckAtFault]:
+    """Faults re-addressed to reduced edge indices; dropped-edge faults
+    vanish (they cannot affect any output or kept-register next state)."""
+    remapped: List[StuckAtFault] = []
+    for fault in faults:
+        new_edge = cone.edge_map.get(fault.line.edge_index)
+        if new_edge is None:
+            continue
+        remapped.append(
+            StuckAtFault(LineRef(new_edge, fault.line.segment), fault.value)
+        )
+    return remapped
+
+
+def _injection_masks(stepper, faults: Sequence[StuckAtFault], width: int):
+    sa1, sa0 = stepper.blank_injection_masks()
+    mask = (1 << width) - 1
+    # Last fault wins per line, matching the reference simulator.
+    forced = {fault.line: fault.value for fault in faults}
+    for line, value in forced.items():
+        slot = stepper.line_slot[line]
+        if value == 1:
+            sa1[slot] = mask
+        else:
+            sa0[slot] = mask
+    return sa1, sa0
+
+
+# -- per-block frontier sweeps -----------------------------------------------
+
+
+#: Below this block width the scalar bigint sweep beats the numpy
+#: word-plane sweep, whose per-gate array-call overhead is width-
+#: independent; ``backend="auto"`` switches per block at this line.
+REACH_NUMPY_MIN_LANES = 512
+
+
+def _make_sweeper(reduced, stepper, faults, alphabet, backend: str):
+    from repro.simulation.backends import resolve_backend
+
+    if resolve_backend(backend) != "numpy":
+        return _sweeper_bigint(reduced, stepper, faults, alphabet)
+    numpy_sweep = _sweeper_numpy(reduced, stepper, faults, alphabet)
+    if backend == "numpy":
+        return numpy_sweep
+    # auto: most reachable frontiers are narrow, where bigint wins; fall
+    # through to the word-plane kernel only on wide blocks.
+    bigint_sweep = _sweeper_bigint(reduced, stepper, faults, alphabet)
+
+    def sweep(block):
+        if len(block) >= REACH_NUMPY_MIN_LANES:
+            return numpy_sweep(block)
+        return bigint_sweep(block)
+
+    return sweep
+
+
+def _sweeper_bigint(reduced, stepper, faults, alphabet):
+    """sweep(codes) -> per-vector (next_codes, output_codes) lists."""
+    num_registers = stepper.compiled.num_registers
+    num_outputs = len(reduced.output_names)
+
+    def sweep(block: Sequence[int]):
+        width = len(block)
+        mask = (1 << width) - 1
+        ones_by_register = [0] * num_registers
+        for lane, code in enumerate(block):
+            remaining = code
+            while remaining:
+                position = (remaining & -remaining).bit_length() - 1
+                ones_by_register[num_registers - 1 - position] |= 1 << lane
+                remaining &= remaining - 1
+        rails = tuple(
+            (ones, mask ^ ones) for ones in ones_by_register
+        )
+        if faults:
+            sa1, sa0 = _injection_masks(stepper, faults, width)
+            step = lambda packed: stepper.step_inject(  # noqa: E731
+                rails, packed, mask, sa1, sa0
+            )
+        else:
+            step = lambda packed: stepper.step_clean(  # noqa: E731
+                rails, packed, mask
+            )
+        results = []
+        for vector in alphabet:
+            packed = stepper.broadcast_vector(vector, width)
+            out_rails, next_rails = step(packed)
+            next_codes = [0] * width
+            for register, (ones, zeros) in enumerate(next_rails):
+                _bitset._check_binary(
+                    reduced, ones, zeros, mask, "register", register
+                )
+                _bitset.decode_plane_into(
+                    next_codes, ones, 1 << (num_registers - 1 - register), width
+                )
+            out_codes = [0] * width
+            for position, (ones, zeros) in enumerate(out_rails):
+                _bitset._check_binary(
+                    reduced, ones, zeros, mask, "output", position
+                )
+                _bitset.decode_plane_into(
+                    out_codes, ones, 1 << (num_outputs - 1 - position), width
+                )
+            results.append((next_codes, out_codes))
+        return results
+
+    return sweep
+
+
+def _sweeper_numpy(reduced, stepper, faults, alphabet):
+    """The word-plane leg: runners sized to the frontier, cached per width.
+
+    Sweeping a fixed ``REACH_LANE_BLOCK``-wide runner regardless of
+    frontier size would make sparse traversals pay the full 4096-lane
+    cost per level, so blocks are padded only up to the next power of two
+    (>= 64 lanes) and one runner is cached per padded width -- at most
+    seven runners ever exist.  Padding lanes are parked in state 0 (ones
+    rail clear, zeros rail set), which keeps every rail binary; only the
+    block's own lanes are decoded.
+    """
+    import numpy as np
+
+    from repro.simulation.wordplane import width_mask_words, wordplane_plan
+
+    num_registers = stepper.compiled.num_registers
+    num_outputs = len(reduced.output_names)
+    plan = wordplane_plan(stepper)
+    reg0 = plan.reg0
+    runners = {}
+
+    def runner_for(width: int):
+        padded = 64
+        while padded < width:
+            padded <<= 1
+        entry = runners.get(padded)
+        if entry is None:
+            runner = plan.runner(padded)
+            mask_words = width_mask_words(padded, runner.words)
+            if faults:
+                sa1, sa0 = _injection_masks(stepper, faults, padded)
+                runner.set_group(sa1, sa0)
+            entry = runners[padded] = (runner, mask_words)
+        return entry
+
+    def lane_bits(words: "np.ndarray", count: int) -> "np.ndarray":
+        return np.unpackbits(words.view(np.uint8), count=count, bitorder="little")
+
+    def sweep(block: Sequence[int]):
+        width = len(block)
+        runner, mask_words = runner_for(width)
+        codes = np.asarray(block, dtype=np.uint64)
+        state_words = np.zeros((2 * num_registers, runner.words), dtype=np.uint64)
+        for register in range(num_registers):
+            shift = np.uint64(num_registers - 1 - register)
+            bits = ((codes >> shift) & np.uint64(1)).astype(np.uint8)
+            packed = np.packbits(bits, bitorder="little")
+            ones = np.zeros(runner.words, dtype=np.uint64)
+            ones.view(np.uint8)[: len(packed)] = packed
+            state_words[2 * register] = ones
+            state_words[2 * register + 1] = mask_words & ~ones
+        results = []
+        for vector in alphabet:
+            runner.V[reg0 : reg0 + 2 * num_registers] = state_words
+            runner.set_broadcast_vector(vector)
+            runner.step()
+            next_block = runner.next_state_view()
+            next_row = np.zeros(width, dtype=np.int64)
+            for register in range(num_registers):
+                ones = next_block[2 * register]
+                zeros = next_block[2 * register + 1]
+                _bitset._check_binary_words(
+                    reduced, ones, zeros, mask_words, "register", register
+                )
+                next_row += lane_bits(ones, width).astype(np.int64) << (
+                    num_registers - 1 - register
+                )
+            out_block = runner.output_view()
+            out_row = np.zeros(width, dtype=np.int64)
+            for position in range(num_outputs):
+                ones = out_block[2 * position]
+                zeros = out_block[2 * position + 1]
+                _bitset._check_binary_words(
+                    reduced, ones, zeros, mask_words, "output", position
+                )
+                out_row += lane_bits(ones, width).astype(np.int64) << (
+                    num_outputs - 1 - position
+                )
+            results.append(
+                ([int(v) for v in next_row], [int(v) for v in out_row])
+            )
+        return results
+
+    return sweep
+
+
+# -- the BFS traversal --------------------------------------------------------
+
+
+def _traverse(
+    reduced: Circuit,
+    stepper,
+    faults: Sequence[StuckAtFault],
+    alphabet: Sequence[Vector],
+    initial_codes: Sequence[int],
+    backend: str,
+) -> Tuple[List[int], List[List[int]], List[List[int]], int, int]:
+    """BFS over reachable states, one lane-parallel sweep per level block.
+
+    Returns ``(codes, next_rows, output_rows, peak_frontier, levels)``
+    where ``codes[i]`` is the packed register code of state ``i`` in
+    discovery order and the rows are flat ``[vector][state]`` tables whose
+    entries are state indices / packed output ints.  Each state's table
+    row is produced by the level that discovered it, so rows stay aligned
+    with the interning order by construction; successor entries may
+    forward-reference states interned later in the same or a deeper level.
+    """
+    limits = ENGINE_LIMITS["reach"]
+    sweep = _make_sweeper(reduced, stepper, faults, alphabet, backend)
+
+    intern: Dict[int, int] = {}
+    codes: List[int] = []
+    for code in initial_codes:
+        if code not in intern:
+            intern[code] = len(codes)
+            codes.append(code)
+    next_rows: List[List[int]] = [[] for _ in alphabet]
+    output_rows: List[List[int]] = [[] for _ in alphabet]
+
+    frontier = list(codes)
+    peak_frontier = 0
+    levels = 0
+    while frontier:
+        if (
+            limits.transitions is not None
+            and len(codes) * len(alphabet) > limits.transitions
+        ):
+            raise StateSpaceTooLarge(
+                f"{reduced.name}: the reach engine visited {len(codes)} "
+                f"states x {len(alphabet)} vectors, exceeding its "
+                f"{limits.transitions}-transition cap; the reachable set is "
+                "not sparse enough for reachability-bounded extraction"
+            )
+        peak_frontier = max(peak_frontier, len(frontier))
+        levels += 1
+        discovered: List[int] = []
+        for start in range(0, len(frontier), REACH_LANE_BLOCK):
+            block = frontier[start : start + REACH_LANE_BLOCK]
+            for vector_index, (next_codes, out_codes) in enumerate(sweep(block)):
+                row = next_rows[vector_index]
+                for code in next_codes:
+                    index = intern.get(code)
+                    if index is None:
+                        index = len(codes)
+                        intern[code] = index
+                        codes.append(code)
+                        discovered.append(code)
+                    row.append(index)
+                output_rows[vector_index].extend(out_codes)
+        frontier = discovered
+    return codes, next_rows, output_rows, peak_frontier, levels
+
+
+# -- store plumbing -----------------------------------------------------------
+
+
+def _reach_store_key(store, circuit, faults, alphabet, initial_spec) -> str:
+    from repro.circuit.digest import circuit_digest
+    from repro.store.artifacts import encode_faults
+
+    return store.key(
+        "reach-stg",
+        circuit_digest(circuit),
+        encode_faults(faults),
+        [list(map(int, vector)) for vector in alphabet],
+        initial_spec,
+    )
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def extract_stg_reach(
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    alphabet: Sequence[Vector],
+    *,
+    use_store: bool = True,
+    backend: str = "auto",
+    initial_states: InitialStates = None,
+) -> ReachableSTG:
+    """Reachability-bounded STG of the (possibly faulty) machine.
+
+    Called through :func:`repro.equivalence.explicit.extract_stg` with
+    ``engine="reach"``; ``faults`` and ``alphabet`` arrive normalized.
+    ``initial_states`` seeds the traversal: ``None``/``"reset"`` starts
+    from the all-zero register state, ``"all"`` from the full (cone) state
+    space (making the result bit-identical to the bitset engine's tables),
+    and an iterable of full-width register states starts from exactly
+    those states.
+    """
+    limits = ENGINE_LIMITS["reach"]
+    cone = cone_of_influence(circuit)
+    reduced = cone.circuit
+    reduced_registers = reduced.num_registers()
+    if reduced_registers > limits.registers:
+        raise StateSpaceTooLarge(
+            f"{circuit.name}: {reduced_registers} flip-flops in the output "
+            f"cone ({cone.dropped_registers} dropped) is too many for the "
+            f"reach engine (limit {limits.registers} registers); no larger "
+            "engine tier exists"
+        )
+    initial_spec, initial_codes = _initial_spec_and_codes(
+        circuit, cone, initial_states, len(alphabet)
+    )
+    kept_faults = _remap_faults(cone, faults)
+    if faults:
+        suffix = "^" + "+".join(f.describe(circuit) for f in faults)
+    else:
+        suffix = ""
+    name = circuit.name + suffix
+    num_outputs = len(circuit.output_names)
+
+    def build(codes, next_rows, output_rows, peak_frontier, levels):
+        states = tuple(
+            _unpack_bits(code, reduced_registers) for code in codes
+        )
+        return ReachableSTG(
+            name=name,
+            num_inputs=len(circuit.input_names),
+            num_registers=reduced_registers,
+            alphabet=alphabet,
+            states=states,
+            num_outputs=num_outputs,
+            next_index=next_rows,
+            output_index=output_rows,
+            total_registers=circuit.num_registers(),
+            initial_bitset=(1 << len(initial_codes)) - 1,
+            peak_frontier=peak_frontier,
+            levels=levels,
+            dropped_registers=cone.dropped_registers,
+        )
+
+    store = None
+    key = None
+    if use_store:
+        from repro.store.core import default_store
+
+        store = default_store()
+    if store is not None:
+        from repro.store.artifacts import reach_stg_from_payload
+
+        key = _reach_store_key(store, circuit, faults, alphabet, initial_spec)
+        payload = store.get("reach-stg", key)
+        if payload is not None:
+            tables = reach_stg_from_payload(
+                payload, circuit, faults, alphabet, initial_spec
+            )
+            if tables is not None:
+                return build(*tables)
+
+    stepper = vector_fast_stepper(reduced)
+    codes, next_rows, output_rows, peak_frontier, levels = _traverse(
+        reduced, stepper, kept_faults, alphabet, initial_codes, backend
+    )
+
+    from repro.equivalence.explicit import _STORE_MAX_ENTRIES
+
+    if store is not None and len(codes) * len(alphabet) <= _STORE_MAX_ENTRIES:
+        from repro.store.artifacts import reach_stg_payload
+
+        try:
+            store.put(
+                "reach-stg",
+                key,
+                reach_stg_payload(
+                    circuit,
+                    faults,
+                    alphabet,
+                    initial_spec,
+                    num_outputs,
+                    codes,
+                    next_rows,
+                    output_rows,
+                    reduced_registers,
+                    cone.dropped_registers,
+                    peak_frontier,
+                    levels,
+                ),
+            )
+        except OSError:
+            pass  # unwritable store degrades to recomputation
+
+    return build(codes, next_rows, output_rows, peak_frontier, levels)
+
+
+__all__ = [
+    "REACH_FORMAT_VERSION",
+    "REACH_LANE_BLOCK",
+    "ReachableSTG",
+    "extract_stg_reach",
+]

@@ -15,7 +15,7 @@ Paper Section II distinguishes:
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.equivalence.explicit import ExplicitSTG, State, Vector, all_vectors
@@ -114,6 +114,13 @@ def synchronizes_up_to_equivalence(
     if X not in final:
         return True
     stg = extract_stg(circuit, engine=engine)
+    if len(stg.states) != 1 << circuit.num_registers():
+        raise ValueError(
+            f"{circuit.name}: synchronizes_up_to_equivalence must expand "
+            "leftover X bits over the full state space; the chosen engine "
+            f"produced a partial STG ({len(stg.states)} states) -- use an "
+            "exhaustive engine or initial_states='all'"
+        )
     classification = classify([stg])
     classes = {
         classification.class_of[(0, state)] for state in covered_states(final)
@@ -134,9 +141,24 @@ def synchronizes_up_to_equivalence(
 
 
 def _require_sync_engine(engine: str) -> str:
-    if engine not in ("bitset", "reference"):
+    # "reach" is accepted as an alias of the bitset search: a ReachableSTG
+    # carries reachable states only, so its full_bitset already *is* the
+    # reachability-bounded start set and the int-bitset BFS applies as-is.
+    if engine not in ("bitset", "reference", "reach"):
         raise ValueError(f"unknown sync-sequence engine {engine!r}")
-    return engine
+    return "bitset" if engine == "reach" else engine
+
+
+def _start_bitset(stg: ExplicitSTG, start_states) -> int:
+    if start_states is None:
+        return stg.full_bitset
+    return stg.bitset_of_states(start_states)
+
+
+def _start_frozenset(stg: ExplicitSTG, start_states) -> FrozenSet[State]:
+    if start_states is None:
+        return frozenset(stg.states)
+    return frozenset(tuple(state) for state in start_states)
 
 
 def _machine_index_of(stg: ExplicitSTG, classification: StateClassification) -> int:
@@ -177,21 +199,27 @@ def is_functional_sync_sequence(
     vectors: Sequence[Vector],
     classification: Optional[StateClassification] = None,
     engine: str = "bitset",
+    start_states: Optional[Iterable[State]] = None,
 ) -> bool:
     """Applied from every initial state, the machine lands in one
     equivalence class of states (a known and unique state up to
-    equivalence, per the paper's definition)."""
-    _require_sync_engine(engine)
+    equivalence, per the paper's definition).
+
+    ``start_states`` restricts the initial set (default: every state of
+    the machine) -- the restriction the reach engine's parity suite uses
+    to compare reachability-bounded searches against full-space ones.
+    """
+    engine = _require_sync_engine(engine)
     if classification is None:
         classification = classify([stg])
     if engine == "reference":
-        current: FrozenSet[State] = frozenset(stg.states)
+        current = _start_frozenset(stg, start_states)
         for vector in vectors:
             current = stg.step_set(current, tuple(vector))
         return _within_one_class(
             current, classification, _machine_index_of(stg, classification)
         )
-    bits = stg.full_bitset
+    bits = _start_bitset(stg, start_states)
     for vector in vectors:
         bits = stg.image_bitset(bits, stg.index_of_vector(vector))
     class_array, class_masks = _class_masks(stg, classification)
@@ -199,16 +227,19 @@ def is_functional_sync_sequence(
 
 
 def functional_final_states(
-    stg: ExplicitSTG, vectors: Sequence[Vector], engine: str = "bitset"
+    stg: ExplicitSTG,
+    vectors: Sequence[Vector],
+    engine: str = "bitset",
+    start_states: Optional[Iterable[State]] = None,
 ) -> FrozenSet[State]:
-    """Image of the full state set under the sequence."""
-    _require_sync_engine(engine)
+    """Image of the (full or restricted) start state set under the sequence."""
+    engine = _require_sync_engine(engine)
     if engine == "reference":
-        current: FrozenSet[State] = frozenset(stg.states)
+        current = _start_frozenset(stg, start_states)
         for vector in vectors:
             current = stg.step_set(current, tuple(vector))
         return current
-    bits = stg.full_bitset
+    bits = _start_bitset(stg, start_states)
     for vector in vectors:
         bits = stg.image_bitset(bits, stg.index_of_vector(vector))
     return stg.states_of_bitset(bits)
@@ -220,22 +251,25 @@ def find_functional_sync_sequence(
     max_visited: int = 200_000,
     classification: Optional[StateClassification] = None,
     engine: str = "bitset",
+    start_states: Optional[Iterable[State]] = None,
 ) -> Optional[List[Vector]]:
     """Shortest functional synchronizing sequence by BFS over state sets.
 
     Returns None when no sequence of length <= ``max_length`` exists or the
     ``max_visited`` set budget is exhausted.  Both engines explore sets in
     the same order, so results (and budget cutoffs) are identical.
+    ``start_states`` restricts the initial set (default: every state).
     """
-    _require_sync_engine(engine)
+    engine = _require_sync_engine(engine)
     if classification is None:
         classification = classify([stg])
     if engine == "reference":
         return _find_functional_reference(
-            stg, max_length, max_visited, classification
+            stg, max_length, max_visited, classification,
+            _start_frozenset(stg, start_states),
         )
     class_array, class_masks = _class_masks(stg, classification)
-    start = stg.full_bitset
+    start = _start_bitset(stg, start_states)
     if _bitset_within_one_class(start, class_array, class_masks):
         return []
     vector_range = range(len(stg.alphabet))
@@ -263,9 +297,9 @@ def _find_functional_reference(
     max_length: int,
     max_visited: int,
     classification: StateClassification,
+    start: FrozenSet[State],
 ) -> Optional[List[Vector]]:
     machine_index = _machine_index_of(stg, classification)
-    start: FrozenSet[State] = frozenset(stg.states)
     if _within_one_class(start, classification, machine_index):
         return []
     visited: Set[FrozenSet[State]] = {start}

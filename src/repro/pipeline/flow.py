@@ -107,6 +107,13 @@ class FlowPipeline:
             exact (circuit, faults, budget) key before targeting faults.
         checkpoint_path: override the checkpoint location (defaults to the
             store's checkpoint directory; no checkpointing without either).
+        verify: run a ``verify`` stage after retiming -- the Lemma 2
+            behavioural check (``K ==Nt K'`` on the explicit state space)
+            between the hard circuit and its easy retiming.
+        stg_engine: STG extraction engine for the verify stage
+            (``"bitset"``/``"reference"``/``"reach"``/``"auto"``; default
+            ``"auto"``, which escalates past-the-bitset-wall machines to
+            the reachability-bounded ``reach`` tier instead of skipping).
     """
 
     def __init__(
@@ -120,6 +127,8 @@ class FlowPipeline:
         backend: str = "auto",
         resume: bool = False,
         checkpoint_path: Optional[str] = None,
+        verify: bool = False,
+        stg_engine: Optional[str] = "auto",
     ):
         self.store = store
         self.journal = journal
@@ -129,6 +138,8 @@ class FlowPipeline:
         self.backend = backend
         self.resume = resume
         self.checkpoint_path = checkpoint_path
+        self.verify = verify
+        self.stg_engine = stg_engine
         self.stages: List[StageRecord] = []
 
     # -- stage bookkeeping ---------------------------------------------------
@@ -258,6 +269,56 @@ class FlowPipeline:
             - retiming.apply("scratch").num_registers(),
         )
         return retiming
+
+    def stage_verify(
+        self,
+        hard_circuit: Circuit,
+        easy_retiming: Retiming,
+        easy_circuit: Circuit,
+    ) -> StageRecord:
+        """Lemma 2 behavioural check between the hard/easy pair.
+
+        Extracts both STGs with the pipeline's ``stg_engine`` and asserts
+        ``K ==Nt K'`` with the retiming's bound.  Machines beyond the
+        engine's limits record ``skipped`` detail instead of failing; a
+        bound violation raises :class:`ValueError`.  Never store-memoized:
+        the check *is* the evidence, recomputing it is the point.
+        """
+        from repro.equivalence import (
+            ReachableSTG,
+            StateSpaceTooLarge,
+            extract_stg,
+            resolved_engine_name,
+            time_equivalence_bound,
+        )
+
+        started = self._stage_start("verify")
+        bound = easy_retiming.time_equivalence_bound()
+        detail: Dict[str, object] = {
+            "circuit": hard_circuit.name,
+            "bound": bound,
+            "checked": False,
+        }
+        try:
+            stg_hard = extract_stg(hard_circuit, engine=self.stg_engine)
+            stg_easy = extract_stg(easy_circuit, engine=self.stg_engine)
+        except StateSpaceTooLarge as error:
+            detail["skipped"] = str(error)
+            return self._stage_end("verify", started, "off", None, **detail)
+        found = time_equivalence_bound(stg_hard, stg_easy, max_steps=bound)
+        if found is None:
+            raise ValueError(
+                f"{hard_circuit.name} and {easy_circuit.name} are not "
+                f"{bound}-time-equivalent: Lemma 2 violated"
+            )
+        detail["checked"] = True
+        detail["found"] = found
+        detail["engine"] = resolved_engine_name(self.stg_engine, stg_hard, stg_easy)
+        if isinstance(stg_hard, ReachableSTG):
+            detail["visited_hard"] = stg_hard.visited_states
+        if isinstance(stg_easy, ReachableSTG):
+            detail["visited_easy"] = stg_easy.visited_states
+        return self._stage_end("verify", started, "off", None, **detail)
 
     def stage_collapse(self, circuit: Circuit) -> List[StuckAtFault]:
         started = self._stage_start("collapse")
@@ -403,6 +464,8 @@ class FlowPipeline:
         if easy_retiming is None:
             easy_retiming = self.stage_easy_retiming(hard_circuit)
         easy_circuit = easy_retiming.apply(f"{hard_circuit.name}.easy")
+        if self.verify:
+            self.stage_verify(hard_circuit, easy_retiming, easy_circuit)
 
         easy_faults = self.stage_collapse(easy_circuit)
         atpg_result = self.stage_atpg(easy_circuit, easy_faults, budget)

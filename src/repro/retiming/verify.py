@@ -38,6 +38,7 @@ class RetimingVerification:
     time_equivalence_bound: int  # Lemma 2's N
     prefix_length_tests: int  # Theorems 3-4's |P|
     behaviour_checked: bool  # True when the STG-level check ran
+    behaviour_engine: str = ""  # STG engine that ran the check ("" if skipped)
 
 
 def reconstruct_labels(original: Circuit, retimed: Circuit) -> Dict[str, int]:
@@ -100,7 +101,13 @@ def verify_retiming(
     """Verify that ``retimed`` is a legal retiming of ``original``.
 
     ``engine`` selects the STG extraction engine for the behavioural check
-    (``"bitset"``/``"reference"``, default the package default).
+    (``"bitset"``/``"reference"``/``"reach"``/``"auto"``, default the
+    package default).  Without an explicit engine the check only runs on
+    machines within ``max_state_bits`` registers / 8 inputs; with one, the
+    engine's own :data:`~repro.equivalence.ENGINE_LIMITS` govern, and a
+    machine beyond them skips the check (``behaviour_checked`` stays
+    False) rather than failing.  Note the ``reach`` engine validates the
+    bound over the *reset-reachable* state sets only.
 
     Raises :class:`RetimingError` (structure/label/legality problems) or
     :class:`ValueError` on behavioural mismatch.
@@ -117,29 +124,44 @@ def verify_retiming(
     bound = retiming.time_equivalence_bound()
 
     behaviour_checked = False
-    if check_behaviour and (
+    behaviour_engine = ""
+    small_enough = (
         original.num_registers() <= max_state_bits
         and retimed.num_registers() <= max_state_bits
         and len(original.input_names) <= 8
-    ):
-        from repro.equivalence import extract_stg, time_equivalence_bound
-
-        found = time_equivalence_bound(
-            extract_stg(original, engine=engine),
-            extract_stg(retimed, engine=engine),
-            max_steps=bound,
+    )
+    if check_behaviour and (engine is not None or small_enough):
+        from repro.equivalence import (
+            StateSpaceTooLarge,
+            extract_stg,
+            resolved_engine_name,
+            time_equivalence_bound,
         )
-        if found is None:
-            raise ValueError(
-                f"circuits are not {bound}-time-equivalent: Lemma 2 violated"
+
+        try:
+            stg_original = extract_stg(original, engine=engine)
+            stg_retimed = extract_stg(retimed, engine=engine)
+        except StateSpaceTooLarge:
+            pass  # beyond the chosen engine's limits: skip, don't fail
+        else:
+            found = time_equivalence_bound(
+                stg_original, stg_retimed, max_steps=bound
             )
-        behaviour_checked = True
+            if found is None:
+                raise ValueError(
+                    f"circuits are not {bound}-time-equivalent: Lemma 2 violated"
+                )
+            behaviour_checked = True
+            behaviour_engine = resolved_engine_name(
+                engine, stg_original, stg_retimed
+            )
 
     return RetimingVerification(
         retiming=retiming,
         time_equivalence_bound=bound,
         prefix_length_tests=retiming.max_forward_moves(),
         behaviour_checked=behaviour_checked,
+        behaviour_engine=behaviour_engine,
     )
 
 

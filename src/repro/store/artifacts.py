@@ -16,10 +16,14 @@ kind            contents
 ``stg``         explicit state-transition-graph tables (flat
                 ``next_index``/``output_index`` arrays of one possibly
                 faulty machine, see :mod:`repro.equivalence.explicit`)
+``reach-stg``   reachability-bounded STG tables (visited state codes in
+                discovery order plus their flat tables, the initial-state
+                spec and the traversal statistics, see
+                :mod:`repro.equivalence.reach`)
 ==============  =========================================================
 
 Artifacts that carry edge-indexed coordinates (``faults``, ``atpg``,
-``faultsim``, ``stepper``, ``stg``) additionally record
+``faultsim``, ``stepper``, ``stg``, ``reach-stg``) additionally record
 :func:`~repro.circuit.digest.structural_identity`; their loaders refuse --
 returning ``None``, a plain miss -- when the raw structure of the circuit
 at hand differs from the one the artifact was computed on.  The content
@@ -364,6 +368,97 @@ def stg_arrays_from_payload(
     return num_outputs, next_index, output_index
 
 
+# -- reachability-bounded STG tables ----------------------------------------
+
+
+def reach_stg_payload(
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    alphabet: Sequence[Tuple[int, ...]],
+    initial_spec: object,
+    num_outputs: int,
+    state_codes: Sequence[int],
+    next_index: Sequence[Sequence[int]],
+    output_index: Sequence[Sequence[int]],
+    cone_registers: int,
+    dropped_registers: int,
+    peak_frontier: int,
+    levels: int,
+) -> Dict[str, object]:
+    """Reachability-bounded STG of one machine (kind ``reach-stg``).
+
+    ``state_codes`` are the visited states' packed register codes in BFS
+    discovery order -- that order *is* the state indexing of the tables,
+    so it is recorded verbatim.  The echo guards mirror ``stg``: structure,
+    faults, alphabet and additionally the initial-state spec, since the
+    same circuit traversed from a different seed is a different machine.
+    """
+    return {
+        "structure": structural_identity(circuit),
+        "faults": encode_faults(faults),
+        "alphabet": [list(map(int, vector)) for vector in alphabet],
+        "initial": initial_spec,
+        "num_outputs": int(num_outputs),
+        "states": [int(code) for code in state_codes],
+        "next_index": [list(map(int, row)) for row in next_index],
+        "output_index": [list(map(int, row)) for row in output_index],
+        "cone_registers": int(cone_registers),
+        "dropped_registers": int(dropped_registers),
+        "peak_frontier": int(peak_frontier),
+        "levels": int(levels),
+    }
+
+
+def reach_stg_from_payload(
+    payload: Dict[str, object],
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault],
+    alphabet: Sequence[Tuple[int, ...]],
+    initial_spec: object,
+) -> Optional[Tuple[List[int], List[List[int]], List[List[int]], int, int]]:
+    """``(state_codes, next_index, output_index, peak_frontier, levels)``
+    or ``None`` on any mismatch with what the caller would compute."""
+    if payload.get("structure") != structural_identity(circuit):
+        return None
+    if payload.get("faults") != encode_faults(faults):
+        return None
+    if payload.get("alphabet") != [list(map(int, vector)) for vector in alphabet]:
+        return None
+    if payload.get("initial") != initial_spec:
+        return None
+    if payload.get("num_outputs") != len(circuit.output_names):
+        return None
+    try:
+        cone_registers = int(payload["cone_registers"])
+        codes = [int(code) for code in payload["states"]]
+        next_index = [
+            [int(entry) for entry in row] for row in payload["next_index"]
+        ]
+        output_index = [
+            [int(entry) for entry in row] for row in payload["output_index"]
+        ]
+        peak_frontier = int(payload["peak_frontier"])
+        levels = int(payload["levels"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    num_states = len(codes)
+    if len(set(codes)) != num_states or any(
+        not 0 <= code < (1 << cone_registers) for code in codes
+    ):
+        return None
+    if len(next_index) != len(alphabet) or len(output_index) != len(alphabet):
+        return None
+    for row in next_index:
+        if len(row) != num_states or any(
+            not 0 <= entry < num_states for entry in row
+        ):
+            return None
+    for row in output_index:
+        if len(row) != num_states:
+            return None
+    return codes, next_index, output_index, peak_frontier, levels
+
+
 # -- stepper source --------------------------------------------------------
 
 
@@ -416,6 +511,8 @@ __all__ = [
     "faults_payload",
     "faultsim_from_payload",
     "faultsim_payload",
+    "reach_stg_from_payload",
+    "reach_stg_payload",
     "retiming_from_payload",
     "retiming_payload",
     "stepper_payload",

@@ -1,0 +1,118 @@
+"""Cone-of-influence reduction: only output-observable logic survives."""
+
+import itertools
+import random
+
+from repro.circuit import CircuitBuilder
+from repro.circuit.cone import cone_of_influence
+from repro.simulation.cache import fast_stepper
+from tests.helpers import (
+    all_binary_vectors,
+    feedback_and,
+    pipelined_logic,
+    random_circuit,
+    toggle_counter,
+    token_ring,
+)
+
+
+def partially_observable():
+    """An observable AND/DFF pair next to an unobservable self-loop."""
+    builder = CircuitBuilder("partial")
+    builder.input("a")
+    builder.and_("g1", "a", "q1")
+    builder.dff("q1", "g1")
+    builder.output("z", "g1")
+    builder.and_("h", "a", "q2")
+    builder.dff("q2", "h")
+    return builder.build()
+
+
+class TestIdentity:
+    def test_fully_observable_circuits_reduce_to_themselves(self):
+        for circuit in (feedback_and(), toggle_counter(), pipelined_logic(),
+                        token_ring(6)):
+            cone = cone_of_influence(circuit)
+            assert cone.is_identity
+            assert cone.circuit is circuit  # the very same object, no copy
+            assert cone.dropped_registers == 0
+            assert cone.dropped_nodes == 0
+            assert cone.edge_map == {
+                edge.index: edge.index for edge in circuit.edges
+            }
+            state = tuple(range(circuit.num_registers()))
+            assert cone.project_state(state) == state
+
+
+class TestReduction:
+    def test_drops_unobservable_loop(self):
+        circuit = partially_observable()
+        cone = cone_of_influence(circuit)
+        assert not cone.is_identity
+        assert cone.dropped_registers == 1
+        assert "q2" not in cone.circuit.nodes
+        assert "h" not in cone.circuit.nodes
+        assert "a" in cone.circuit.nodes  # inputs always survive
+        assert cone.circuit.num_registers() == 1
+        assert cone.circuit.name == "partial|cone"
+
+    def test_edge_map_preserves_endpoints_weights_and_order(self):
+        circuit = partially_observable()
+        cone = cone_of_influence(circuit)
+        previous = -1
+        for old_index, new_index in sorted(cone.edge_map.items()):
+            old = circuit.edges[old_index]
+            new = cone.circuit.edges[new_index]
+            assert (new.source, new.sink, new.sink_pin, new.weight) == (
+                old.source, old.sink, old.sink_pin, old.weight
+            )
+            assert new_index > previous  # dense renumbering keeps order
+            previous = new_index
+        assert len(cone.circuit.edges) == len(cone.edge_map)
+
+    def test_kept_register_positions_filter_original_order(self):
+        circuit = partially_observable()
+        cone = cone_of_influence(circuit)
+        originals = circuit.registers()
+        kept = [originals[p] for p in cone.kept_register_positions]
+        reduced = cone.circuit.registers()
+        assert [
+            (circuit.edges[r.edge_index].source, r.position) for r in kept
+        ] == [
+            (cone.circuit.edges[r.edge_index].source, r.position)
+            for r in reduced
+        ]
+
+    def test_projection_commutes_with_step(self):
+        rng = random.Random(11)
+        circuits = [partially_observable()] + [
+            random_circuit(seed, num_inputs=2, num_gates=12, num_dffs=4,
+                           num_outputs=1)
+            for seed in (41, 42, 43)
+        ]
+        for circuit in circuits:
+            cone = cone_of_influence(circuit)
+            full = fast_stepper(circuit)
+            reduced = fast_stepper(cone.circuit)
+            width = circuit.num_registers()
+            vectors = all_binary_vectors(len(circuit.input_names))
+            for _ in range(30):
+                state = tuple(rng.randint(0, 1) for _ in range(width))
+                vector = rng.choice(vectors)
+                out_full, next_full = full.step(state, vector)[:2]
+                out_red, next_red = reduced.step(
+                    cone.project_state(state), vector
+                )[:2]
+                assert out_red == out_full
+                assert next_red == cone.project_state(next_full)
+
+    def test_exhaustive_output_agreement_on_small_machine(self):
+        circuit = partially_observable()
+        cone = cone_of_influence(circuit)
+        full = fast_stepper(circuit)
+        reduced = fast_stepper(cone.circuit)
+        for state in itertools.product((0, 1), repeat=circuit.num_registers()):
+            for vector in all_binary_vectors(len(circuit.input_names)):
+                assert full.step(state, vector)[0] == reduced.step(
+                    cone.project_state(state), vector
+                )[0]

@@ -7,12 +7,7 @@ import pytest
 
 from repro.equivalence import bitset as bs
 from repro.equivalence import extract_stg
-from repro.equivalence.explicit import (
-    ENGINE_LIMITS,
-    MAX_EXPLICIT_INPUTS,
-    MAX_EXPLICIT_REGISTERS,
-    StateSpaceTooLarge,
-)
+from repro.equivalence.explicit import ENGINE_LIMITS, StateSpaceTooLarge
 from tests.helpers import random_circuit, shift_register, toggle_counter
 
 
@@ -138,9 +133,19 @@ class TestFacadeBitsetApi:
 
 
 class TestEngineLimits:
-    def test_default_limits_are_bitset_limits(self):
-        assert MAX_EXPLICIT_REGISTERS == ENGINE_LIMITS["bitset"].registers
-        assert MAX_EXPLICIT_INPUTS == ENGINE_LIMITS["bitset"].inputs
+    def test_deprecated_aliases_warn_and_track_bitset_limits(self):
+        from repro.equivalence import explicit
+
+        with pytest.deprecated_call(match="ENGINE_LIMITS"):
+            assert (
+                explicit.MAX_EXPLICIT_REGISTERS
+                == ENGINE_LIMITS["bitset"].registers
+            )
+        with pytest.deprecated_call(match="ENGINE_LIMITS"):
+            assert explicit.MAX_EXPLICIT_INPUTS == ENGINE_LIMITS["bitset"].inputs
+        with pytest.raises(AttributeError):
+            explicit.NOT_A_LIMIT
+        assert "MAX_EXPLICIT_REGISTERS" not in explicit.__all__
 
     def test_register_limit_message_names_engine_and_cost(self):
         with pytest.raises(StateSpaceTooLarge) as excinfo:

@@ -1,0 +1,117 @@
+"""ENGINE_LIMITS validation, escalation hints, and the auto-tier policy."""
+
+import pytest
+
+from repro.equivalence import (
+    ENGINE_LIMITS,
+    ENGINE_TIERS,
+    ReachableSTG,
+    StateSpaceTooLarge,
+    engine_limits_table,
+    extract_stg,
+    select_engine,
+)
+from tests.helpers import shift_register, toggle_counter, token_ring
+
+
+class TestEngineValidation:
+    def test_unknown_engine_lists_choices(self):
+        with pytest.raises(ValueError, match="choose from auto"):
+            extract_stg(toggle_counter(), engine="warp", use_store=False)
+
+    def test_initial_states_rejected_outside_reach(self):
+        with pytest.raises(ValueError, match="initial_states"):
+            extract_stg(
+                toggle_counter(),
+                engine="bitset",
+                initial_states="reset",
+                use_store=False,
+            )
+
+    def test_tier_order_and_table_cover_every_engine(self):
+        assert ENGINE_TIERS == ("reference", "bitset", "reach")
+        table = engine_limits_table()
+        for engine in ENGINE_TIERS:
+            assert engine in table
+            assert str(ENGINE_LIMITS[engine].registers) in table
+        assert "2^22" in table  # the bitset transitions cap
+        assert "2^24" in table  # the reach traversal cap
+
+
+class TestPerEngineRejection:
+    def test_bitset_rejection_names_the_reach_tier(self):
+        with pytest.raises(StateSpaceTooLarge) as excinfo:
+            extract_stg(shift_register(depth=19), engine="bitset")
+        message = str(excinfo.value)
+        assert "try engine='reach'" in message
+        assert str(ENGINE_LIMITS["reach"].registers) in message
+
+    def test_reference_rejection_names_the_bitset_tier(self):
+        with pytest.raises(StateSpaceTooLarge) as excinfo:
+            extract_stg(shift_register(depth=17), engine="reference")
+        assert "try engine='bitset'" in str(excinfo.value)
+
+    def test_reach_rejection_is_terminal(self):
+        with pytest.raises(StateSpaceTooLarge) as excinfo:
+            extract_stg(shift_register(depth=31), engine="reach")
+        assert "no larger engine tier exists" in str(excinfo.value)
+
+    def test_reach_transitions_cap_trips_during_traversal(self, monkeypatch):
+        from repro.equivalence import explicit
+
+        monkeypatch.setitem(
+            explicit.ENGINE_LIMITS,
+            "reach",
+            explicit.EngineLimits(registers=30, inputs=12, transitions=8),
+        )
+        # A 5-deep shift register reaches all 32 states from zeros, so the
+        # visited x |alphabet| product crosses 8 mid-traversal.
+        with pytest.raises(StateSpaceTooLarge, match="reach"):
+            extract_stg(shift_register(depth=5), engine="reach", use_store=False)
+
+
+class TestAutoSelection:
+    def test_register_count_boundaries(self):
+        assert select_engine(shift_register(depth=10)) == "bitset"
+        assert select_engine(shift_register(depth=18)) == "bitset"
+        assert select_engine(shift_register(depth=19)) == "reach"
+        assert select_engine(shift_register(depth=30)) == "reach"
+        with pytest.raises(StateSpaceTooLarge) as excinfo:
+            select_engine(shift_register(depth=31))
+        message = str(excinfo.value)
+        for engine in ENGINE_TIERS:  # the full limits table is attached
+            assert engine in message
+
+    def test_transitions_pressure_escalates_to_reach(self, monkeypatch):
+        from repro.equivalence import explicit
+
+        monkeypatch.setitem(
+            explicit.ENGINE_LIMITS,
+            "bitset",
+            explicit.EngineLimits(registers=18, inputs=12, transitions=4),
+        )
+        assert select_engine(shift_register(depth=5)) == "reach"
+
+    def test_custom_alphabet_bypasses_the_input_cap(self):
+        from repro.circuit import CircuitBuilder
+
+        builder = CircuitBuilder("wide")
+        names = [builder.input(f"i{k}") for k in range(13)]
+        acc = names[0]
+        for k, name in enumerate(names[1:]):
+            acc = builder.or_(f"o{k}", acc, name)
+        builder.dff("q", acc)
+        builder.output("z", "q")
+        circuit = builder.build()
+        with pytest.raises(StateSpaceTooLarge):
+            select_engine(circuit)  # 13 inputs exceed every tier's cap
+        alphabet = [(0,) * 13, (1,) * 13]
+        assert select_engine(circuit, alphabet) == "bitset"
+
+    def test_extract_stg_auto_dispatches_by_size(self):
+        small = extract_stg(toggle_counter(), engine="auto", use_store=False)
+        assert not isinstance(small, ReachableSTG)
+        large = extract_stg(token_ring(19), engine="auto", use_store=False)
+        assert isinstance(large, ReachableSTG)
+        assert large.visited_states == 20  # zeros + 19 one-hot positions
+        assert large.visited_states < large.total_states

@@ -208,6 +208,52 @@ def resettable_random_circuit(
     return builder.build()
 
 
+def token_ring(width: int, name: str = "") -> Circuit:
+    """A one-hot token ring with synchronous reset: ``width`` flip-flops,
+    ``width + 1`` reset-reachable states.
+
+    ``rst=1`` clears the ring; ``start=1`` on an empty ring injects a
+    token that then rotates forever (``q_{w-1}`` wraps to ``q0``).  The
+    output observes ``q_{w-1}`` through a BUF, and the fanout stem feeding
+    that BUF has one register on its in-edge -- so labelling the stem
+    ``-1`` is a legal single forward move that the reach engine can verify
+    (reachability-bounded Lemma 2) far beyond the bitset engine's
+    18-register wall.
+    """
+    builder = CircuitBuilder(name or f"ring{width}")
+    builder.input("rst")
+    builder.input("start")
+    builder.not_("go", "rst")
+    qs = [f"q{i}" for i in range(width)]
+    level = list(qs)
+    k = 0
+    while len(level) > 1:
+        paired = []
+        for i in range(0, len(level) - 1, 2):
+            paired.append(builder.or_(f"ort{k}", level[i], level[i + 1]))
+            k += 1
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+    builder.not_("none_token", level[0])
+    builder.and_("inj", "start", "none_token")
+    builder.or_("n0", "inj", qs[-1])
+    builder.and_("d0", "go", "n0")
+    builder.dff(qs[0], "d0")
+    for i in range(1, width):
+        builder.and_(f"d{i}", "go", qs[i - 1])
+        builder.dff(qs[i], f"d{i}")
+    builder.buf("zbuf", qs[-1])
+    builder.output("z", "zbuf")
+    return builder.build()
+
+
+def token_ring_stem(circuit: Circuit) -> str:
+    """The fanout stem feeding ``zbuf`` (the forward-move target)."""
+    (edge,) = [e for e in circuit.edges if e.sink == "zbuf"]
+    return edge.source
+
+
 def all_binary_vectors(width: int) -> List[Tuple[int, ...]]:
     """All 2**width binary vectors, in lexicographic order."""
     return list(itertools.product((0, 1), repeat=width))

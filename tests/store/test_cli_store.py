@@ -60,8 +60,11 @@ class TestRunFlags:
             "kernel": "dual",
             "backend": "auto",
             "engine": None,
+            "initial": None,
             "retimed": False,
             "max_length": None,
+            "verify": False,
+            "stg_engine": None,
         }
 
     def test_pop_flags_parses_everything(self):
@@ -80,9 +83,14 @@ class TestRunFlags:
                 "bigint",
                 "--engine",
                 "reference",
+                "--initial",
+                "all",
                 "--retimed",
                 "--max-length",
                 "5",
+                "--verify",
+                "--stg-engine",
+                "reach",
             ]
         )
         assert positional == ["dk16", "ji", "sd"]
@@ -93,8 +101,11 @@ class TestRunFlags:
             "kernel": "scalar",
             "backend": "bigint",
             "engine": "reference",
+            "initial": "all",
             "retimed": True,
             "max_length": 5,
+            "verify": True,
+            "stg_engine": "reach",
         }
 
     def test_workers_without_count_is_an_error(self):

@@ -59,3 +59,39 @@ class TestCli:
         # s820 has 18 primary inputs -- beyond every engine's vector limit.
         assert main(["equiv", "s820", "jc", "rugged"]) == 1
         assert "state space too large" in capsys.readouterr().err
+
+    def test_equiv_reach_engine_reports_visited_states(self, capsys):
+        assert main(["equiv", "dk16", "ji", "sd", "--engine", "reach"]) == 0
+        out = capsys.readouterr().out
+        assert "engine reach: visited 27 of 32 states" in out
+        assert "peak frontier" in out
+
+    def test_equiv_reach_initial_all_matches_bitset_counts(self, capsys):
+        assert (
+            main(
+                [
+                    "equiv", "dk16", "ji", "sd",
+                    "--engine", "reach", "--initial", "all",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "visited 32 of 32 states" in out
+        assert "28 equivalence classes" in out  # same as the bitset engine
+
+    def test_equiv_initial_requires_reach_engine(self, capsys):
+        assert main(["equiv", "dk16", "ji", "sd", "--initial", "all"]) == 2
+        assert "--initial requires --engine reach" in capsys.readouterr().err
+
+    def test_equiv_help_prints_engine_limits_table(self, capsys):
+        assert main(["equiv", "--help"]) == 0
+        out = capsys.readouterr().out
+        assert "engine limits:" in out
+        for engine in ("reference", "bitset", "reach"):
+            assert engine in out
+
+    def test_flow_verify_stage_runs(self, capsys):
+        assert main(["flow", "dk16", "ji", "sd", "2", "--verify"]) == 0
+        captured = capsys.readouterr()
+        assert "stage verify:" in captured.err
