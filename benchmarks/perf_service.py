@@ -1,0 +1,254 @@
+"""ATPG service benchmark: job latency across the three dedup tiers.
+
+Boots the :mod:`repro.service` server in-process against a *fresh* store
+root, then drives it over real HTTP three ways on the Table II quick set:
+
+* **fresh** -- first submission of each circuit; the flow pipeline runs;
+* **cached** -- byte-identical resubmission; the answer must come from the
+  artifact store with zero stages executed;
+* **coalesced** -- duplicate submissions raced while the first is still
+  in flight; all must collapse onto one job id.
+
+Every cached response is compared byte-for-byte against its fresh
+counterpart (the service adds transport, not variance), and the server's
+own ``/v1/stats`` metrics -- queue depth peak, dedup hit counts and
+nearest-rank latency percentiles per tier -- are folded into the report as
+``service_meta``.  Results land in ``BENCH_service.json``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m benchmarks.perf_service --quick
+    PYTHONPATH=src python -m benchmarks.perf_service --full -o BENCH_service.json
+
+Not collected by pytest (``testpaths = ["tests"]``); a standalone CLI so
+CI can smoke the service end-to-end on both numpy and no-numpy legs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import statistics
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.experiments import TABLE2_CIRCUITS
+from repro.service import BackgroundServer, ServiceClient
+from repro.store.core import ArtifactStore
+
+QUICK_NAMES = ("dk16.ji.sd", "s510.jo.sr", "s820.jo.sd")
+
+
+def _specs(full: bool):
+    if full:
+        return TABLE2_CIRCUITS
+    return tuple(s for s in TABLE2_CIRCUITS if s.name in QUICK_NAMES)
+
+
+def _request(spec, total_seconds: float) -> Dict[str, object]:
+    fsm, style, script = spec.name.split(".")
+    return {
+        "circuit": {"format": "table2", "fsm": fsm, "style": style, "script": script},
+        "budget": {"total_seconds": total_seconds},
+    }
+
+
+def _timed_submit_and_wait(client: ServiceClient, request, timeout: float):
+    """(job doc, wall seconds from POST to terminal status, result bytes)."""
+    start = time.perf_counter()
+    job = client.submit(request)
+    final = client.wait(job["id"], timeout=timeout)
+    elapsed = time.perf_counter() - start
+    result = client.artifact(job["id"], "result")
+    return job, final, elapsed, result
+
+
+def bench_circuit(
+    client: ServiceClient,
+    spec,
+    total_seconds: float,
+    duplicates: int,
+    timeout: float,
+) -> Dict[str, object]:
+    """One row: fresh run, coalesced duplicates, cached resubmission."""
+    request = _request(spec, total_seconds)
+
+    fresh_job, fresh_final, fresh_s, fresh_bytes = _timed_submit_and_wait(
+        client, request, timeout
+    )
+    fresh_ok = fresh_job["disposition"] == "fresh" and fresh_final["status"] == "done"
+
+    cached_job, cached_final, cached_s, cached_bytes = _timed_submit_and_wait(
+        client, request, timeout
+    )
+    cached_ok = (
+        cached_job["disposition"] == "cached"
+        and cached_final["status"] == "done"
+        and cached_bytes == fresh_bytes
+    )
+
+    # Coalescing needs in-flight work: a longer budget is a different
+    # fingerprint, so these duplicates race a genuinely fresh job.
+    coalesce_request = _request(spec, total_seconds + 0.125)
+    racer = client.submit(coalesce_request)
+    duplicate_ids = [client.submit(coalesce_request)["id"] for _ in range(duplicates)]
+    racer_final = client.wait(racer["id"], timeout=timeout)
+    coalesced_ok = (
+        racer["disposition"] == "fresh"
+        and all(job_id == racer["id"] for job_id in duplicate_ids)
+        and racer_final["coalesced_hits"] >= duplicates
+    )
+
+    return {
+        "circuit": spec.name,
+        "fresh_s": round(fresh_s, 4),
+        "cached_s": round(cached_s, 4),
+        "cache_speedup": round(fresh_s / max(cached_s, 1e-9), 1),
+        "result_bytes": len(fresh_bytes),
+        "fault_coverage": json.loads(fresh_bytes)["atpg"]["fault_coverage"],
+        "fresh_ok": fresh_ok,
+        "cached_ok": cached_ok,
+        "cached_bytes_identical": cached_bytes == fresh_bytes,
+        "coalesced_ok": coalesced_ok,
+    }
+
+
+def run(args: argparse.Namespace) -> Dict[str, object]:
+    from benchmarks.provenance import git_sha
+
+    root = args.store_root or tempfile.mkdtemp(prefix="repro-bench-service-")
+    owns_root = args.store_root is None
+    store = ArtifactStore(root=root)
+    rows: List[Dict[str, object]] = []
+    try:
+        with BackgroundServer(store=store, pool=args.pool) as server:
+            client = ServiceClient(port=server.port, timeout=args.timeout)
+            assert client.health() == {"ok": True}
+            for spec in _specs(args.full):
+                print(f"  {spec.name} ...", flush=True)
+                row = bench_circuit(
+                    client, spec, args.total_seconds, args.duplicates, args.timeout
+                )
+                rows.append(row)
+                print(
+                    f"    fresh {row['fresh_s']}s, cached {row['cached_s']}s "
+                    f"({row['cache_speedup']}x), identical="
+                    f"{row['cached_bytes_identical']}, "
+                    f"coalesced={row['coalesced_ok']}",
+                    flush=True,
+                )
+            stats = client.stats()
+    finally:
+        if owns_root:
+            shutil.rmtree(root, ignore_errors=True)
+
+    cache_speedups = [row["cache_speedup"] for row in rows]
+    return {
+        "meta": {
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+            "mode": "full" if args.full else "quick",
+            "pool": args.pool,
+            "duplicates": args.duplicates,
+            "total_seconds": args.total_seconds,
+            "git_sha": git_sha(),
+            "store_root": None if owns_root else root,
+        },
+        "circuits": rows,
+        "service_meta": {
+            "queue_peak": stats["metrics"]["queue_peak"],
+            "dedup": stats["metrics"]["dedup"],
+            "latency_seconds": stats["metrics"]["latency_seconds"],
+            "jobs": stats["jobs"],
+            "store_session": stats["store"]["session"],
+        },
+        "summary": {
+            "min_cache_speedup": min(cache_speedups),
+            "median_cache_speedup": round(statistics.median(cache_speedups), 1),
+            "max_cache_speedup": max(cache_speedups),
+            "all_cached_bytes_identical": all(
+                row["cached_bytes_identical"] for row in rows
+            ),
+            "all_dispositions_correct": all(
+                row["fresh_ok"] and row["cached_ok"] and row["coalesced_ok"]
+                for row in rows
+            ),
+        },
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="all sixteen Table II circuits (default: three-circuit quick set)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="three-circuit quick set (the default; kept for explicitness)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_service.json",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--pool", type=int, default=2, help="worker-pool width (default: 2)"
+    )
+    parser.add_argument(
+        "--duplicates",
+        type=int,
+        default=3,
+        help="racing duplicate submissions per circuit (default: 3)",
+    )
+    parser.add_argument(
+        "--total-seconds",
+        type=float,
+        default=2.0,
+        help="ATPG budget per fresh job (default: 2.0)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="client-side wait timeout per job (default: 300)",
+    )
+    parser.add_argument(
+        "--store-root",
+        default=None,
+        help="reuse this store root instead of a throwaway temp dir",
+    )
+    args = parser.parse_args(argv)
+    if args.full and args.quick:
+        parser.error("--quick and --full are mutually exclusive")
+
+    print(
+        f"ATPG service benchmark ({'full' if args.full else 'quick'} mode, "
+        f"pool {args.pool}, {os.cpu_count()} cpus)"
+    )
+    report = run(args)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    summary = report["summary"]
+    print(
+        f"cache speedup fresh -> cached: min {summary['min_cache_speedup']}x / "
+        f"median {summary['median_cache_speedup']}x / "
+        f"max {summary['max_cache_speedup']}x"
+    )
+    print(f"cached bytes identical: {summary['all_cached_bytes_identical']}")
+    print(f"dispositions correct: {summary['all_dispositions_correct']}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

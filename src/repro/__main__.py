@@ -19,8 +19,18 @@ Commands:
   ``--retimed`` analyses the retimed circuit, ``--max-length N`` bounds
   the sequence search); ``equiv --help`` prints the per-engine limits
   table; prints artifact-store hit/miss stats;
-* ``store stats`` / ``store gc [max_bytes]`` / ``store clear`` — inspect,
-  size-bound or empty the persistent artifact store.
+* ``store stats [--json]`` — one table of per-kind, per-shard and
+  per-tenant artifact counts/bytes plus session and lifetime hit/miss/
+  eviction counters (``--json`` emits the machine-readable summary);
+  ``store gc [max_bytes] [--tenant-max-bytes N]`` / ``store clear`` —
+  size-bound (globally and per tenant) or empty the persistent store;
+* ``serve`` — run the ATPG job service (``repro.service``): an HTTP/JSON
+  API that accepts circuit specs, runs Fig. 6 flows on a worker pool,
+  dedups in-flight and completed work against the store, and streams run
+  journals as NDJSON.  Options: ``--host``, ``--port``, ``--pool N``,
+  ``--tenant NAME`` (default namespace), ``--no-store``,
+  ``--gc-interval SECONDS`` + ``--max-bytes N`` / ``--tenant-max-bytes N``
+  (background store GC loop).
 
 ``atpg`` and ``flow`` memoize their expensive stages against the artifact
 store (``~/.cache/repro-store``, override with ``REPRO_STORE_DIR``) and
@@ -257,6 +267,54 @@ def _equiv_command(spec, options) -> int:
     return 0
 
 
+def _human_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(count)} B"
+
+
+def _render_stats(summary) -> str:
+    """The ``store stats`` table: kinds, shards, tenants, counters."""
+    lines = [
+        f"store root: {summary['root']}",
+        f"schema:     {summary['schema']}",
+        f"artifacts:  {summary['artifacts']} ({_human_bytes(summary['bytes'])})",
+        "",
+    ]
+    kind_rows = [
+        {"kind": kind, "artifacts": count}
+        for kind, count in summary["by_kind"].items()
+    ]
+    if kind_rows:
+        lines.append(format_table(kind_rows, ["kind", "artifacts"]))
+        lines.append("")
+    for title, table in (("tenant", "by_tenant"), ("shard", "by_shard")):
+        rows = [
+            {
+                title: name,
+                "artifacts": cell["artifacts"],
+                "bytes": _human_bytes(cell["bytes"]),
+            }
+            for name, cell in summary[table].items()
+        ]
+        if rows:
+            lines.append(format_table(rows, [title, "artifacts", "bytes"]))
+            lines.append("")
+    counter_rows = [
+        {"counters": scope, **summary[scope]} for scope in ("session", "lifetime")
+    ]
+    lines.append(
+        format_table(
+            counter_rows,
+            ["counters", "hits", "misses", "writes", "errors", "evictions"],
+        )
+    )
+    return "\n".join(lines)
+
+
 def _store_command(rest) -> int:
     from repro.store.core import default_store
     from repro.store.journal import journal_pinned_paths
@@ -267,20 +325,103 @@ def _store_command(rest) -> int:
         return 1
     action = rest[0] if rest else "stats"
     if action == "stats":
-        print(json.dumps(store.summary(), indent=2, sort_keys=True))
+        summary = store.summary()
+        if "--json" in rest:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(_render_stats(summary))
         return 0
     if action == "gc":
-        max_bytes = int(rest[1]) if len(rest) > 1 else None
+        tenant_max_bytes = None
+        arguments = []
+        index = 1
+        while index < len(rest):
+            if rest[index] == "--tenant-max-bytes":
+                index += 1
+                if index >= len(rest):
+                    print("--tenant-max-bytes needs a count", file=sys.stderr)
+                    return 2
+                tenant_max_bytes = int(rest[index])
+            else:
+                arguments.append(rest[index])
+            index += 1
+        max_bytes = int(arguments[0]) if arguments else None
         pinned = journal_pinned_paths(store.journal_dir)
-        report = store.gc(max_bytes=max_bytes, pinned=pinned)
+        report = store.gc(
+            max_bytes=max_bytes, pinned=pinned, tenant_max_bytes=tenant_max_bytes
+        )
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0
     if action == "clear":
         removed = store.clear()
         print(f"removed {removed} artifacts from {store.root}")
         return 0
-    print("usage: python -m repro store stats|gc [max_bytes]|clear", file=sys.stderr)
+    print(
+        "usage: python -m repro store stats [--json]"
+        "|gc [max_bytes] [--tenant-max-bytes N]|clear",
+        file=sys.stderr,
+    )
     return 2
+
+
+def _serve_command(rest) -> int:
+    host = "127.0.0.1"
+    port = 8695
+    pool = 2
+    use_store = True
+    tenant = None
+    gc_interval = None
+    max_bytes = None
+    tenant_max_bytes = None
+    index = 0
+    try:
+        while index < len(rest):
+            argument = rest[index]
+            if argument == "--host":
+                index += 1
+                host = rest[index]
+            elif argument == "--port":
+                index += 1
+                port = int(rest[index])
+            elif argument == "--pool":
+                index += 1
+                pool = int(rest[index])
+            elif argument == "--tenant":
+                index += 1
+                tenant = rest[index]
+            elif argument == "--gc-interval":
+                index += 1
+                gc_interval = float(rest[index])
+            elif argument == "--max-bytes":
+                index += 1
+                max_bytes = int(rest[index])
+            elif argument == "--tenant-max-bytes":
+                index += 1
+                tenant_max_bytes = int(rest[index])
+            elif argument == "--no-store":
+                use_store = False
+            elif argument == "--store":
+                use_store = True
+            else:
+                print(f"unknown serve option {argument!r}", file=sys.stderr)
+                return 2
+            index += 1
+    except (IndexError, ValueError):
+        print(f"option {rest[index - 1]!r} needs a valid value", file=sys.stderr)
+        return 2
+    from repro.service import run_server
+
+    run_server(
+        host,
+        port,
+        store="default" if use_store else None,
+        pool=pool,
+        tenant=tenant,
+        gc_interval=gc_interval,
+        gc_max_bytes=max_bytes,
+        tenant_max_bytes=tenant_max_bytes,
+    )
+    return 0
 
 
 def main(argv=None) -> int:
@@ -296,6 +437,9 @@ def main(argv=None) -> int:
 
     if command == "store":
         return _store_command(rest)
+
+    if command == "serve":
+        return _serve_command(rest)
 
     if command == "equiv" and ("--help" in rest or "-h" in rest):
         # _pop_flags treats unknown arguments as positionals, so catch the

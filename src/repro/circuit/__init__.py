@@ -24,7 +24,7 @@ from repro.circuit.netlist import (
     RegisterRef,
 )
 from repro.circuit.types import GateType, NodeKind, eval_gate, eval_gate_vector
-from repro.circuit.verilog_io import write_verilog
+from repro.circuit.verilog_io import parse_verilog, read_verilog, write_verilog
 from repro.circuit.validate import check, is_valid, validate
 
 __all__ = [
@@ -45,6 +45,8 @@ __all__ = [
     "canonical_circuit_text",
     "circuit_digest",
     "structural_identity",
+    "parse_verilog",
+    "read_verilog",
     "write_verilog",
     "ConeReduction",
     "cone_of_influence",

@@ -79,7 +79,7 @@ _pair_cache: Dict[CircuitSpec, CircuitPair] = {}
 
 
 def synthesize_original(
-    spec: CircuitSpec, store=None
+    spec: CircuitSpec, store=None, pin=None
 ) -> Tuple[Circuit, str, Optional[str]]:
     """Synthesize one variant, store-backed.
 
@@ -87,26 +87,29 @@ def synthesize_original(
     disposition (``hit`` / ``miss`` / ``off``).  The netlist artifact keeps
     the exact graph, so a store hit reproduces node names and edge
     numbering bit-for-bit -- downstream fault coordinates depend on it.
+    ``pin`` (a journal's ``artifact_ref``) is forwarded to the store so
+    the record is pinned inside its shard lock, atomically with the
+    read or write.
     """
     from repro.store.artifacts import circuit_from_payload, circuit_payload
 
     key = None
     if store is not None:
         key = store.key("synth", spec.fsm, spec.style, spec.script)
-        payload = store.get("netlist", key)
+        payload = store.get("netlist", key, pin=pin)
         if payload is not None:
             circuit = circuit_from_payload(payload)
             if circuit is not None:
                 return circuit, "hit", key
     circuit = synthesize_benchmark(spec.fsm, spec.style, spec.script).circuit
     if store is not None:
-        store.put("netlist", key, circuit_payload(circuit))
+        store.put("netlist", key, circuit_payload(circuit), pin=pin)
         return circuit, "miss", key
     return circuit, "off", key
 
 
 def retime_pair(
-    spec: CircuitSpec, original: Circuit, store=None
+    spec: CircuitSpec, original: Circuit, store=None, pin=None
 ) -> Tuple[Circuit, Retiming, str, Optional[str]]:
     """The register-rich performance retiming of one variant, store-backed.
 
@@ -130,7 +133,7 @@ def retime_pair(
             structural_identity(original),
             spec.forward_stem_moves,
         )
-        payload = store.get("pair", key)
+        payload = store.get("pair", key, pin=pin)
         if payload is not None:
             try:
                 retimed = circuit_from_payload(payload["circuit"])
@@ -166,6 +169,7 @@ def retime_pair(
                 "circuit": circuit_payload(result.retimed_circuit),
                 "retiming": retiming_payload(result.retiming),
             },
+            pin=pin,
         )
         return result.retimed_circuit, result.retiming, "miss", key
     return result.retimed_circuit, result.retiming, "off", key

@@ -7,6 +7,11 @@ content-addressed artifact store, structured journaling, and mid-run ATPG
 checkpointing.  See :mod:`repro.pipeline.flow`.
 """
 
-from repro.pipeline.flow import FlowPipeline, PipelineResult, StageRecord
+from repro.pipeline.flow import (
+    FlowCancelled,
+    FlowPipeline,
+    PipelineResult,
+    StageRecord,
+)
 
-__all__ = ["FlowPipeline", "PipelineResult", "StageRecord"]
+__all__ = ["FlowCancelled", "FlowPipeline", "PipelineResult", "StageRecord"]

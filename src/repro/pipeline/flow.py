@@ -24,6 +24,19 @@ checkpoint is discarded once the stage's result is safely in the store.
 
 With no store attached the pipeline degrades to exactly the plain flow:
 every stage computes, every cache disposition reads ``off``.
+
+Two properties matter to the job service (:mod:`repro.service`), which
+runs many pipelines against one shared store:
+
+* **atomic read-and-pin** -- stage loads pass the journal's
+  ``artifact_ref`` into :meth:`ArtifactStore.get`/``put`` as the ``pin``
+  callback, so the journal pin is recorded inside the store's shard lock
+  and a concurrent GC can never evict a record between the read and the
+  pin landing;
+* **cancellation** -- a ``cancel_event`` (any object with ``is_set()``)
+  is checked at every stage boundary; a set event raises
+  :class:`FlowCancelled` before the next stage starts, which is how the
+  server aborts a queued-then-unwanted job without killing the process.
 """
 
 from __future__ import annotations
@@ -32,6 +45,10 @@ import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class FlowCancelled(RuntimeError):
+    """Raised at a stage boundary when the pipeline's cancel event is set."""
 
 from repro.atpg.budget import AtpgBudget
 from repro.atpg.engine import AtpgResult, run_atpg
@@ -114,6 +131,11 @@ class FlowPipeline:
             (``"bitset"``/``"reference"``/``"reach"``/``"auto"``; default
             ``"auto"``, which escalates past-the-bitset-wall machines to
             the reachability-bounded ``reach`` tier instead of skipping).
+        cancel_event: an object with ``is_set()`` (e.g. a
+            ``threading.Event``) polled at every stage boundary; once set,
+            the next stage raises :class:`FlowCancelled` instead of
+            starting.  One pipeline instance runs one flow at a time; for
+            concurrent flows, create one pipeline per run.
     """
 
     def __init__(
@@ -129,6 +151,7 @@ class FlowPipeline:
         checkpoint_path: Optional[str] = None,
         verify: bool = False,
         stg_engine: Optional[str] = "auto",
+        cancel_event=None,
     ):
         self.store = store
         self.journal = journal
@@ -140,11 +163,22 @@ class FlowPipeline:
         self.checkpoint_path = checkpoint_path
         self.verify = verify
         self.stg_engine = stg_engine
+        self.cancel_event = cancel_event
         self.stages: List[StageRecord] = []
 
     # -- stage bookkeeping ---------------------------------------------------
 
+    def _pin(self) -> Optional[Callable[[str], None]]:
+        """The journal's pin callback, for in-lock pinning by the store."""
+        if self.journal is None:
+            return None
+        return self.journal.artifact_ref
+
     def _stage_start(self, name: str) -> Tuple[float, float]:
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            if self.journal is not None:
+                self.journal.event("cancelled", stage=name)
+            raise FlowCancelled(f"flow cancelled before stage {name!r}")
         if self.journal is not None:
             self.journal.event("stage_start", stage=name)
         return (time.perf_counter(), time.process_time())
@@ -174,28 +208,29 @@ class FlowPipeline:
         return record
 
     def _load(self, kind: str, key: Optional[str], decode: Callable):
-        """``(value, cache)`` from the store; pins the record when hit."""
+        """``(value, cache)`` from the store; pins the record when hit.
+
+        The pin is recorded by the store *inside its shard lock*, so a
+        concurrent GC re-reading pins under the same lock either sees the
+        reference or has already evicted the record (a plain miss here) --
+        never the old in-between where a freshly read artifact vanished
+        before its journal reference landed.
+        """
         if self.store is None or key is None:
             return None, "off"
-        payload = self.store.get(kind, key)
+        payload = self.store.get(kind, key, pin=self._pin())
         value = decode(payload) if payload is not None else None
         if value is None:
             return None, "miss"
-        if self.journal is not None:
-            self.journal.artifact_ref(
-                os.path.relpath(self.store.path_for(kind, key), self.store.root)
-            )
         return value, "hit"
 
     def _save(self, kind: str, key: Optional[str], payload: Dict[str, object]) -> None:
         if self.store is None or key is None:
             return
         try:
-            rel = self.store.put(kind, key, payload)
+            self.store.put(kind, key, payload, pin=self._pin())
         except OSError:
             return  # an unwritable store only loses memoization
-        if self.journal is not None:
-            self.journal.artifact_ref(rel)
 
     # -- stages --------------------------------------------------------------
 
@@ -204,11 +239,9 @@ class FlowPipeline:
         from repro.core.experiments import synthesize_original
 
         started = self._stage_start("synth")
-        circuit, cache, key = synthesize_original(spec, store=self.store)
-        if cache == "hit" and self.store is not None and self.journal is not None:
-            self.journal.artifact_ref(
-                os.path.relpath(self.store.path_for("netlist", key), self.store.root)
-            )
+        circuit, cache, key = synthesize_original(
+            spec, store=self.store, pin=self._pin()
+        )
         self._stage_end(
             "synth",
             started,
@@ -226,12 +259,8 @@ class FlowPipeline:
 
         started = self._stage_start("retime")
         retimed, retiming, cache, key = retime_pair(
-            spec, original, store=self.store
+            spec, original, store=self.store, pin=self._pin()
         )
-        if cache == "hit" and self.store is not None and self.journal is not None:
-            self.journal.artifact_ref(
-                os.path.relpath(self.store.path_for("pair", key), self.store.root)
-            )
         self._stage_end(
             "retime",
             started,
@@ -495,4 +524,4 @@ class FlowPipeline:
         return PipelineResult(flow=flow, stages=list(self.stages), journal_path=journal_path)
 
 
-__all__ = ["FlowPipeline", "PipelineResult", "StageRecord"]
+__all__ = ["FlowCancelled", "FlowPipeline", "PipelineResult", "StageRecord"]

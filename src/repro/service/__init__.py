@@ -1,0 +1,46 @@
+"""ATPG-as-a-service: the Fig. 6 flow behind an HTTP/JSON job API.
+
+``python -m repro serve`` turns the repository's flow pipeline into a
+long-running service: clients POST circuit specs (Table II triples, BENCH
+netlists, toy structural Verilog, or builder JSON), the server runs the
+retime-for-testability flow on a bounded worker pool, and results are
+deduplicated three ways -- in-flight coalescing, store-cached completion,
+and the pipeline's own per-stage memoization underneath.  Progress streams
+back as NDJSON journal events; completed artifacts (derived test sets,
+BENCH netlists, full flow reports) are served straight from the
+content-addressed store.
+
+Layers:
+
+* :mod:`repro.service.schema` -- request validation and the dedup
+  fingerprint (:func:`parse_request`, :class:`JobRequest`);
+* :mod:`repro.service.jobs` -- :class:`JobManager`: queue, worker pool,
+  dedup tiers, latency metrics;
+* :mod:`repro.service.server` -- the stdlib asyncio HTTP server,
+  :func:`run_server` (foreground) and :class:`BackgroundServer`
+  (daemon-thread embedding);
+* :mod:`repro.service.client` -- :class:`ServiceClient`, a stdlib
+  synchronous client used by the tests and the benchmark harness.
+
+Everything is standard library; the service adds no dependencies.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job, JobManager, ServiceMetrics, TERMINAL_STATUSES
+from repro.service.schema import JobRequest, SchemaError, parse_request
+from repro.service.server import BackgroundServer, ServiceServer, run_server
+
+__all__ = [
+    "BackgroundServer",
+    "Job",
+    "JobManager",
+    "JobRequest",
+    "SchemaError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceServer",
+    "TERMINAL_STATUSES",
+    "parse_request",
+    "run_server",
+]

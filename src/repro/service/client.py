@@ -1,0 +1,153 @@
+"""A stdlib HTTP client for the ATPG service.
+
+Thin and synchronous on :mod:`http.client` -- every call is one
+``Connection: close`` request, so there is no connection state to manage
+and the client is trivially thread-safe (each call opens its own socket).
+:meth:`ServiceClient.events` is the exception: it holds its connection
+open and yields journal events as the server streams them.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.service.jobs import TERMINAL_STATUSES
+
+
+class ServiceError(RuntimeError):
+    """A non-success response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Client for one ``repro serve`` endpoint."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8695, timeout: float = 60.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[object] = None
+    ) -> Tuple[int, bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Connection": "close"}
+            data = None
+            if body is not None:
+                data = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, data, headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def _json(
+        self, method: str, path: str, body: Optional[object] = None,
+        ok: Tuple[int, ...] = (200, 202),
+    ) -> Dict:
+        status, raw = self._request(method, path, body)
+        try:
+            doc = json.loads(raw.decode("utf-8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            doc = {}
+        if status not in ok:
+            message = doc.get("error") if isinstance(doc, dict) else None
+            raise ServiceError(status, message or raw[:200].decode("utf-8", "replace"))
+        return doc
+
+    # -- API -----------------------------------------------------------------
+
+    def health(self) -> Dict:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self._json("GET", "/v1/stats")
+
+    def submit(self, request: Dict) -> Dict:
+        """POST one job document; returns the job including ``disposition``."""
+        return self._json("POST", "/v1/jobs", request)
+
+    def jobs(self) -> Dict:
+        return self._json("GET", "/v1/jobs")
+
+    def job(self, job_id: str, include_result: bool = False) -> Dict:
+        suffix = "?result=1" if include_result else ""
+        return self._json("GET", f"/v1/jobs/{job_id}{suffix}")
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._json("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 600.0, poll: float = 0.1) -> Dict:
+        """Poll until the job is terminal; returns the final job document.
+
+        Raises ``TimeoutError`` if the deadline passes first -- the job
+        keeps running server-side.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc.get("status") in TERMINAL_STATUSES:
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {doc.get('status')!r}")
+            time.sleep(poll)
+
+    def artifact(self, job_id: str, name: str) -> bytes:
+        """Fetch one artifact (``result``/``testset``/``atpg-testset``/
+        ``bench``/``journal``) as raw bytes."""
+        status, raw = self._request("GET", f"/v1/jobs/{job_id}/artifacts/{name}")
+        if status != 200:
+            try:
+                message = json.loads(raw.decode("utf-8")).get("error", "")
+            except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+                message = raw[:200].decode("utf-8", "replace")
+            raise ServiceError(status, message)
+        return raw
+
+    def result(self, job_id: str) -> Dict:
+        """The completed flow payload (parsed ``result`` artifact)."""
+        return json.loads(self.artifact(job_id, "result").decode("utf-8"))
+
+    def events(self, job_id: str) -> Iterator[Dict]:
+        """Stream the job's journal events live, ending after ``job_end``."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "GET", f"/v1/jobs/{job_id}/events", headers={"Connection": "close"}
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                raise ServiceError(response.status, raw[:200].decode("utf-8", "replace"))
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    continue
+                if isinstance(event, dict):
+                    yield event
+        finally:
+            connection.close()
+
+
+__all__ = ["ServiceClient", "ServiceError"]

@@ -1,0 +1,440 @@
+"""Job queue, worker pool and dedup logic for the ATPG service.
+
+:class:`JobManager` owns an ``asyncio.Queue`` of :class:`Job` objects and
+a bounded pool of worker tasks; each worker runs one Fig. 6 flow at a time
+via ``asyncio.to_thread`` (the flow is CPU-bound Python, so the pool bound
+is about memory and fairness, not parallel speedup under the GIL -- the
+real parallelism knob is the per-job ``workers`` option, which fans the
+ATPG stage out over processes).
+
+Three dedup tiers, cheapest first:
+
+* **coalesced** -- an identical request (same :meth:`JobRequest.
+  fingerprint`, same tenant) is already queued or running: the submit
+  returns that live job instead of enqueuing a second one.
+* **cached** -- a completed flow for the fingerprint exists in the store
+  under the ``"flow"`` artifact kind: the job is born ``done`` with the
+  stored payload, no queue round trip at all.
+* **fresh** -- nobody has done this work: enqueue, run, and *write* the
+  ``"flow"`` record so the next identical request lands in tier two.
+
+Because the ``"flow"`` record is keyed by the same fingerprint across
+processes, two servers sharing one store root dedup against each other,
+not just against themselves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.pipeline.flow import FlowCancelled, FlowPipeline
+from repro.service.schema import JobRequest, parse_request
+from repro.store.core import ArtifactStore
+from repro.store.journal import RunJournal
+
+#: Statuses from which a job never moves again.
+TERMINAL_STATUSES = ("done", "failed", "cancelled")
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    rank = max(0, min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class ServiceMetrics:
+    """Counters and latency samples for one manager lifetime."""
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.coalesced = 0
+        self.cached = 0
+        self.queue_peak = 0
+        self._latencies: Dict[str, List[float]] = {}
+
+    def record_latency(self, dedup: str, seconds: float) -> None:
+        self._latencies.setdefault(dedup, []).append(seconds)
+
+    def latency_percentiles(self) -> Dict[str, Dict[str, float]]:
+        """p50/p90/p99 submit-to-finish seconds, per dedup class."""
+        out: Dict[str, Dict[str, float]] = {}
+        for dedup, values in sorted(self._latencies.items()):
+            ordered = sorted(values)
+            out[dedup] = {
+                "count": len(ordered),
+                "p50": round(_percentile(ordered, 0.50), 6),
+                "p90": round(_percentile(ordered, 0.90), 6),
+                "p99": round(_percentile(ordered, 0.99), 6),
+                "max": round(ordered[-1], 6),
+            }
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "dedup": {"coalesced": self.coalesced, "cached": self.cached},
+            "queue_peak": self.queue_peak,
+            "latency_seconds": self.latency_percentiles(),
+        }
+
+
+class Job:
+    """One submitted flow run and its lifecycle bookkeeping."""
+
+    def __init__(self, job_id: str, key: str, request: JobRequest, queue_depth: int):
+        self.id = job_id
+        self.key = key
+        self.request = request
+        self.label = request.label
+        self.status = "queued"
+        self.dedup = "fresh"
+        self.submitted = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.queue_depth_at_submit = queue_depth
+        self.journal_path: Optional[str] = None
+        self.error: Optional[str] = None
+        self.result: Optional[Dict[str, object]] = None
+        self.coalesced_hits = 0
+        self.cancel_event = threading.Event()
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def as_dict(self, include_result: bool = False) -> Dict[str, object]:
+        seconds = None
+        if self.started is not None and self.finished is not None:
+            seconds = round(self.finished - self.started, 6)
+        doc: Dict[str, object] = {
+            "id": self.id,
+            "key": self.key,
+            "label": self.label,
+            "tenant": self.request.tenant,
+            "status": self.status,
+            "dedup": self.dedup,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "seconds": seconds,
+            "queue_depth_at_submit": self.queue_depth_at_submit,
+            "coalesced_hits": self.coalesced_hits,
+            "journal": self.journal_path,
+            "error": self.error,
+            "summary": (self.result or {}).get("summary"),
+        }
+        if include_result:
+            doc["result"] = self.result
+        return doc
+
+
+def flow_payload(flow, stages) -> Dict[str, object]:
+    """The JSON artifact persisted (and served) for one completed flow.
+
+    Everything a client can fetch later -- the derived test set, the ATPG
+    test set, the hard netlist as BENCH, coverage numbers, the per-stage
+    account -- so a cached job serves identical bytes without the circuit
+    objects ever being rebuilt.
+    """
+    from repro.circuit.bench_io import write_bench
+
+    return {
+        "hard_circuit": flow.hard_circuit.name,
+        "easy_circuit": flow.easy_circuit.name,
+        "hard_dffs": flow.hard_circuit.num_registers(),
+        "easy_dffs": flow.easy_circuit.num_registers(),
+        "prefix_length": flow.prefix_length,
+        "easy_coverage": flow.easy_coverage,
+        "hard_coverage": flow.hard_coverage,
+        "summary": flow.summary(),
+        "atpg": {
+            "cpu_seconds": flow.atpg_result.cpu_seconds,
+            "fault_coverage": flow.atpg_result.fault_coverage,
+            "fault_efficiency": flow.atpg_result.fault_efficiency,
+            "engine": flow.atpg_result.engine,
+            "kernel": flow.atpg_result.kernel,
+            "workers": flow.atpg_result.workers,
+            "sequences": flow.atpg_result.test_set.num_sequences,
+        },
+        "derived_testset": flow.derived_test_set.to_text(),
+        "atpg_testset": flow.atpg_result.test_set.to_text(),
+        "hard_bench": write_bench(flow.hard_circuit),
+        "stages": [
+            {
+                "name": record.name,
+                "seconds": record.seconds,
+                "cpu_seconds": record.cpu_seconds,
+                "cache": record.cache,
+                "store_key": record.store_key,
+                "detail": record.detail,
+            }
+            for record in stages
+        ],
+    }
+
+
+class JobManager:
+    """Bounded worker pool + dedup index over one (optional) store root."""
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        pool: int = 2,
+        *,
+        default_tenant: Optional[str] = None,
+        keep_jobs: int = 512,
+    ):
+        self.store = store
+        self.pool = max(1, int(pool))
+        self.default_tenant = default_tenant
+        self.keep_jobs = max(1, int(keep_jobs))
+        self.jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self.metrics = ServiceMetrics()
+        self._by_key: Dict[Tuple[str, str], Job] = {}
+        self._tenant_stores: Dict[str, ArtifactStore] = {}
+        self._queue: Optional[asyncio.Queue] = None
+        self._workers: List[asyncio.Task] = []
+        self._ids = itertools.count(1)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._queue = asyncio.Queue()
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"repro-service-worker-{i}")
+            for i in range(self.pool)
+        ]
+
+    async def stop(self) -> None:
+        """Cancel queued jobs, signal running flows, and reap the pool."""
+        for job in self.jobs.values():
+            if not job.terminal:
+                job.cancel_event.set()
+        for task in self._workers:
+            task.cancel()
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self.store is not None:
+            await asyncio.to_thread(self._flush_all_counters)
+
+    def _flush_all_counters(self) -> None:
+        for store in [self.store, *self._tenant_stores.values()]:
+            if store is not None:
+                try:
+                    store.flush_counters()
+                except OSError:
+                    pass
+
+    def store_for(self, tenant: Optional[str]) -> Optional[ArtifactStore]:
+        """The tenant-scoped view of the shared store root."""
+        if self.store is None:
+            return None
+        if not tenant or tenant == self.store.tenant:
+            return self.store
+        if tenant not in self._tenant_stores:
+            self._tenant_stores[tenant] = ArtifactStore(
+                root=self.store.root, tenant=tenant
+            )
+        return self._tenant_stores[tenant]
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, payload: object) -> Tuple[Job, str]:
+        """Parse, dedup and (if needed) enqueue one request.
+
+        Returns ``(job, disposition)`` with disposition ``"coalesced"``
+        (an identical job is already live), ``"cached"`` (served straight
+        from the store) or ``"fresh"`` (enqueued).  Raises
+        :class:`~repro.service.schema.SchemaError` on a bad document.
+        """
+        request = parse_request(payload, default_tenant=self.default_tenant)
+        key = request.fingerprint()
+        dedup_id = (request.tenant or "", key)
+        live = self._by_key.get(dedup_id)
+        if live is not None and not live.terminal:
+            live.coalesced_hits += 1
+            self.metrics.coalesced += 1
+            return live, "coalesced"
+        job = Job(
+            f"j{next(self._ids):05d}",
+            key,
+            request,
+            self._queue.qsize() if self._queue is not None else 0,
+        )
+        self.jobs[job.id] = job
+        self._by_key[dedup_id] = job
+        self.metrics.submitted += 1
+        self._trim()
+        store = self.store_for(request.tenant)
+        if store is not None:
+            cached = await asyncio.to_thread(store.get, "flow", key)
+            if cached is not None:
+                now = time.time()
+                job.status = "done"
+                job.dedup = "cached"
+                job.started = job.finished = now
+                job.result = cached
+                self.metrics.cached += 1
+                self.metrics.completed += 1
+                self.metrics.record_latency("cached", now - job.submitted)
+                await asyncio.to_thread(store.flush_counters)
+                return job, "cached"
+        if self._queue is None:
+            raise RuntimeError("JobManager.start() was never awaited")
+        self._queue.put_nowait(job)
+        self.metrics.queue_peak = max(self.metrics.queue_peak, self._queue.qsize())
+        return job, "fresh"
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cancellation; queued jobs die immediately, running jobs
+        at their next stage boundary."""
+        job = self.jobs.get(job_id)
+        if job is None or job.terminal:
+            return job
+        job.cancel_event.set()
+        if job.status == "queued":
+            job.status = "cancelled"
+            job.finished = time.time()
+            self.metrics.cancelled += 1
+        return job
+
+    def _trim(self) -> None:
+        while len(self.jobs) > self.keep_jobs:
+            victim_id = None
+            for job_id, job in self.jobs.items():
+                if job.terminal:
+                    victim_id = job_id
+                    break
+            if victim_id is None:
+                return  # everything is live; never drop a live job
+            victim = self.jobs.pop(victim_id)
+            dedup_id = (victim.request.tenant or "", victim.key)
+            if self._by_key.get(dedup_id) is victim:
+                del self._by_key[dedup_id]
+
+    # -- execution -----------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self._queue.get()
+            try:
+                if job.terminal:
+                    continue  # cancelled while queued
+                job.status = "running"
+                job.started = time.time()
+                try:
+                    await asyncio.to_thread(self._execute, job)
+                except FlowCancelled:
+                    job.status = "cancelled"
+                    self.metrics.cancelled += 1
+                except Exception as error:  # the job fails, the pool survives
+                    job.status = "failed"
+                    job.error = f"{type(error).__name__}: {error}"
+                    self.metrics.failed += 1
+                else:
+                    job.status = "done"
+                    self.metrics.completed += 1
+                job.finished = time.time()
+                if job.status == "done":
+                    self.metrics.record_latency("fresh", job.finished - job.submitted)
+            finally:
+                self._queue.task_done()
+
+    def _execute(self, job: Job) -> None:
+        """Run one flow synchronously (called from a worker thread)."""
+        request = job.request
+        store = self.store_for(request.tenant)
+        journal = None
+        if store is not None:
+            journal = RunJournal.create(store.journal_dir, f"service-{job.label}")
+            job.journal_path = journal.path
+            journal.event(
+                "run_start",
+                run="service",
+                job=job.id,
+                label=job.label,
+                tenant=request.tenant,
+                verify=request.verify,
+            )
+        try:
+            pipeline = FlowPipeline(
+                store=store,
+                journal=journal,
+                workers=request.workers,
+                engine=request.engine,
+                kernel=request.kernel,
+                backend=request.backend,
+                verify=request.verify,
+                stg_engine=request.stg_engine,
+                cancel_event=job.cancel_event,
+            )
+            if request.spec is not None:
+                flow = pipeline.run_spec(request.spec, request.budget).flow
+            else:
+                flow = pipeline.run(request.circuit, budget=request.budget)
+            payload = flow_payload(flow, pipeline.stages)
+            if store is not None:
+                store.put(
+                    "flow",
+                    job.key,
+                    payload,
+                    pin=journal.artifact_ref if journal is not None else None,
+                )
+            job.result = payload
+        except BaseException as error:
+            if journal is not None:
+                journal.close(ok=False, job=job.id, error=str(error))
+            if store is not None:
+                store.flush_counters()
+            raise
+        if journal is not None:
+            journal.close(ok=True, job=job.id)
+        if store is not None:
+            store.flush_counters()
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/v1/stats`` document: pool, queue, jobs, dedup, latency."""
+        by_status: Dict[str, int] = {}
+        for job in self.jobs.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        doc: Dict[str, object] = {
+            "pool": self.pool,
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "jobs": dict(sorted(by_status.items())),
+            "metrics": self.metrics.as_dict(),
+        }
+        if self.store is not None:
+            doc["store"] = {
+                "root": self.store.root,
+                "session": self.store.stats.as_dict(),
+                "lifetime": self.store.lifetime_counters(),
+            }
+        else:
+            doc["store"] = None
+        return doc
+
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "ServiceMetrics",
+    "TERMINAL_STATUSES",
+    "flow_payload",
+]

@@ -1,0 +1,467 @@
+"""The asyncio HTTP/JSON front end of the ATPG service.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` -- no
+framework, no dependency, every connection ``Connection: close``.  The
+API surface::
+
+    GET    /healthz                      liveness probe
+    GET    /v1/stats                     pool / queue / dedup / latency / store
+    POST   /v1/jobs                      submit a job document (see schema)
+    GET    /v1/jobs                      list known jobs
+    GET    /v1/jobs/<id>                 one job (``?result=1`` inlines the result)
+    DELETE /v1/jobs/<id>                 cancel (queued: now; running: next stage)
+    GET    /v1/jobs/<id>/events          NDJSON stream of the run journal, live
+    GET    /v1/jobs/<id>/artifacts/<n>   result | testset | atpg-testset | bench | journal
+
+``POST /v1/jobs`` answers 202 for fresh/coalesced submissions and 200 for
+store-cached ones; the body always carries ``disposition`` so clients can
+tell the tiers apart.  The events endpoint incrementally tails the job's
+journal file (:func:`~repro.store.journal.tail_journal`) while the flow is
+still writing it and finishes with a synthetic ``job_end`` event, so
+``curl`` shows live per-stage progress.
+
+:class:`BackgroundServer` runs the whole stack (manager + server) on a
+daemon thread with its own event loop -- the harness tests, the benchmark
+and embedding applications use it to get a real HTTP service inside one
+process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.service.jobs import Job, JobManager
+from repro.service.schema import SchemaError
+from repro.store.journal import tail_journal
+
+#: Upper bound on request bodies; circuits are text, a megabyte is huge.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Poll interval of the event stream between journal reads.
+EVENT_POLL_SECONDS = 0.05
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+_ARTIFACT_NAMES = ("result", "testset", "atpg-testset", "bench", "journal")
+
+
+class _BadRequest(Exception):
+    """Internal: maps straight to a 400 response."""
+
+
+def _head(status: int, content_type: str, length: Optional[int] = None) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+class ServiceServer:
+    """One listening socket over one :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager, host: str = "127.0.0.1", port: int = 0):
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._process(reader, writer)
+        except (_BadRequest, asyncio.IncompleteReadError, ValueError) as error:
+            self._try_json(writer, 400, {"error": str(error) or "bad request"})
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception as error:  # never let one connection kill the loop
+            self._try_json(writer, 500, {"error": f"{type(error).__name__}: {error}"})
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _try_json(self, writer: asyncio.StreamWriter, status: int, doc: Dict) -> None:
+        try:
+            body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+            writer.write(_head(status, "application/json", len(body)) + body)
+        except (ConnectionError, OSError):
+            pass
+
+    async def _process(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        request_line = await reader.readline()
+        if not request_line:
+            return
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _BadRequest("malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        if length > MAX_BODY_BYTES:
+            self._try_json(writer, 413, {"error": "request body too large"})
+            return
+        body = await reader.readexactly(length) if length else b""
+        path, _, query = target.partition("?")
+        await self._route(method.upper(), path, query, body, writer)
+
+    # -- routing -------------------------------------------------------------
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        query: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        segments = [s for s in path.split("/") if s]
+        if path == "/healthz" and method == "GET":
+            self._try_json(writer, 200, {"ok": True})
+            return
+        if path == "/v1/stats" and method == "GET":
+            self._try_json(writer, 200, self.manager.stats())
+            return
+        if path == "/v1/jobs":
+            if method == "POST":
+                await self._submit(body, writer)
+            elif method == "GET":
+                jobs = [job.as_dict() for job in self.manager.jobs.values()]
+                self._try_json(writer, 200, {"jobs": jobs})
+            else:
+                self._try_json(writer, 405, {"error": f"{method} not allowed"})
+            return
+        if len(segments) >= 3 and segments[:2] == ["v1", "jobs"]:
+            job = self.manager.get(segments[2])
+            if job is None:
+                self._try_json(writer, 404, {"error": f"no job {segments[2]!r}"})
+                return
+            if len(segments) == 3:
+                if method == "GET":
+                    include = "result=1" in query or "result=true" in query
+                    self._try_json(writer, 200, job.as_dict(include_result=include))
+                elif method == "DELETE":
+                    self.manager.cancel(job.id)
+                    self._try_json(writer, 200, job.as_dict())
+                else:
+                    self._try_json(writer, 405, {"error": f"{method} not allowed"})
+                return
+            if segments[3] == "events" and len(segments) == 4 and method == "GET":
+                await self._stream_events(writer, job)
+                return
+            if segments[3] == "artifacts" and len(segments) == 5 and method == "GET":
+                self._artifact(writer, job, segments[4])
+                return
+        self._try_json(writer, 404, {"error": f"no route for {method} {path}"})
+
+    async def _submit(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else None
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise _BadRequest(f"request body is not JSON: {error}") from error
+        try:
+            job, disposition = await self.manager.submit(payload)
+        except SchemaError as error:
+            self._try_json(writer, 400, {"error": str(error)})
+            return
+        doc = job.as_dict()
+        doc["disposition"] = disposition
+        self._try_json(writer, 200 if disposition == "cached" else 202, doc)
+
+    # -- event streaming -----------------------------------------------------
+
+    async def _stream_events(self, writer: asyncio.StreamWriter, job: Job) -> None:
+        """NDJSON-tail the job's journal until the job is terminal."""
+        writer.write(_head(200, "application/x-ndjson"))
+        await writer.drain()
+        offset = 0
+
+        async def pump() -> None:
+            nonlocal offset
+            if job.journal_path is None:
+                return
+            events, offset = tail_journal(job.journal_path, offset)
+            for event in events:
+                writer.write(
+                    (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+                )
+            if events:
+                await writer.drain()
+
+        while True:
+            await pump()
+            if job.terminal:
+                await pump()  # catch events written right at the finish line
+                closing = {
+                    "t": round(time.time(), 6),
+                    "event": "job_end",
+                    "job": job.id,
+                    "status": job.status,
+                    "dedup": job.dedup,
+                    "error": job.error,
+                }
+                writer.write(
+                    (json.dumps(closing, sort_keys=True) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+                return
+            await asyncio.sleep(EVENT_POLL_SECONDS)
+
+    # -- artifacts -----------------------------------------------------------
+
+    def _artifact(self, writer: asyncio.StreamWriter, job: Job, name: str) -> None:
+        if name not in _ARTIFACT_NAMES:
+            self._try_json(
+                writer,
+                404,
+                {"error": f"unknown artifact {name!r}; one of {_ARTIFACT_NAMES}"},
+            )
+            return
+        if name == "journal":
+            if job.journal_path is None:
+                self._try_json(writer, 404, {"error": "job has no journal"})
+                return
+            try:
+                with open(job.journal_path, "rb") as handle:
+                    data = handle.read()
+            except OSError as error:
+                self._try_json(writer, 404, {"error": str(error)})
+                return
+            writer.write(_head(200, "application/x-ndjson", len(data)) + data)
+            return
+        if job.result is None:
+            self._try_json(
+                writer, 409, {"error": f"job {job.id} is {job.status}, not done"}
+            )
+            return
+        if name == "result":
+            body = (json.dumps(job.result, sort_keys=True) + "\n").encode("utf-8")
+            writer.write(_head(200, "application/json", len(body)) + body)
+            return
+        field = {
+            "testset": "derived_testset",
+            "atpg-testset": "atpg_testset",
+            "bench": "hard_bench",
+        }[name]
+        text = job.result.get(field)
+        if not isinstance(text, str):
+            self._try_json(writer, 404, {"error": f"result has no {field!r}"})
+            return
+        data = text.encode("utf-8")
+        writer.write(_head(200, "text/plain; charset=utf-8", len(data)) + data)
+
+
+# -- entry points ------------------------------------------------------------
+
+
+async def _serve_forever(
+    host: str,
+    port: int,
+    store,
+    pool: int,
+    default_tenant: Optional[str],
+    gc_interval: Optional[float],
+    gc_max_bytes: Optional[int],
+    tenant_max_bytes: Optional[int],
+) -> None:
+    manager = JobManager(store=store, pool=pool, default_tenant=default_tenant)
+    await manager.start()
+    server = ServiceServer(manager, host, port)
+    await server.start()
+    print(f"listening on http://{server.host}:{server.port}", file=sys.stderr, flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass
+
+    async def gc_loop() -> None:
+        while store is not None and gc_interval:
+            await asyncio.sleep(gc_interval)
+            await asyncio.to_thread(
+                store.gc, gc_max_bytes, (), tenant_max_bytes
+            )
+
+    gc_task = asyncio.create_task(gc_loop()) if gc_interval else None
+    try:
+        await stop.wait()
+    finally:
+        if gc_task is not None:
+            gc_task.cancel()
+        await server.stop()
+        await manager.stop()
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8695,
+    *,
+    store="default",
+    pool: int = 2,
+    tenant: Optional[str] = None,
+    gc_interval: Optional[float] = None,
+    gc_max_bytes: Optional[int] = None,
+    tenant_max_bytes: Optional[int] = None,
+) -> None:
+    """Run the service in the foreground until SIGINT/SIGTERM.
+
+    ``store="default"`` resolves the process-wide store (honouring
+    ``REPRO_STORE_DIR`` / ``REPRO_STORE_DISABLE``); pass ``None`` for a
+    storeless server (no dedup across restarts, no journals).
+    ``gc_interval`` starts a background GC loop over the shared root --
+    the same loop a fleet would run, pin-safe by construction.
+    """
+    if store == "default":
+        from repro.store.core import default_store
+
+        store = default_store()
+    asyncio.run(
+        _serve_forever(
+            host,
+            port,
+            store,
+            pool,
+            tenant,
+            gc_interval,
+            gc_max_bytes,
+            tenant_max_bytes,
+        )
+    )
+
+
+class BackgroundServer:
+    """The full service stack on a daemon thread, for tests and embedding.
+
+    ::
+
+        with BackgroundServer(store=store) as server:
+            client = ServiceClient(port=server.port)
+            ...
+
+    ``port=0`` (the default) binds an ephemeral port; read it from
+    ``server.port`` after ``start()``.
+    """
+
+    def __init__(
+        self,
+        store=None,
+        pool: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_tenant: Optional[str] = None,
+    ):
+        self.store = store
+        self.pool = pool
+        self.host = host
+        self.port: Optional[int] = None
+        self._port_request = port
+        self.default_tenant = default_tenant
+        self.manager: Optional[JobManager] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service did not start within 30s")
+        if self._error is not None:
+            raise RuntimeError(f"service failed to start: {self._error}")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as error:  # surfaced by start()
+            self._error = error
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        manager = JobManager(
+            store=self.store, pool=self.pool, default_tenant=self.default_tenant
+        )
+        await manager.start()
+        server = ServiceServer(manager, self.host, self._port_request)
+        await server.start()
+        self.manager = manager
+        self.port = server.port
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await server.stop()
+            await manager.stop()
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+__all__ = [
+    "BackgroundServer",
+    "ServiceServer",
+    "run_server",
+    "MAX_BODY_BYTES",
+]

@@ -15,7 +15,10 @@ redoes proven work:
   timings, cache hits, store keys) that doubles as the benchmark
   observability layer and pins referenced artifacts against GC;
 * :mod:`repro.store.checkpoint` -- mid-run checkpointing of per-fault ATPG
-  outcomes, the substrate of ``--resume``.
+  outcomes, the substrate of ``--resume``;
+* :mod:`repro.store.locks` -- advisory per-shard file locks, the
+  concurrency discipline that lets several servers, CLI runs and GC loops
+  share one store root without evicting freshly pinned artifacts.
 """
 
 from repro.store.core import (
@@ -26,17 +29,22 @@ from repro.store.core import (
     set_default_store,
     store_enabled,
 )
-from repro.store.journal import RunJournal, journal_pinned_paths
+from repro.store.journal import RunJournal, journal_pinned_paths, tail_journal
 from repro.store.checkpoint import AtpgCheckpoint
+from repro.store.locks import FileLock, shard_lock, shard_of
 
 __all__ = [
     "ArtifactStore",
     "StoreError",
     "AtpgCheckpoint",
+    "FileLock",
     "RunJournal",
     "default_store",
     "journal_pinned_paths",
     "schema_version",
     "set_default_store",
+    "shard_lock",
+    "shard_of",
     "store_enabled",
+    "tail_journal",
 ]

@@ -17,14 +17,20 @@ one JSON event with a wall-clock timestamp; the vocabulary is small:
 
 Events are flushed per line, so a killed run leaves a readable journal up
 to the moment of death (the same property the ATPG checkpoint relies on).
+Writes are serialized by an internal lock, so a journal shared between the
+service's event loop and its worker threads never interleaves two events
+on one line; :func:`tail_journal` incrementally reads complete lines from
+a given offset, which is how the server streams a run's progress as NDJSON
+while the run is still writing.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 
 class RunJournal:
@@ -34,6 +40,7 @@ class RunJournal:
         self.path = os.path.abspath(path)
         os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
         self._handle = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
 
     @classmethod
     def create(cls, directory: str, label: str) -> "RunJournal":
@@ -46,8 +53,10 @@ class RunJournal:
     def event(self, event: str, **fields: object) -> None:
         record: Dict[str, object] = {"t": round(time.time(), 6), "event": event}
         record.update(fields)
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            self._handle.write(line)
+            self._handle.flush()
 
     def artifact_ref(self, path: Optional[str]) -> None:
         """Pin one store record (path relative to the store root)."""
@@ -57,7 +66,8 @@ class RunJournal:
     def close(self, **fields: object) -> None:
         if not self._handle.closed:
             self.event("run_end", **fields)
-            self._handle.close()
+            with self._lock:
+                self._handle.close()
 
     def __enter__(self) -> "RunJournal":
         return self
@@ -84,6 +94,38 @@ def read_journal(path: str) -> Iterator[Dict[str, object]]:
         return
 
 
+def tail_journal(path: str, offset: int = 0) -> Tuple[List[Dict[str, object]], int]:
+    """Complete events appended past ``offset``; returns ``(events, new_offset)``.
+
+    Only whole lines (newline-terminated) are consumed, so a concurrent
+    writer mid-line just defers that event to the next call; the returned
+    offset always points at the start of the first unconsumed byte.  A
+    missing file reads as no events at offset ``offset``.
+    """
+    events: List[Dict[str, object]] = []
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            chunk = handle.read()
+    except OSError:
+        return events, offset
+    end = chunk.rfind(b"\n")
+    if end < 0:
+        return events, offset
+    complete = chunk[: end + 1]
+    for line in complete.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            continue
+        if isinstance(record, dict):
+            events.append(record)
+    return events, offset + len(complete)
+
+
 def journal_pinned_paths(journal_dir: str) -> Set[str]:
     """Store-relative artifact paths referenced by any journal on disk."""
     pinned: Set[str] = set()
@@ -108,4 +150,5 @@ __all__ = [
     "journal_pinned_paths",
     "journal_stage_summaries",
     "read_journal",
+    "tail_journal",
 ]

@@ -1,0 +1,104 @@
+"""Advisory file locks for multi-writer store access.
+
+One :class:`FileLock` serializes critical sections across *processes* (via
+``fcntl.flock`` on a dedicated lock file) and, because every acquisition
+opens its own file descriptor, across *threads* of one process as well --
+``flock`` locks belong to the open file description, so two descriptors on
+the same path conflict even inside a single process.
+
+The store uses them at two granularities:
+
+* **shard locks** (``<root>/locks/shard-<xx>.lock``) -- one per two-hex-char
+  key prefix, taken around every record read, write and GC eviction in that
+  shard.  Holding the shard lock across *scan + unlink* (GC) and across
+  *read + journal-pin* (pipeline loads) is what closes the eviction/pinning
+  race: a pin either lands before the GC re-reads the journals inside the
+  lock (and is honoured) or after the record is gone (a plain miss, the
+  caller recomputes).
+* **the counters lock** (``<root>/locks/counters.lock``) -- around
+  read-modify-write updates of the persistent hit/miss counter file.
+
+On platforms without ``fcntl`` (Windows) the lock degrades to a no-op:
+single-writer discipline is then the caller's responsibility, exactly the
+pre-sharding behaviour.  Lock files are never deleted while held; an empty
+``locks/`` directory is recreated on demand.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+try:  # POSIX only; the store degrades gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only on non-POSIX hosts
+    fcntl = None  # type: ignore[assignment]
+
+
+#: Directory (relative to a store root) holding every lock file.
+LOCKS_DIRNAME = "locks"
+
+
+class FileLock:
+    """An exclusive advisory lock on one path, used as a context manager.
+
+    Not reentrant: acquiring a lock this process (or thread) already holds
+    deadlocks under ``flock`` semantics when done through a second
+    descriptor, so critical sections must not nest on the same shard.
+    """
+
+    def __init__(self, path: str):
+        self.path = os.path.abspath(path)
+        self._fd: Optional[int] = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self) -> None:
+        if self._fd is not None:
+            raise RuntimeError(f"lock {self.path} is not reentrant")
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except BaseException:
+                os.close(fd)
+                raise
+        self._fd = fd
+
+    def release(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+def shard_of(key: str) -> str:
+    """The shard a record key belongs to (its two-hex-char prefix)."""
+    return key[:2]
+
+
+def shard_lock(root: str, shard: str) -> FileLock:
+    """The lock guarding one shard of the store rooted at ``root``."""
+    return FileLock(os.path.join(root, LOCKS_DIRNAME, f"shard-{shard}.lock"))
+
+
+def counters_lock(root: str) -> FileLock:
+    """The lock guarding the persistent counters file of one store."""
+    return FileLock(os.path.join(root, LOCKS_DIRNAME, "counters.lock"))
+
+
+__all__ = ["FileLock", "LOCKS_DIRNAME", "counters_lock", "shard_lock", "shard_of"]

@@ -1,0 +1,192 @@
+"""Request-schema validation and dedup-fingerprint semantics."""
+
+import pytest
+
+from repro.service.schema import SchemaError, parse_request
+
+BENCH_SOURCE = """\
+INPUT(a)
+OUTPUT(z)
+q = DFF(g1)
+g1 = AND(a, q)
+z = NOT(g1)
+"""
+
+BUILDER_CIRCUIT = {
+    "format": "builder",
+    "name": "tiny",
+    "signals": [
+        {"op": "input", "name": "a"},
+        {"op": "and", "name": "g1", "args": ["a", "q"]},
+        {"op": "dff", "name": "q", "args": ["g1"]},
+        {"op": "not", "name": "g2", "args": ["g1"]},
+    ],
+    "outputs": [["z", "g2"]],
+}
+
+
+def _table2(fsm="s510", style="jo", script="rugged"):
+    return {"circuit": {"format": "table2", "fsm": fsm, "style": style, "script": script}}
+
+
+class TestCircuitFormats:
+    def test_table2_resolves_known_spec(self):
+        request = parse_request(_table2("pma", "jo", "delay"))
+        assert request.spec is not None
+        assert request.spec.forward_stem_moves == 1  # the paper names pma.jo.sd
+        assert request.circuit is None
+        assert request.label == "pma.jo.sd"
+
+    def test_table2_normalizes_script_codes(self):
+        sd = parse_request(_table2("dk16", "ji", "sd"))
+        delay = parse_request(_table2("dk16", "ji", "delay"))
+        assert sd.spec == delay.spec
+
+    def test_table2_unknown_fsm_still_parses(self):
+        request = parse_request(_table2("nosuch", "ji", "delay"))
+        assert request.spec.forward_stem_moves == 0
+
+    def test_table2_rejects_bad_style(self):
+        with pytest.raises(SchemaError, match="style"):
+            parse_request(_table2(style="xx"))
+
+    def test_bench_compiles_to_circuit(self):
+        request = parse_request(
+            {"circuit": {"format": "bench", "source": BENCH_SOURCE, "name": "tiny"}}
+        )
+        assert request.spec is None
+        assert request.circuit.num_registers() == 1
+        assert request.label == "tiny"
+
+    def test_bench_syntax_error_is_schema_error(self):
+        with pytest.raises(SchemaError, match="bench"):
+            parse_request({"circuit": {"format": "bench", "source": "g = WAT(a)"}})
+
+    def test_verilog_compiles_to_circuit(self):
+        from repro.circuit import parse_bench, write_verilog
+
+        source = write_verilog(parse_bench(BENCH_SOURCE, name="tiny"))
+        request = parse_request(
+            {"circuit": {"format": "verilog", "source": source, "name": "tiny"}}
+        )
+        assert request.circuit.num_registers() == 1
+
+    def test_builder_compiles_to_circuit(self):
+        request = parse_request({"circuit": BUILDER_CIRCUIT})
+        assert request.circuit.name == "tiny"
+        assert request.circuit.num_registers() == 1
+
+    def test_builder_rejects_unknown_op(self):
+        circuit = dict(BUILDER_CIRCUIT, signals=[{"op": "frob", "name": "x"}])
+        with pytest.raises(SchemaError, match="frob"):
+            parse_request({"circuit": circuit})
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SchemaError, match="format"):
+            parse_request({"circuit": {"format": "edif"}})
+
+    def test_missing_circuit_rejected(self):
+        with pytest.raises(SchemaError, match="circuit"):
+            parse_request({})
+
+    def test_unknown_top_level_field_rejected(self):
+        with pytest.raises(SchemaError, match="frobnicate"):
+            parse_request({**_table2(), "frobnicate": 1})
+
+
+class TestBudgetAndOptions:
+    def test_budget_fields_apply(self):
+        request = parse_request(
+            {**_table2(), "budget": {"total_seconds": 5.0, "seed": 7}}
+        )
+        assert request.budget.total_seconds == 5.0
+        assert request.budget.seed == 7
+
+    def test_budget_unknown_field_rejected(self):
+        with pytest.raises(SchemaError, match="wallclock"):
+            parse_request({**_table2(), "budget": {"wallclock": 1}})
+
+    def test_budget_non_numeric_rejected(self):
+        with pytest.raises(SchemaError, match="total_seconds"):
+            parse_request({**_table2(), "budget": {"total_seconds": "fast"}})
+
+    def test_options_apply(self):
+        request = parse_request(
+            {
+                **_table2(),
+                "options": {"workers": 2, "kernel": "scalar", "verify": True},
+            }
+        )
+        assert request.workers == 2
+        assert request.kernel == "scalar"
+        assert request.verify is True
+
+    def test_options_unknown_key_rejected(self):
+        with pytest.raises(SchemaError, match="turbo"):
+            parse_request({**_table2(), "options": {"turbo": True}})
+
+    def test_options_bad_kernel_rejected(self):
+        with pytest.raises(SchemaError, match="kernel"):
+            parse_request({**_table2(), "options": {"kernel": "warp"}})
+
+    def test_options_bad_workers_rejected(self):
+        with pytest.raises(SchemaError, match="workers"):
+            parse_request({**_table2(), "options": {"workers": 0}})
+
+    def test_invalid_tenant_rejected(self):
+        with pytest.raises(SchemaError, match="tenant"):
+            parse_request({**_table2(), "tenant": "../escape"})
+
+    def test_default_tenant_applies_when_absent(self):
+        request = parse_request(_table2(), default_tenant="team-a")
+        assert request.tenant == "team-a"
+        explicit = parse_request({**_table2(), "tenant": "team-b"}, "team-a")
+        assert explicit.tenant == "team-b"
+
+
+class TestFingerprint:
+    def test_execution_knobs_do_not_change_the_fingerprint(self):
+        base = parse_request(_table2()).fingerprint()
+        tuned = parse_request(
+            {
+                **_table2(),
+                "options": {"workers": 4, "kernel": "scalar", "backend": "bigint"},
+            }
+        ).fingerprint()
+        assert tuned == base  # bit-identical results => same work
+
+    def test_budget_changes_the_fingerprint(self):
+        base = parse_request(_table2()).fingerprint()
+        longer = parse_request(
+            {**_table2(), "budget": {"total_seconds": 60.0}}
+        ).fingerprint()
+        assert longer != base
+
+    def test_verify_changes_the_fingerprint(self):
+        base = parse_request(_table2()).fingerprint()
+        verified = parse_request(
+            {**_table2(), "options": {"verify": True}}
+        ).fingerprint()
+        assert verified != base
+
+    def test_equivalent_netlists_share_a_fingerprint(self):
+        bench = parse_request(
+            {"circuit": {"format": "bench", "source": BENCH_SOURCE, "name": "a"}}
+        ).fingerprint()
+        again = parse_request(
+            {
+                "circuit": {
+                    "format": "bench",
+                    "source": BENCH_SOURCE + "\n# trailing comment\n",
+                    "name": "b",
+                }
+            }
+        ).fingerprint()
+        assert bench == again  # digest identity, not text identity
+
+    def test_different_circuits_differ(self):
+        table2 = parse_request(_table2()).fingerprint()
+        bench = parse_request(
+            {"circuit": {"format": "bench", "source": BENCH_SOURCE}}
+        ).fingerprint()
+        assert table2 != bench

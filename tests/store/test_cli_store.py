@@ -10,7 +10,7 @@ from repro.store.core import default_store
 
 class TestStoreSubcommand:
     def test_stats_reports_empty_store(self, capsys):
-        assert main(["store", "stats"]) == 0
+        assert main(["store", "stats", "--json"]) == 0
         summary = json.loads(capsys.readouterr().out)
         assert summary["artifacts"] == 0
         assert summary["root"] == default_store().root
@@ -18,7 +18,7 @@ class TestStoreSubcommand:
     def test_stats_counts_after_a_run(self, capsys):
         assert main(["atpg", "dk16", "ji", "sd", "3"]) == 0
         capsys.readouterr()
-        assert main(["store", "stats"]) == 0
+        assert main(["store", "stats", "--json"]) == 0
         summary = json.loads(capsys.readouterr().out)
         assert summary["artifacts"] > 0
         assert "faults" in summary["by_kind"]
@@ -37,7 +37,7 @@ class TestStoreSubcommand:
         capsys.readouterr()
         assert main(["store", "clear"]) == 0
         assert "removed" in capsys.readouterr().out
-        assert main(["store", "stats"]) == 0
+        assert main(["store", "stats", "--json"]) == 0
         assert json.loads(capsys.readouterr().out)["artifacts"] == 0
 
     def test_disabled_store_reports_failure(self, capsys, monkeypatch):
@@ -123,7 +123,7 @@ class TestRunFlags:
     def test_no_store_atpg_writes_nothing(self, capsys):
         assert main(["atpg", "--no-store", "dk16", "ji", "sd", "3"]) == 0
         capsys.readouterr()
-        assert main(["store", "stats"]) == 0
+        assert main(["store", "stats", "--json"]) == 0
         assert json.loads(capsys.readouterr().out)["artifacts"] == 0
 
     def test_warm_atpg_reprints_identical_testset(self, capsys):
@@ -147,3 +147,33 @@ class TestSpecLookup:
         err = capsys.readouterr().err
         assert "not a Table II circuit" in err
         assert "dk16.ji.sd" in err
+
+
+class TestStatsTableAndServeUsage:
+    def test_stats_renders_table_by_default(self, capsys):
+        assert main(["store", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "store root:" in out
+        assert "session" in out and "lifetime" in out
+        assert "evictions" in out
+
+    def test_stats_table_shows_shards_and_tenants(self, capsys):
+        store = default_store()
+        store.put("demo", store.key("x"), {"v": 1})
+        assert main(["store", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "shard" in out and "tenant" in out
+        assert "shared" in out  # the no-namespace tenant row
+
+    def test_gc_accepts_tenant_max_bytes(self, capsys):
+        assert main(["store", "gc", "--tenant-max-bytes", "1024"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["tenant_max_bytes"] == 1024
+
+    def test_serve_rejects_unknown_option(self, capsys):
+        assert main(["serve", "--frobnicate"]) == 2
+        assert "unknown serve option" in capsys.readouterr().err
+
+    def test_serve_rejects_dangling_value_option(self, capsys):
+        assert main(["serve", "--port"]) == 2
+        assert "needs a valid value" in capsys.readouterr().err

@@ -3,6 +3,7 @@
 import json
 import multiprocessing
 import os
+import time
 
 import pytest
 
@@ -116,11 +117,20 @@ class TestGc:
         assert store.get("testset", key) == {"v": 1}
 
     def test_gc_removes_stale_tmp_files(self, store):
+        from repro.store.core import TMP_STALE_SECONDS
+
         key = store.key("demo")
         store.put("testset", key, {"v": 1})
         droppings = os.path.join(os.path.dirname(store.path_for("testset", key)))
-        with open(os.path.join(droppings, "dead-writer.tmp"), "w") as handle:
+        dead = os.path.join(droppings, "dead-writer.tmp")
+        with open(dead, "w") as handle:
             handle.write("partial")
+        # A fresh tempfile belongs to a live writer mid-replace: kept.
+        report = store.gc(max_bytes=10**9)
+        assert report["removed_tmp"] == 0
+        # Old droppings from a crashed writer: swept.
+        stale = time.time() - TMP_STALE_SECONDS - 60
+        os.utime(dead, (stale, stale))
         report = store.gc(max_bytes=10**9)
         assert report["removed_tmp"] == 1
 

@@ -1,0 +1,118 @@
+"""Two-process regression test for the GC / journal-pin race.
+
+The historical bug: GC scanned journal pins *once* up front, then evicted.
+A run that read an artifact and journalled its pin after that scan -- but
+before the unlink -- lost the artifact even though its journal referenced
+it.  The fix makes eviction re-read the pins *inside the shard lock*, and
+makes ``get``/``put`` record the pin inside the same lock, so the pin
+either lands before the in-lock re-read (honoured) or after the unlink (a
+plain miss, recompute).
+
+This test reproduces the dangerous interleaving deterministically with a
+real second process: the parent holds the artifact's shard lock, starts a
+GC subprocess that must block on that lock, writes the journal pin while
+the GC is in flight, then releases.  A pre-fix GC (pins scanned before the
+lock) would evict; the fixed GC must not.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from repro.store.core import ArtifactStore
+from repro.store.journal import RunJournal
+from repro.store.locks import shard_lock, shard_of
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+_GC_SCRIPT = """
+import json, sys
+sys.path.insert(0, sys.argv[1])
+from repro.store.core import ArtifactStore
+store = ArtifactStore(root=sys.argv[2])
+report = store.gc(max_bytes=0)
+print(json.dumps(report))
+"""
+
+
+def _run_gc_subprocess(root):
+    return subprocess.Popen(
+        [sys.executable, "-c", _GC_SCRIPT, os.path.abspath(SRC), root],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def test_pin_landing_during_gc_is_honoured(tmp_path):
+    """A pin journalled while GC is blocked on the shard lock must win."""
+    root = str(tmp_path / "store")
+    store = ArtifactStore(root=root)
+    key = store.key("race", "artifact")
+    rel = store.put("race", key, {"value": 42})
+    shard = shard_of(key)
+
+    lock = shard_lock(root, shard)
+    lock.acquire()
+    try:
+        gc_process = _run_gc_subprocess(root)
+        # Give the GC real time to scan the tree and block on our lock.
+        time.sleep(0.5)
+        assert gc_process.poll() is None, "GC finished without taking the lock"
+        # The race window: the artifact is on the GC's eviction list, the
+        # pin does not exist yet.  Journal it now, mid-GC.
+        journal = RunJournal.create(store.journal_dir, "race")
+        journal.artifact_ref(rel)
+        journal.close(ok=True)
+    finally:
+        lock.release()
+
+    stdout, stderr = gc_process.communicate(timeout=60)
+    assert gc_process.returncode == 0, stderr
+    report = json.loads(stdout)
+    assert report["evicted"] == 0
+    assert report["skipped_pinned"] >= 1
+    # The artifact survived and still reads back intact.
+    assert store.get("race", key) == {"value": 42}
+
+
+def test_unpinned_artifact_is_evicted_under_same_interleaving(tmp_path):
+    """Sanity for the test above: without the pin, eviction proceeds."""
+    root = str(tmp_path / "store")
+    store = ArtifactStore(root=root)
+    key = store.key("race", "victim")
+    store.put("race", key, {"value": 0})
+
+    lock = shard_lock(root, shard_of(key))
+    lock.acquire()
+    try:
+        gc_process = _run_gc_subprocess(root)
+        time.sleep(0.5)
+        assert gc_process.poll() is None
+    finally:
+        lock.release()
+
+    stdout, stderr = gc_process.communicate(timeout=60)
+    assert gc_process.returncode == 0, stderr
+    report = json.loads(stdout)
+    assert report["evicted"] == 1
+    assert store.get("race", key) is None
+
+
+def test_fresh_write_is_pinned_atomically(tmp_path):
+    """``put(pin=...)`` records the journal pin inside the shard lock, so a
+    GC that runs immediately afterwards can never treat the write as
+    garbage."""
+    root = str(tmp_path / "store")
+    store = ArtifactStore(root=root)
+    journal = RunJournal.create(store.journal_dir, "writer")
+    key = store.key("race", "fresh")
+    store.put("race", key, {"fresh": True}, pin=journal.artifact_ref)
+    journal.close(ok=True)
+
+    report = store.gc(max_bytes=0)
+    assert report["evicted"] == 0
+    assert report["skipped_pinned"] >= 1
+    assert store.get("race", key) == {"fresh": True}

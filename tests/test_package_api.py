@@ -19,6 +19,9 @@ MODULES = [
     "repro.atpg",
     "repro.core",
     "repro.papercircuits",
+    "repro.store",
+    "repro.pipeline",
+    "repro.service",
 ]
 
 
