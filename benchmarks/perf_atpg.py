@@ -17,6 +17,20 @@ scalar/dual deterministic-phase ratio; the kernel's effort counters
 adaptive selector (:func:`repro.atpg.engine.choose_engine`) would pick on
 this host, and why.
 
+On top of the unguided runs, each row measures the **guidance layer**
+(:mod:`repro.atpg.guidance`): a SCOAP-guided serial run, a SCOAP-guided
+process run (asserted bit-identical to the guided serial run -- the
+policy is deterministic, so the pool must not change the answer), and a
+learned-mode run whose predictor is self-trained from the unguided run's
+own per-fault effort rows.  The guided comparison metric is the
+**machine-independent deterministic-phase effort** -- backtracks plus
+frames simulated, summed over the per-fault effort rows -- and the
+summary records its geomean guided/unguided ratio per mode
+(``geomean_effort_ratio_scoap`` / ``_learned``), which the perf guard
+re-derives and bounds on every CI leg, numpy or not.  Guided runs must
+also never detect fewer faults than the unguided run on any row
+(``guided_coverage_not_worse``).
+
 Run from the repository root::
 
     PYTHONPATH=src python -m benchmarks.perf_atpg --quick --workers 2
@@ -44,13 +58,23 @@ import statistics
 import time
 from typing import Dict, List, Optional, Sequence
 
-from repro.atpg import AtpgBudget, run_atpg
+from repro.atpg import AtpgBudget, policy_from_effort_rows, run_atpg
 from repro.atpg.engine import choose_engine
 from repro.core.experiments import TABLE2_CIRCUITS, build_pair
 from repro.faults.collapse import collapse_faults
 from repro.simulation import clear_compile_cache
 
 QUICK_NAMES = ("dk16.ji.sd", "s510.jo.sr", "s820.jo.sd")
+
+
+def det_effort(result) -> int:
+    """Deterministic-phase effort: backtracks + frames simulated, summed
+    over the run's per-fault effort rows.  Pure search-work counters, so
+    the number is identical on any machine/backend for a given seed
+    whenever the wall-clock caps do not bind."""
+    return sum(
+        row.backtracks + row.frames_simulated for row in result.fault_rows
+    )
 
 
 def _specs(full: bool):
@@ -111,6 +135,45 @@ def bench_circuit(
     det_serial = max(serial.deterministic_seconds, 1e-9)
     det_pooled = max(pooled.deterministic_seconds, 1e-9)
     engine_selected, engine_reason = choose_engine(len(faults), workers)
+
+    # Guided series: SCOAP serial, SCOAP pooled (parity check), learned
+    # self-trained from the unguided run's own effort telemetry.
+    scoap_serial = run_atpg(
+        circuit,
+        faults=faults,
+        budget=budget,
+        engine="serial",
+        kernel="dual",
+        guidance="scoap",
+    )
+    scoap_pooled = run_atpg(
+        circuit,
+        faults=faults,
+        budget=budget,
+        engine="process",
+        workers=workers,
+        guidance="scoap",
+    )
+    learned = run_atpg(
+        circuit,
+        faults=faults,
+        budget=budget,
+        engine="serial",
+        kernel="dual",
+        guidance=policy_from_effort_rows(circuit, serial.fault_rows),
+    )
+    guided_parity = (
+        scoap_serial.detected == scoap_pooled.detected
+        and scoap_serial.aborted == scoap_pooled.aborted
+        and scoap_serial.test_set.as_lists() == scoap_pooled.test_set.as_lists()
+    )
+    effort_off = max(det_effort(serial), 1)
+    effort_scoap = det_effort(scoap_serial)
+    effort_learned = det_effort(learned)
+    guided_coverage_ok = (
+        len(scoap_serial.detected) >= len(serial.detected)
+        and len(learned.detected) >= len(serial.detected)
+    )
     return {
         "circuit": name,
         "num_gates": circuit.num_gates(),
@@ -136,6 +199,16 @@ def bench_circuit(
         "engine_reason": engine_reason,
         "engines_agree": agree and sequences_identical,
         "sequences_identical": sequences_identical,
+        "det_effort_off": effort_off,
+        "det_effort_scoap": effort_scoap,
+        "det_effort_learned": effort_learned,
+        "effort_ratio_scoap": round(effort_scoap / effort_off, 3),
+        "effort_ratio_learned": round(effort_learned / effort_off, 3),
+        "fault_coverage_scoap": round(scoap_serial.fault_coverage, 2),
+        "fault_coverage_learned": round(learned.fault_coverage, 2),
+        "objective_choices_scoap": scoap_serial.objective_choices,
+        "guided_parity": guided_parity,
+        "guided_coverage_ok": guided_coverage_ok,
     }
 
 
@@ -162,9 +235,24 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
                 f"({row['det_speedup']}x), agree={row['engines_agree']}",
                 flush=True,
             )
+            print(
+                f"    guided effort {row['det_effort_off']} -> "
+                f"scoap {row['det_effort_scoap']} "
+                f"({row['effort_ratio_scoap']}), "
+                f"learned {row['det_effort_learned']} "
+                f"({row['effort_ratio_learned']}), "
+                f"parity={row['guided_parity']}",
+                flush=True,
+            )
     speedups = [row["det_speedup"] for row in rows]
     kernel_speedups = [row["kernel_speedup"] for row in rows]
     geomean_kernel = statistics.geometric_mean(kernel_speedups)
+    geomean_scoap = statistics.geometric_mean(
+        [row["effort_ratio_scoap"] for row in rows]
+    )
+    geomean_learned = statistics.geometric_mean(
+        [row["effort_ratio_learned"] for row in rows]
+    )
     report = {
         "meta": {
             "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -193,6 +281,12 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
             "all_engines_agree": all(row["engines_agree"] for row in rows),
             "all_sequences_identical": all(
                 row["sequences_identical"] for row in rows
+            ),
+            "geomean_effort_ratio_scoap": round(geomean_scoap, 3),
+            "geomean_effort_ratio_learned": round(geomean_learned, 3),
+            "all_guided_parity": all(row["guided_parity"] for row in rows),
+            "guided_coverage_not_worse": all(
+                row["guided_coverage_ok"] for row in rows
             ),
         },
     }
@@ -278,6 +372,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"max {summary['max_det_speedup']}x"
     )
     print(f"engines agree: {summary['all_engines_agree']}")
+    print(
+        f"guided effort ratio (guided/unguided, lower is better): "
+        f"scoap {summary['geomean_effort_ratio_scoap']} / "
+        f"learned {summary['geomean_effort_ratio_learned']}"
+    )
+    print(
+        f"guided parity: {summary['all_guided_parity']}, "
+        f"coverage not worse: {summary['guided_coverage_not_worse']}"
+    )
     print(f"wrote {args.output}")
     return 0
 

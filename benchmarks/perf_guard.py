@@ -28,6 +28,15 @@ against ``--faultsim-min-ratio`` (default 0.5) -- a regression in one
 backend cannot hide behind the other's headroom.  The run also
 cross-checks that both backends still detect the identical fault set.
 
+With ``--guidance-baseline BENCH_atpg.json`` it re-runs the quick-set
+deterministic phase twice -- unguided and SCOAP-guided -- under the
+baseline's recorded budget and fails when the geomean guided/unguided
+*effort* ratio (backtracks + frames simulated, lower is better) exceeds
+``--guidance-max-ratio`` (default 0.85).  Effort counters are
+machine-independent, so unlike the throughput guard this check runs
+identically on any runner, including the no-numpy CI leg; pair it with
+``--skip-throughput`` there.
+
 Run from the repository root::
 
     PYTHONPATH=src python -m benchmarks.perf_guard --baseline BENCH_atpg.json \
@@ -133,6 +142,98 @@ def run_guard(baseline_path: str, min_ratio: float) -> int:
         )
         return 1
     print("perf guard passed")
+    return 0
+
+
+def run_guidance_guard(baseline_path: str, max_ratio: float) -> int:
+    """Guard the SCOAP guidance layer: guided deterministic effort must
+    stay well below unguided effort on the quick set.
+
+    Both runs happen fresh on this machine under the baseline's recorded
+    budget, so the ratio is a pure algorithmic comparison -- backtracks
+    plus frames simulated, no wall-clock anywhere.  ``max_ratio`` is
+    deliberately looser than the geomean recorded in the committed
+    baseline: the guard catches "guidance stopped helping", not ordinary
+    row-to-row drift from fault-list or budget tweaks.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    clear_compile_cache()
+    budget = _baseline_budget(baseline["meta"])
+    max_faults = int(baseline["meta"].get("max_faults_per_circuit", 0))
+    known = {row["circuit"] for row in baseline["circuits"]}
+    names = [
+        name
+        for base in QUICK_NAMES
+        for name in (base, base + ".re")
+        if name in known
+    ]
+    if not names:
+        print(
+            "baseline has no quick-set rows; regenerate it with "
+            "benchmarks.perf_atpg",
+            file=sys.stderr,
+        )
+        return 2
+    ratios = []
+    for name in names:
+        spec_name = name[:-3] if name.endswith(".re") else name
+        spec = next(s for s in TABLE2_CIRCUITS if s.name == spec_name)
+        pair = build_pair(spec)
+        circuit = pair.retimed if name.endswith(".re") else pair.original
+        faults = collapse_faults(circuit).representatives
+        if max_faults and len(faults) > max_faults:
+            faults = faults[:max_faults]
+        results = {}
+        for mode in ("off", "scoap"):
+            result = run_atpg(
+                circuit,
+                faults=faults,
+                budget=budget,
+                engine="serial",
+                kernel="dual",
+                guidance=mode,
+            )
+            results[mode] = result
+        effort_off = max(
+            sum(
+                row.backtracks + row.frames_simulated
+                for row in results["off"].fault_rows
+            ),
+            1,
+        )
+        effort_scoap = sum(
+            row.backtracks + row.frames_simulated
+            for row in results["scoap"].fault_rows
+        )
+        if results["scoap"].detected < results["off"].detected:
+            print(
+                f"FAIL: {name}: scoap guidance lost coverage "
+                f"({results['scoap'].detected} vs "
+                f"{results['off'].detected} detected)",
+                file=sys.stderr,
+            )
+            return 1
+        ratio = effort_scoap / effort_off
+        ratios.append(ratio)
+        print(
+            f"  {name}: unguided effort {effort_off}, "
+            f"scoap {effort_scoap} (ratio {ratio:.2f})",
+            flush=True,
+        )
+    geomean = statistics.geometric_mean(ratios)
+    print(
+        f"geomean guided/unguided effort ratio: {geomean:.2f} "
+        f"(max allowed {max_ratio})"
+    )
+    if geomean > max_ratio:
+        print(
+            f"FAIL: SCOAP guidance no longer cuts deterministic effort "
+            f"below {max_ratio:.0%} of unguided on the quick set",
+            file=sys.stderr,
+        )
+        return 1
+    print("guidance guard passed")
     return 0
 
 
@@ -337,6 +438,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(default: %(default)s, i.e. fail on a >30%% regression)",
     )
     parser.add_argument(
+        "--skip-throughput",
+        action="store_true",
+        help="skip the machine-dependent frames/sec guard (use on runners "
+        "that are not comparable to the baseline generator, e.g. the "
+        "no-numpy CI leg running only the guidance guard)",
+    )
+    parser.add_argument(
+        "--guidance-baseline",
+        default=None,
+        help="ATPG baseline (BENCH_atpg.json) whose budget parameterises "
+        "the machine-independent guided-vs-unguided effort guard",
+    )
+    parser.add_argument(
+        "--guidance-max-ratio",
+        type=float,
+        default=0.85,
+        help="maximum allowed guided/unguided deterministic-effort geomean "
+        "(default: %(default)s; the committed baseline records ~0.73)",
+    )
+    parser.add_argument(
         "--equiv-baseline",
         default=None,
         help="equivalence-engine baseline (BENCH_equiv.json) to also guard",
@@ -362,7 +483,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "backend (default: %(default)s, i.e. fail on a >2x slowdown)",
     )
     args = parser.parse_args(argv)
-    status = run_guard(args.baseline, args.min_ratio)
+    status = 0
+    if not args.skip_throughput:
+        status = run_guard(args.baseline, args.min_ratio)
+    if args.guidance_baseline is not None:
+        guidance_status = run_guidance_guard(
+            args.guidance_baseline, args.guidance_max_ratio
+        )
+        status = status or guidance_status
     if args.equiv_baseline is not None:
         equiv_status = run_equiv_guard(args.equiv_baseline, args.equiv_min_ratio)
         status = status or equiv_status

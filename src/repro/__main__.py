@@ -48,7 +48,12 @@ journal each run under its ``journals/`` directory.  Flags:
 * ``--backend auto|bigint|numpy`` — select the word implementation of the
   bit-parallel kernels (``auto``, the default, uses numpy for wide fault
   groups when installed and bigints otherwise; all backends are
-  bit-identical, so this too is purely a speed knob).
+  bit-identical, so this too is purely a speed knob);
+* ``--guidance off|scoap|learned|auto`` — SCOAP testability ranking and
+  the trained meta-predictor for ATPG fault ordering, pool partitioning
+  and backtrace objectives (``off``, the default, is bit-identical to
+  the unguided engine; guided modes may emit a *different but equally
+  valid* test set faster — see :mod:`repro.atpg.guidance`).
 """
 
 from __future__ import annotations
@@ -93,6 +98,7 @@ def _pop_flags(rest):
         "workers": None,
         "kernel": "dual",
         "backend": "auto",
+        "guidance": "off",
         "engine": None,
         "retimed": False,
         "max_length": None,
@@ -127,6 +133,18 @@ def _pop_flags(rest):
             if index >= len(rest):
                 raise ValueError("--backend needs a name (auto, bigint or numpy)")
             options["backend"] = rest[index]
+        elif argument == "--guidance":
+            index += 1
+            if index >= len(rest) or rest[index] not in (
+                "off",
+                "scoap",
+                "learned",
+                "auto",
+            ):
+                raise ValueError(
+                    "--guidance needs a mode (off, scoap, learned or auto)"
+                )
+            options["guidance"] = rest[index]
         elif argument == "--engine":
             index += 1
             if index >= len(rest):
@@ -489,6 +507,7 @@ def main(argv=None) -> int:
                 workers=options["workers"],
                 kernel=options["kernel"],
                 backend=options["backend"],
+                guidance=options["guidance"],
                 resume=options["resume"],
             )
             try:
@@ -517,6 +536,7 @@ def main(argv=None) -> int:
                 workers=options["workers"],
                 kernel=options["kernel"],
                 backend=options["backend"],
+                guidance=options["guidance"],
                 resume=options["resume"],
                 verify=options["verify"],
                 stg_engine=options["stg_engine"] or "auto",

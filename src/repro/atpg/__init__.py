@@ -5,14 +5,31 @@ deterministic PODEM over time-frame expansion with backtrack/time budgets.
 The deterministic phase runs in-process (``engine="serial"``) or across a
 pool of PODEM worker processes (``engine="process"``), with identical
 results for a given seed whenever the wall-clock budget is not binding.
+
+The ``guidance`` knob (``"off"``/``"scoap"``/``"learned"``/``"auto"``,
+see :mod:`repro.atpg.guidance`) layers SCOAP testability ranking and an
+optional trained meta-predictor over the deterministic phase: fault
+ordering, pool partitioning and backtrace objective selection become
+cost-aware while ``"off"`` stays bit-identical to the unguided engine.
 """
 
-from repro.atpg.budget import AtpgBudget, EffortMeter
+from repro.atpg.budget import AtpgBudget, EffortMeter, FaultEffort
 from repro.atpg.engine import (
     ATPG_ENGINES,
     AtpgResult,
     run_atpg,
     structurally_untestable,
+)
+from repro.atpg.guidance import (
+    GUIDANCE_MODES,
+    GuidancePolicy,
+    MetaPredictor,
+    ScoapMeasures,
+    compute_scoap,
+    make_policy,
+    policy_from_effort_rows,
+    scoap_measures,
+    train_predictor,
 )
 from repro.atpg.parallel import FaultOutcome, default_workers, podem_partitioned
 from repro.atpg.podem import PodemEngine, PodemResult
@@ -20,9 +37,19 @@ from repro.atpg.podem import PodemEngine, PodemResult
 __all__ = [
     "AtpgBudget",
     "EffortMeter",
+    "FaultEffort",
     "run_atpg",
     "AtpgResult",
     "ATPG_ENGINES",
+    "GUIDANCE_MODES",
+    "GuidancePolicy",
+    "MetaPredictor",
+    "ScoapMeasures",
+    "compute_scoap",
+    "make_policy",
+    "policy_from_effort_rows",
+    "scoap_measures",
+    "train_predictor",
     "structurally_untestable",
     "PodemEngine",
     "PodemResult",

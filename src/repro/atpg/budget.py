@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,31 @@ class AtpgBudget:
 
 
 @dataclass
+class FaultEffort:
+    """Per-fault effort record: one row of the guidance training dataset.
+
+    ``fault_key`` is ``(edge_index, segment, stuck_value)`` -- the stable
+    identity every ranking sort ties on.  ``status`` is ``"det"``
+    (detected), ``"abort"`` (budget-aborted mid-search), ``"exhausted"``
+    (search space exhausted, untestable at this depth) or ``"budget"``
+    (never targeted: the shared wall clock expired first).  Counters are
+    the deltas of the owning :class:`EffortMeter` over the attempt, so a
+    budget-aborted fault still flushes its *partial* effort instead of
+    being dropped -- partial rows are exactly the hard-fault examples the
+    meta-predictor needs.
+    """
+
+    fault_key: Tuple[int, int, int]
+    status: str
+    seconds: float = 0.0
+    backtracks: int = 0
+    simulations: int = 0
+    frames_simulated: int = 0
+    lanes_evaluated: int = 0
+    objective_choices: int = 0
+
+
+@dataclass
 class EffortMeter:
     """Tracks spent effort against a budget.
 
@@ -60,6 +85,11 @@ class EffortMeter:
     ``budget.total_seconds`` -- a pool worker is handed the parent's
     *remaining* seconds as its cap, so a late-dispatched chunk cannot run
     the full budget again on its own clock.
+
+    Besides the run-wide counters the meter keeps per-fault
+    :class:`FaultEffort` rows: :meth:`begin_fault` snapshots the counters,
+    :meth:`end_fault` flushes the deltas.  The PODEM engine brackets every
+    attempt in ``try/finally``, so rows survive budget aborts.
     """
 
     budget: AtpgBudget
@@ -69,6 +99,9 @@ class EffortMeter:
     simulations: int = 0
     frames_simulated: int = 0
     lanes_evaluated: int = 0
+    objective_choices: int = 0
+    fault_rows: List[FaultEffort] = field(default_factory=list)
+    _fault_mark: Optional[Tuple[Tuple[int, int, int], float, int, int, int, int, int]] = None
 
     def _limit(self) -> float:
         if self.cap_seconds is None:
@@ -104,5 +137,54 @@ class EffortMeter:
         self.frames_simulated += frames
         self.lanes_evaluated += frames if lanes is None else lanes
 
+    def note_objective(self) -> None:
+        """Record one accepted backtrace objective (a PI assignment)."""
+        self.objective_choices += 1
 
-__all__ = ["AtpgBudget", "EffortMeter"]
+    @staticmethod
+    def fault_key(fault) -> Tuple[int, int, int]:
+        return (fault.line.edge_index, fault.line.segment, fault.value)
+
+    def begin_fault(self, fault) -> None:
+        """Snapshot the counters before one PODEM attempt."""
+        self._fault_mark = (
+            self.fault_key(fault),
+            time.perf_counter(),
+            self.backtracks,
+            self.simulations,
+            self.frames_simulated,
+            self.lanes_evaluated,
+            self.objective_choices,
+        )
+
+    def end_fault(self, status: str) -> None:
+        """Flush the attempt's counter deltas as a :class:`FaultEffort`.
+
+        Idempotent against a missing :meth:`begin_fault` (no mark, no
+        row), so callers can keep it in a ``finally`` block.
+        """
+        if self._fault_mark is None:
+            return
+        key, t0, bt, sim, frames, lanes, obj = self._fault_mark
+        self._fault_mark = None
+        self.fault_rows.append(
+            FaultEffort(
+                fault_key=key,
+                status=status,
+                seconds=time.perf_counter() - t0,
+                backtracks=self.backtracks - bt,
+                simulations=self.simulations - sim,
+                frames_simulated=self.frames_simulated - frames,
+                lanes_evaluated=self.lanes_evaluated - lanes,
+                objective_choices=self.objective_choices - obj,
+            )
+        )
+
+    def skip_fault(self, fault) -> None:
+        """Record a fault the wall clock expired before targeting."""
+        self.fault_rows.append(
+            FaultEffort(fault_key=self.fault_key(fault), status="budget")
+        )
+
+
+__all__ = ["AtpgBudget", "EffortMeter", "FaultEffort"]

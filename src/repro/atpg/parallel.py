@@ -72,6 +72,8 @@ class FaultOutcome:
     simulations: int = 0
     frames_simulated: int = 0
     lanes_evaluated: int = 0
+    seconds: float = 0.0
+    objective_choices: int = 0
 
 
 def default_workers() -> int:
@@ -97,9 +99,12 @@ def _worker_init(
     pool_seconds: float,
     kernel: str = "dual",
     backend: str = "auto",
+    guidance=None,
 ) -> None:
     warm_compile_cache(circuit)
-    _WORKER_STATE["engine"] = PodemEngine(circuit, kernel=kernel, backend=backend)
+    _WORKER_STATE["engine"] = PodemEngine(
+        circuit, kernel=kernel, backend=backend, guidance=guidance
+    )
     _WORKER_STATE["budget"] = budget
     # The parent's remaining wall-clock allowance, anchored to this
     # process's own monotonic clock the moment the worker starts.
@@ -128,6 +133,10 @@ def _worker_chunk(
             max_frames=max_frames,
             deadline=min(deadline, now + budget.seconds_per_fault),
         )
+        # generate() flushed exactly one effort row for this attempt; its
+        # timing/objective deltas ride home on the outcome so the parent
+        # can rebuild the per-fault training rows without a second channel.
+        row = meter.fault_rows[-1]
         outcomes.append(
             FaultOutcome(
                 result.detected,
@@ -137,9 +146,43 @@ def _worker_chunk(
                 simulations=meter.simulations,
                 frames_simulated=meter.frames_simulated,
                 lanes_evaluated=meter.lanes_evaluated,
+                seconds=row.seconds,
+                objective_choices=row.objective_choices,
             )
         )
     return outcomes
+
+
+def _partition_indices(
+    count: int, num_chunks: int, costs: Optional[Sequence[float]]
+) -> List[List[int]]:
+    """Fault indices per chunk.
+
+    Without costs: contiguous slices (the seed behavior, preserved
+    verbatim for the unguided path).  With costs: longest-processing-time
+    bin packing -- faults are assigned in descending predicted-cost order
+    to the least-loaded chunk, so one run of hard faults spreads across
+    the pool instead of serializing it behind one worker.  All ties break
+    on index, making the partition a pure function of the inputs.
+    """
+    if costs is None:
+        chunk_size = max(1, -(-count // num_chunks))
+        return [
+            list(range(start, min(start + chunk_size, count)))
+            for start in range(0, count, chunk_size)
+        ]
+    num_chunks = max(1, min(num_chunks, count))
+    bins: List[List[int]] = [[] for _ in range(num_chunks)]
+    loads = [0.0] * num_chunks
+    for index in sorted(range(count), key=lambda i: (-costs[i], i)):
+        target = min(range(num_chunks), key=lambda b: (loads[b], b))
+        bins[target].append(index)
+        loads[target] += costs[index]
+    # Within a chunk the worker processes faults in queue order, keeping
+    # per-fault deadlines aligned with the parent's in-order consumption.
+    for chunk in bins:
+        chunk.sort()
+    return [chunk for chunk in bins if chunk]
 
 
 def iter_podem_partitioned(
@@ -151,6 +194,8 @@ def iter_podem_partitioned(
     pool_seconds: float,
     kernel: str = "dual",
     backend: str = "auto",
+    guidance=None,
+    costs: Optional[Sequence[float]] = None,
 ) -> Iterator[Tuple[StuckAtFault, FaultOutcome]]:
     """PODEM every fault on a ``workers``-wide process pool, **streaming**.
 
@@ -163,28 +208,41 @@ def iter_podem_partitioned(
     ``as_completed`` collector would have had to wait for anyway before
     returning.  ``pool_seconds`` is the shared wall-clock allowance for the
     whole pool (the parent meter's remaining budget).
+
+    ``guidance`` (a :class:`~repro.atpg.guidance.GuidancePolicy`) ships to
+    every worker's engine; ``costs`` (per-fault predicted effort, aligned
+    with ``faults``) switches the partition from contiguous index chunks
+    to predicted-cost load balancing -- the yield order is unaffected.
     """
     if not faults:
         return
     workers = max(1, workers)
-    chunk_size = max(1, -(-len(faults) // (workers * CHUNKS_PER_WORKER)))
-    chunks = [
-        list(faults[index : index + chunk_size])
-        for index in range(0, len(faults), chunk_size)
-    ]
+    index_chunks = _partition_indices(
+        len(faults), workers * CHUNKS_PER_WORKER, costs
+    )
+    chunks = [[faults[i] for i in chunk] for chunk in index_chunks]
+    # Where each fault landed, so balanced (non-contiguous) partitions can
+    # still be drained strictly in input order.
+    placement: Dict[int, Tuple[int, int]] = {}
+    for chunk_id, chunk in enumerate(index_chunks):
+        for position, index in enumerate(chunk):
+            placement[index] = (chunk_id, position)
     context = multiprocessing.get_context(_start_method())
     with ProcessPoolExecutor(
         max_workers=min(workers, len(chunks)),
         mp_context=context,
         initializer=_worker_init,
-        initargs=(circuit, budget, pool_seconds, kernel, backend),
+        initargs=(circuit, budget, pool_seconds, kernel, backend, guidance),
     ) as pool:
         futures = [
             pool.submit(_worker_chunk, (chunk, max_frames)) for chunk in chunks
         ]
-        for chunk, future in zip(chunks, futures):
-            for fault, outcome in zip(chunk, future.result()):
-                yield fault, outcome
+        results: List[Optional[List[FaultOutcome]]] = [None] * len(chunks)
+        for index in range(len(faults)):
+            chunk_id, position = placement[index]
+            if results[chunk_id] is None:
+                results[chunk_id] = futures[chunk_id].result()
+            yield faults[index], results[chunk_id][position]
 
 
 def podem_partitioned(
@@ -196,6 +254,8 @@ def podem_partitioned(
     pool_seconds: float,
     kernel: str = "dual",
     backend: str = "auto",
+    guidance=None,
+    costs: Optional[Sequence[float]] = None,
 ) -> List[FaultOutcome]:
     """PODEM every fault on a ``workers``-wide process pool.
 
@@ -207,7 +267,16 @@ def podem_partitioned(
     return [
         outcome
         for _fault, outcome in iter_podem_partitioned(
-            circuit, faults, budget, max_frames, workers, pool_seconds, kernel, backend
+            circuit,
+            faults,
+            budget,
+            max_frames,
+            workers,
+            pool_seconds,
+            kernel,
+            backend,
+            guidance=guidance,
+            costs=costs,
         )
     ]
 

@@ -534,9 +534,25 @@ class PodemEngine:
     ``kernel`` selects the resimulation machinery: ``"dual"`` (default)
     for the packed dual-machine kernel, ``"scalar"`` for the baseline
     per-fault scalar steppers.  Both produce bit-identical results.
+
+    ``guidance`` optionally supplies a
+    :class:`~repro.atpg.guidance.GuidancePolicy` whose value-aware
+    controllability/observability tables replace the built-in structural
+    heuristics for D-frontier and objective-candidate ranking, and whose
+    exact register-distance fixpoints frame-gate the search (escalation
+    levels, excitation frames and frontier entries provably infeasible
+    within the window are skipped).  With ``guidance=None`` every choice
+    -- walk order, cost tables, tie-breaking -- is exactly the unguided
+    engine's.
     """
 
-    def __init__(self, circuit: Circuit, kernel: str = "dual", backend: str = "auto"):
+    def __init__(
+        self,
+        circuit: Circuit,
+        kernel: str = "dual",
+        backend: str = "auto",
+        guidance=None,
+    ):
         if kernel not in PODEM_KERNELS:
             raise ValueError(
                 f"unknown kernel {kernel!r}; expected one of {PODEM_KERNELS}"
@@ -580,6 +596,26 @@ class PodemEngine:
         self._depth = self._static_depths()
         self._control_cost = self._static_controllability()
         self._bt_table = self._compile_backtrace_table()
+        self.guidance = guidance
+        self._g_observe = guidance.observe if guidance is not None else None
+        self._g_obs_regs = (
+            self._compile_obs_regs(guidance) if guidance is not None else None
+        )
+
+    def _compile_obs_regs(self, guidance) -> Dict[str, int]:
+        """Minimum register crossings from each node's output to a primary
+        output, folded from the policy's exact per-edge ``pin_regs``
+        distances.  Used to frame-gate D-frontier entries: an effect at a
+        gate's output at frame ``f`` is observed no earlier than frame
+        ``f + obs_regs[gate]``."""
+        big = 10 ** 6
+        obs: Dict[str, int] = {}
+        pin_regs = guidance.scoap.pin_regs
+        for edge in self.circuit.edges:
+            pulled = edge.weight + pin_regs.get(edge.index, big)
+            if pulled < obs.get(edge.source, big):
+                obs[edge.source] = pulled
+        return obs
 
     def _compile_backtrace_table(self) -> Dict[str, Tuple]:
         """Per-node dispatch records for the backtrace hot loop.
@@ -692,7 +728,35 @@ class PodemEngine:
 
         ``deadline`` (a ``time.perf_counter`` timestamp) caps the effort
         spent on this single fault, on top of the global budget.
+
+        Every attempt is bracketed by the meter's ``begin_fault`` /
+        ``end_fault`` in ``try/finally``, so the per-fault effort row is
+        flushed on *every* exit path -- a budget-aborted fault records its
+        partial counters instead of vanishing from the training data.
         """
+        meter.begin_fault(fault)
+        result: Optional[PodemResult] = None
+        try:
+            result = self._generate(fault, meter, max_frames, deadline)
+            return result
+        finally:
+            if result is None:
+                status = "abort"  # exception path: flush partial effort
+            elif result.detected:
+                status = "det"
+            elif result.aborted:
+                status = "abort"
+            else:
+                status = "exhausted"
+            meter.end_fault(status)
+
+    def _generate(
+        self,
+        fault: StuckAtFault,
+        meter: EffortMeter,
+        max_frames: Optional[int],
+        deadline: Optional[float],
+    ) -> PodemResult:
         import time as _time
 
         limit = max_frames or meter.budget.max_frames
@@ -723,6 +787,29 @@ class PodemEngine:
             levels.append(frames)
             frames *= 2
         levels.append(limit)
+        if self.guidance is not None:
+            # Sequential-depth pruning.  ``min_frames`` is a sound lower
+            # bound on the window any test for this fault needs (with an
+            # all-X initial state no signal crosses k registers in fewer
+            # than k frames), so a bound beyond ``limit`` means no test
+            # exists in the window at all -- report that as exhausted,
+            # not aborted, without simulating a single frame.  For the
+            # rest the guided engine drops the ladder entirely and
+            # searches the full window once: the ladder exists to find
+            # short tests cheaply, but the faults that reach the
+            # deterministic phase survived the random walks precisely
+            # because they need deep windows, so intermediate rungs
+            # mostly burn a fresh backtrack budget each proving what the
+            # final rung re-proves anyway.  (Measured on the Table II
+            # set: the single-rung ladder beats both the full geometric
+            # ladder and a probe-then-limit two-rung variant on every
+            # circuit.)
+            bound = self.guidance.scoap.min_frames.get(
+                fault.line.edge_index, 1
+            )
+            if bound > limit:
+                return PodemResult(False, None, 0, False, limit)
+            levels = [limit]
         aborted_any = False
         for frames in levels:
             if meter.out_of_time() or (
@@ -808,6 +895,7 @@ class PodemEngine:
                     return None, backtracks, False  # search space exhausted
                 continue
             frame, pi, value = assignment
+            meter.note_objective()
             inputs[frame][pi] = value
             decisions.append((frame, pi, value, False))
             machine.resim_decision(frame, pi, value)
@@ -854,14 +942,63 @@ class PodemEngine:
             desired = t_not(fault.value)
             slot = self.compiled.slot_of[edge.source]
             latest = frames - 1 - (fault.line.segment - 1)
-            for target_frame in range(0, latest + 1):
+            earliest = 0
+            if self.guidance is not None:
+                # Frame-gate the excitation window with the exact register
+                # distances behind ``min_frames``: the driver is provably X
+                # before frame ``known[source]``, and an effect excited at
+                # frame f still needs the edge's own registers plus the
+                # cheapest register path from the sink pin to an output
+                # inside the window -- candidates outside [earliest,
+                # latest] cannot be part of any test, only of wasted
+                # decisions.
+                scoap = self.guidance.scoap
+                earliest = min(scoap.known.get(edge.source, 0), frames)
+                latest = min(
+                    latest,
+                    frames
+                    - 1
+                    - edge.weight
+                    - scoap.pin_regs.get(edge.index, 0),
+                )
+            for target_frame in range(earliest, latest + 1):
                 if machine.good_value(target_frame, slot) == X:
                     candidates.append((edge.source, desired, target_frame))
             return candidates
         # Propagation: D-frontier gates closest to an output first; within
         # a gate, the cheapest-to-control unknown side inputs first.
+        # Guided, the frontier ranks by the policy's observability and the
+        # side inputs by value-aware controllability, both with explicit
+        # (score, name, frame) tie-breaks so guided runs reproduce across
+        # processes and Python versions.
         frontier = self._d_frontier(fault, machine, excited)
-        frontier.sort(key=lambda item: self._depth.get(item[0], 999))
+        guided = self.guidance is not None
+        if guided:
+            # Frame-gate the frontier: a difference at ``gate`` in frame
+            # ``f`` still needs ``obs_regs[gate]`` register crossings to
+            # reach an output, so entries with ``f + obs_regs`` past the
+            # window cannot be observed -- propagating through them is
+            # provably wasted work.
+            obs_regs = self._g_obs_regs
+            horizon = frames - 1
+            frontier = [
+                item
+                for item in frontier
+                if item[1] + obs_regs.get(item[0], 0) <= horizon
+            ]
+        if guided:
+            observe = self._g_observe
+            depth = self._depth
+            frontier.sort(
+                key=lambda item: (
+                    observe.get(item[0], float("inf")),
+                    depth.get(item[0], 999),
+                    item[0],
+                    item[1],
+                )
+            )
+        else:
+            frontier.sort(key=lambda item: self._depth.get(item[0], 999))
         slot_of = self._slot_of
         for gate_name, frame in frontier:
             node = self._nodes[gate_name]
@@ -869,6 +1006,12 @@ class PodemEngine:
             non_controlling = (
                 t_not(controlling) if controlling is not None else ONE
             )
+            if guided:
+                side_cost = (
+                    self.guidance.cost1
+                    if non_controlling == ONE
+                    else self.guidance.cost0
+                )
             gate_candidates = []
             for edge in self._in_edges_of[gate_name]:
                 located = self._line_source(
@@ -880,11 +1023,12 @@ class PodemEngine:
                 value = machine.good_value(source_frame, slot_of[source])
                 if value != X:
                     continue
+                if guided:
+                    cost = (side_cost.get(source, float("inf")), source, source_frame)
+                else:
+                    cost = self._control_cost.get(source, 10 ** 6)
                 gate_candidates.append(
-                    (
-                        self._control_cost.get(source, 10 ** 6),
-                        (source, non_controlling, source_frame),
-                    )
+                    (cost, (source, non_controlling, source_frame))
                 )
             gate_candidates.sort(key=lambda item: item[0])
             candidates.extend(objective for _, objective in gate_candidates)
@@ -947,7 +1091,13 @@ class PodemEngine:
         Runs entirely on the precompiled dispatch table (see
         :meth:`_compile_backtrace_table`); the walk order, the cost
         tie-breaking and therefore the chosen assignment are identical to
-        a direct walk over the circuit structures.
+        a direct walk over the circuit structures.  Guided runs use the
+        same walk: guidance steers *which* objectives are tried and in
+        what order (:meth:`_objective_candidates`), not how one objective
+        maps to a primary input -- a value-aware walk variant was
+        measured to win on some circuits and lose as much on others,
+        while the shared walk keeps guided effort uniformly below
+        unguided.
         """
         node_name, value, frame = objective
         table = self._bt_table
@@ -998,6 +1148,5 @@ class PodemEngine:
             else:
                 return None  # constant: unreachable
         return None
-
 
 __all__ = ["PODEM_KERNELS", "PodemEngine", "PodemResult"]

@@ -52,6 +52,7 @@ class FlowCancelled(RuntimeError):
 
 from repro.atpg.budget import AtpgBudget
 from repro.atpg.engine import AtpgResult, run_atpg
+from repro.atpg.guidance import GUIDANCE_MODES, log_training_rows, make_policy
 from repro.circuit.digest import circuit_digest, structural_identity
 from repro.circuit.netlist import Circuit
 from repro.core.flow import FlowResult
@@ -120,6 +121,15 @@ class FlowPipeline:
             :mod:`repro.simulation.backends`), forwarded to ATPG and fault
             simulation.  Results are bit-identical across backends, so
             stage memoization keys deliberately ignore it.
+        guidance: ATPG search guidance (``"off"``/``"scoap"``/
+            ``"learned"``/``"auto"``, see :mod:`repro.atpg.guidance`).
+            Unlike ``backend``, guided runs may emit a *different (equally
+            valid) test set*, so the ATPG stage key includes the
+            **resolved** mode (``auto`` becomes whichever tier actually
+            ran) -- guided and unguided results never alias.  Every
+            store-backed ATPG stage, guided or not, also folds its
+            per-fault effort telemetry into the store's shared
+            ``guidance-data`` training dataset.
         resume: let the ATPG stage restore a surviving checkpoint for its
             exact (circuit, faults, budget) key before targeting faults.
         checkpoint_path: override the checkpoint location (defaults to the
@@ -147,18 +157,24 @@ class FlowPipeline:
         engine: Optional[str] = None,
         kernel: str = "dual",
         backend: str = "auto",
+        guidance: str = "off",
         resume: bool = False,
         checkpoint_path: Optional[str] = None,
         verify: bool = False,
         stg_engine: Optional[str] = "auto",
         cancel_event=None,
     ):
+        if guidance not in GUIDANCE_MODES:
+            raise ValueError(
+                f"unknown guidance {guidance!r} (expected one of {GUIDANCE_MODES})"
+            )
         self.store = store
         self.journal = journal
         self.workers = workers
         self.engine = engine
         self.kernel = kernel
         self.backend = backend
+        self.guidance = guidance
         self.resume = resume
         self.checkpoint_path = checkpoint_path
         self.verify = verify
@@ -374,15 +390,28 @@ class FlowPipeline:
         budget: AtpgBudget,
     ) -> AtpgResult:
         started = self._stage_start("atpg")
+        # Resolve the guidance knob *before* keying the stage: "auto" may
+        # land on "scoap" or "learned" depending on what the store holds,
+        # and results under different resolved modes are interchangeable
+        # but not interchangeable-in-place -- they must not alias.
+        policy = make_policy(
+            circuit, self.guidance, store=self.store, pin=self._pin()
+        )
+        resolved = policy.mode if policy is not None else "off"
         key = None
         if self.store is not None:
-            key = self.store.key(
+            key_parts = [
                 "atpg",
                 circuit_digest(circuit),
                 structural_identity(circuit),
                 faults_fingerprint(faults),
                 budget_fingerprint(budget),
-            )
+            ]
+            if resolved != "off":
+                # Unguided keys keep their historical shape so warm
+                # stores stay warm across this feature landing.
+                key_parts.append({"guidance": resolved})
+            key = self.store.key(*key_parts)
         result, cache = self._load("atpg", key, atpg_result_from_payload)
         if result is None:
             checkpoint = None
@@ -399,6 +428,7 @@ class FlowPipeline:
                 engine=self.engine,
                 kernel=self.kernel,
                 backend=self.backend,
+                guidance=policy if policy is not None else "off",
                 checkpoint=checkpoint,
                 resume=self.resume,
             )
@@ -407,6 +437,13 @@ class FlowPipeline:
                 # The result is durable now; the crash-recovery file has
                 # nothing left to recover.
                 checkpoint.discard()
+            if self.store is not None and result.fault_rows:
+                # Every computed stage feeds the shared training dataset,
+                # whatever mode it ran under; cache hits carry no fresh
+                # effort telemetry and are skipped.
+                log_training_rows(
+                    self.store, circuit, result.fault_rows, pin=self._pin()
+                )
         self._stage_end(
             "atpg",
             started,
@@ -416,6 +453,8 @@ class FlowPipeline:
             workers=result.workers,
             engine=result.engine,
             kernel=result.kernel,
+            guidance=result.guidance,
+            objective_choices=result.objective_choices,
             fault_coverage=round(result.fault_coverage, 3),
             fault_efficiency=round(result.fault_efficiency, 3),
             sequences=result.test_set.num_sequences,

@@ -164,6 +164,7 @@ def flow_payload(flow, stages) -> Dict[str, object]:
             "fault_efficiency": flow.atpg_result.fault_efficiency,
             "engine": flow.atpg_result.engine,
             "kernel": flow.atpg_result.kernel,
+            "guidance": flow.atpg_result.guidance,
             "workers": flow.atpg_result.workers,
             "sequences": flow.atpg_result.test_set.num_sequences,
         },
@@ -379,6 +380,7 @@ class JobManager:
                 engine=request.engine,
                 kernel=request.kernel,
                 backend=request.backend,
+                guidance=request.guidance,
                 verify=request.verify,
                 stg_engine=request.stg_engine,
                 cancel_event=job.cancel_event,

@@ -21,8 +21,14 @@ Circuit formats::
 The fingerprint deliberately ignores ``workers`` / ``engine`` / ``kernel``
 / ``backend`` / ``stg_engine``: results are bit-identical across those
 execution knobs (same seed, same partition), so two requests differing
-only there are the *same work* and must coalesce.  It includes the budget
-fingerprint and the ``verify`` flag, which change what is computed.
+only there are the *same work* and must coalesce.  ``guidance`` is also
+excluded, on the weaker interchangeability contract: a guided run may
+emit a different test set, but any test set the flow emits satisfies the
+same preservation guarantees, so two requests differing only in guidance
+still want the same *answer* -- whichever run lands first serves both
+(the pipeline's own stage keys still separate guided and unguided
+artifacts underneath).  The fingerprint includes the budget fingerprint
+and the ``verify`` flag, which change what is computed.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.atpg.budget import AtpgBudget
+from repro.atpg.guidance import GUIDANCE_MODES
 from repro.circuit.netlist import Circuit, CircuitError
 
 _FORMATS = ("table2", "bench", "verilog", "builder")
@@ -41,7 +48,15 @@ _STG_ENGINES = ("auto", "bitset", "reference", "reach")
 
 _BUDGET_FIELDS = {f.name: f.type for f in dataclasses.fields(AtpgBudget)}
 
-_OPTION_KEYS = ("workers", "engine", "kernel", "backend", "verify", "stg_engine")
+_OPTION_KEYS = (
+    "workers",
+    "engine",
+    "kernel",
+    "backend",
+    "guidance",
+    "verify",
+    "stg_engine",
+)
 
 
 class SchemaError(ValueError):
@@ -60,6 +75,7 @@ class JobRequest:
     engine: Optional[str] = None
     kernel: str = "dual"
     backend: str = "auto"
+    guidance: str = "off"
     verify: bool = False
     stg_engine: str = "auto"
     tenant: Optional[str] = None
@@ -237,6 +253,10 @@ def _parse_options(raw: object) -> Dict[str, object]:
         raise SchemaError(f"options: 'kernel' must be one of {', '.join(_KERNELS)}")
     if options.get("backend", "auto") not in _BACKENDS:
         raise SchemaError(f"options: 'backend' must be one of {', '.join(_BACKENDS)}")
+    if options.get("guidance", "off") not in GUIDANCE_MODES:
+        raise SchemaError(
+            f"options: 'guidance' must be one of {', '.join(GUIDANCE_MODES)}"
+        )
     if options.get("stg_engine", "auto") not in _STG_ENGINES:
         raise SchemaError(
             f"options: 'stg_engine' must be one of {', '.join(_STG_ENGINES)}"
@@ -278,6 +298,7 @@ def parse_request(
         engine=options.get("engine"),
         kernel=options.get("kernel", "dual"),
         backend=options.get("backend", "auto"),
+        guidance=options.get("guidance", "off"),
         verify=options.get("verify", False),
         stg_engine=options.get("stg_engine", "auto"),
         tenant=tenant,

@@ -20,10 +20,20 @@ kind            contents
                 discovery order plus their flat tables, the initial-state
                 spec and the traversal statistics, see
                 :mod:`repro.equivalence.reach`)
+``scoap``       SCOAP testability measures of one circuit (per-node
+                CC0/CC1/CO, per-edge observability and detection-depth
+                bounds, see :mod:`repro.atpg.guidance`)
+``guidance-data``  the shared predictor training dataset (feature vector
+                + effort label per fault, layout ``FEATURE_NAMES``),
+                appended to by every store-backed ATPG stage
+``predictor``   the trained fault-effort meta-predictor (handled by
+                :func:`repro.atpg.guidance.save_predictor` /
+                ``load_predictor`` via ``MetaPredictor.to_payload``)
 ==============  =========================================================
 
 Artifacts that carry edge-indexed coordinates (``faults``, ``atpg``,
-``faultsim``, ``stepper``, ``stg``, ``reach-stg``) additionally record
+``faultsim``, ``stepper``, ``stg``, ``reach-stg``, ``scoap``)
+additionally record
 :func:`~repro.circuit.digest.structural_identity`; their loaders refuse --
 returning ``None``, a plain miss -- when the raw structure of the circuit
 at hand differs from the one the artifact was computed on.  The content
@@ -228,6 +238,8 @@ def atpg_result_payload(result) -> Dict[str, object]:
         "simulations": result.simulations,
         "frames_simulated": result.frames_simulated,
         "lanes_evaluated": result.lanes_evaluated,
+        "guidance": result.guidance,
+        "objective_choices": result.objective_choices,
     }
 
 
@@ -260,6 +272,8 @@ def atpg_result_from_payload(payload: Dict[str, object]):
             simulations=int(payload.get("simulations", 0)),
             frames_simulated=int(payload.get("frames_simulated", 0)),
             lanes_evaluated=int(payload.get("lanes_evaluated", 0)),
+            guidance=str(payload.get("guidance", "off")),
+            objective_choices=int(payload.get("objective_choices", 0)),
         )
     except (KeyError, TypeError, ValueError, IndexError):
         return None
@@ -301,6 +315,90 @@ def faultsim_from_payload(
         )
     except (KeyError, TypeError, ValueError, IndexError):
         return None
+
+
+# -- SCOAP testability measures ---------------------------------------------
+
+
+def scoap_payload(circuit: Circuit, measures) -> Dict[str, object]:
+    """A :class:`~repro.atpg.guidance.ScoapMeasures` record (kind
+    ``scoap``).  Edge-indexed maps are keyed by the circuit's edge
+    numbering, so the structural identity guards the whole payload."""
+    return {
+        "structure": structural_identity(circuit),
+        "cc0": {name: float(v) for name, v in measures.cc0.items()},
+        "cc1": {name: float(v) for name, v in measures.cc1.items()},
+        "co": {name: float(v) for name, v in measures.co.items()},
+        "edge_co": {str(i): float(v) for i, v in measures.edge_co.items()},
+        "depth": {name: int(v) for name, v in measures.depth.items()},
+        "min_frames": {
+            str(i): int(v) for i, v in measures.min_frames.items()
+        },
+        "known": {name: int(v) for name, v in measures.known.items()},
+        "pin_regs": {
+            str(i): int(v) for i, v in measures.pin_regs.items()
+        },
+    }
+
+
+def scoap_from_payload(payload: Dict[str, object], circuit: Circuit):
+    from repro.atpg.guidance import ScoapMeasures
+
+    if payload.get("structure") != structural_identity(circuit):
+        return None
+    try:
+        return ScoapMeasures(
+            cc0={str(n): float(v) for n, v in payload["cc0"].items()},
+            cc1={str(n): float(v) for n, v in payload["cc1"].items()},
+            co={str(n): float(v) for n, v in payload["co"].items()},
+            edge_co={
+                int(i): float(v) for i, v in payload["edge_co"].items()
+            },
+            depth={str(n): int(v) for n, v in payload["depth"].items()},
+            min_frames={
+                int(i): int(v) for i, v in payload["min_frames"].items()
+            },
+            known={str(n): int(v) for n, v in payload["known"].items()},
+            pin_regs={
+                int(i): int(v) for i, v in payload["pin_regs"].items()
+            },
+        )
+    except (KeyError, TypeError, ValueError, AttributeError):
+        return None
+
+
+# -- guidance training data --------------------------------------------------
+
+
+def guidance_rows_payload(
+    feature_names: Sequence[str], rows: Sequence[Sequence[float]]
+) -> Dict[str, object]:
+    """Predictor training rows (kind ``guidance-data``): one list per
+    fault, feature vector in ``feature_names`` layout with the effort
+    label appended last.  Deliberately *not* structure-guarded: the
+    dataset pools rows across circuits (the per-row features already
+    carry the circuit-size context the predictor needs)."""
+    return {
+        "feature_names": list(feature_names),
+        "rows": [[float(v) for v in row] for row in rows],
+    }
+
+
+def guidance_rows_from_payload(
+    payload: Dict[str, object], feature_names: Sequence[str]
+) -> Optional[List[List[float]]]:
+    """The training rows, or ``None`` when the feature layout moved on
+    (the layout echo is what keeps pooled rows comparable)."""
+    if payload.get("feature_names") != list(feature_names):
+        return None
+    try:
+        width = len(feature_names) + 1
+        rows = [[float(v) for v in row] for row in payload["rows"]]
+    except (KeyError, TypeError, ValueError):
+        return None
+    if any(len(row) != width for row in rows):
+        return None
+    return rows
 
 
 # -- explicit STG tables ---------------------------------------------------
@@ -511,10 +609,14 @@ __all__ = [
     "faults_payload",
     "faultsim_from_payload",
     "faultsim_payload",
+    "guidance_rows_from_payload",
+    "guidance_rows_payload",
     "reach_stg_from_payload",
     "reach_stg_payload",
     "retiming_from_payload",
     "retiming_payload",
+    "scoap_from_payload",
+    "scoap_payload",
     "stepper_payload",
     "stepper_sources_from_payload",
     "stg_arrays_from_payload",

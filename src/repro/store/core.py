@@ -83,6 +83,7 @@ class StoreError(RuntimeError):
 
 def schema_version() -> str:
     """The composite schema version governing the active artifact tree."""
+    from repro.atpg.guidance import GUIDANCE_FORMAT_VERSION
     from repro.equivalence.explicit import STG_FORMAT_VERSION
     from repro.equivalence.reach import REACH_FORMAT_VERSION
     from repro.simulation.backends import WORDPLANE_VERSION
@@ -93,7 +94,7 @@ def schema_version() -> str:
     return (
         f"{STORE_FORMAT}.{DIGEST_VERSION}.{CODEGEN_VERSION}"
         f".{VECTOR_CODEGEN_VERSION}.{DUAL_CODEGEN_VERSION}.{STG_FORMAT_VERSION}"
-        f".{WORDPLANE_VERSION}.{REACH_FORMAT_VERSION}"
+        f".{WORDPLANE_VERSION}.{REACH_FORMAT_VERSION}.{GUIDANCE_FORMAT_VERSION}"
     )
 
 

@@ -59,6 +59,7 @@ class TestRunFlags:
             "workers": None,
             "kernel": "dual",
             "backend": "auto",
+            "guidance": "off",
             "engine": None,
             "initial": None,
             "retimed": False,
@@ -81,6 +82,8 @@ class TestRunFlags:
                 "scalar",
                 "--backend",
                 "bigint",
+                "--guidance",
+                "scoap",
                 "--engine",
                 "reference",
                 "--initial",
@@ -100,6 +103,7 @@ class TestRunFlags:
             "workers": 3,
             "kernel": "scalar",
             "backend": "bigint",
+            "guidance": "scoap",
             "engine": "reference",
             "initial": "all",
             "retimed": True,
@@ -119,6 +123,12 @@ class TestRunFlags:
     def test_backend_without_name_is_an_error(self):
         with pytest.raises(ValueError):
             _pop_flags(["--backend"])
+
+    def test_guidance_rejects_unknown_modes(self):
+        with pytest.raises(ValueError):
+            _pop_flags(["--guidance"])
+        with pytest.raises(ValueError):
+            _pop_flags(["--guidance", "psychic"])
 
     def test_no_store_atpg_writes_nothing(self, capsys):
         assert main(["atpg", "--no-store", "dk16", "ji", "sd", "3"]) == 0
