@@ -28,6 +28,13 @@ against ``--faultsim-min-ratio`` (default 0.5) -- a regression in one
 backend cannot hide behind the other's headroom.  The run also
 cross-checks that both backends still detect the identical fault set.
 
+With ``--service-baseline BENCH_service.json`` it boots the ATPG job
+service in-process, re-measures the cached-request keep-alive-vs-close
+series per quick-set circuit through the benchmark's socket-level load
+generator, and fails when the geomean of current/baseline speedup ratios
+falls below ``--service-min-ratio`` (default 0.4) *or* when keep-alive
+is not strictly faster than connection-per-request on any row.
+
 With ``--guidance-baseline BENCH_atpg.json`` it re-runs the quick-set
 deterministic phase twice -- unguided and SCOAP-guided -- under the
 baseline's recorded budget and fails when the geomean guided/unguided
@@ -423,6 +430,107 @@ def run_faultsim_guard(baseline_path: str, min_ratio: float) -> int:
     return status
 
 
+def run_service_guard(baseline_path: str, min_ratio: float) -> int:
+    """Guard the service's keep-alive advantage: re-measure the cached
+    keep-alive-vs-close series per quick-set circuit and compare each
+    speedup against the committed baseline row.
+
+    Two failure modes: the geomean of current/baseline speedup ratios
+    dropping below ``min_ratio`` (the persistent-connection machinery
+    regressed relative to the recorded run), and any absolute speedup at
+    or below 1.0 (keep-alive slower than connection-per-request -- wrong
+    on any machine, however noisy).
+    """
+    import statistics as stats
+    import shutil
+    import tempfile
+
+    from benchmarks.perf_service import _raw_cached_series, _request
+    from repro.service import BackgroundServer, ServiceClient
+    from repro.store.core import ArtifactStore
+
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    meta = baseline["meta"]
+    series = int(meta.get("series", 60))
+    total_seconds = float(meta.get("total_seconds", 2.0))
+    rows = {
+        row["circuit"]: row
+        for row in baseline["circuits"]
+        if "keepalive_speedup" in row
+    }
+    names = [name for name in QUICK_NAMES if name in rows]
+    if not names:
+        print(
+            "baseline has no keepalive_speedup rows for the quick set; "
+            "regenerate it with benchmarks.perf_service",
+            file=sys.stderr,
+        )
+        return 2
+    root = tempfile.mkdtemp(prefix="repro-service-guard-")
+    ratios = []
+    status = 0
+    try:
+        store = ArtifactStore(root=root)
+        with BackgroundServer(store=store, pool=2) as server:
+            client = ServiceClient(port=server.port)
+            for name in names:
+                spec = next(s for s in TABLE2_CIRCUITS if s.name == name)
+                request = _request(spec, total_seconds)
+                job = client.submit(request)
+                client.wait(job["id"], timeout=300)
+                # Same measurement rule as the benchmark: warm both modes,
+                # interleave blocks, take the min of per-block medians so a
+                # block polluted by unrelated machine activity is discarded.
+                _raw_cached_series(server.port, request, max(2, series // 10), False)
+                _raw_cached_series(server.port, request, max(2, series // 10), True)
+                block = max(1, series // 2)
+                keepalive_medians = []
+                close_medians = []
+                for _ in range(2):
+                    keepalive_medians.append(stats.median(
+                        _raw_cached_series(server.port, request, block, False)
+                    ))
+                    close_medians.append(stats.median(
+                        _raw_cached_series(server.port, request, block, True)
+                    ))
+                keepalive = min(keepalive_medians)
+                close = min(close_medians)
+                speedup = close / max(keepalive, 1e-9)
+                base = float(rows[name]["keepalive_speedup"])
+                ratio = speedup / max(base, 1e-9)
+                ratios.append(ratio)
+                print(
+                    f"  {name}: baseline keep-alive speedup {base:.2f}x, "
+                    f"current {speedup:.2f}x (ratio {ratio:.2f})",
+                    flush=True,
+                )
+                if speedup <= 1.0:
+                    print(
+                        f"FAIL: {name}: keep-alive is not faster than "
+                        f"connection-per-request ({speedup:.2f}x)",
+                        file=sys.stderr,
+                    )
+                    status = 1
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    geomean = statistics.geometric_mean(ratios)
+    print(
+        f"geomean keep-alive speedup ratio: {geomean:.2f} "
+        f"(min allowed {min_ratio})"
+    )
+    if geomean < min_ratio:
+        print(
+            f"FAIL: keep-alive-vs-close speedup regressed below "
+            f"{min_ratio:.0%} of {baseline_path}",
+            file=sys.stderr,
+        )
+        status = 1
+    if status == 0:
+        print("service perf guard passed")
+    return status
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -482,6 +590,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="minimum allowed baseline/current fault-sim time geomean per "
         "backend (default: %(default)s, i.e. fail on a >2x slowdown)",
     )
+    parser.add_argument(
+        "--service-baseline",
+        default=None,
+        help="service baseline (BENCH_service.json) whose keep-alive-vs-"
+        "close speedup rows to also guard",
+    )
+    parser.add_argument(
+        "--service-min-ratio",
+        type=float,
+        default=0.4,
+        help="minimum allowed current/baseline keep-alive speedup geomean "
+        "(default: %(default)s; sub-millisecond loopback series are noisy, "
+        "and keep-alive slower than close fails regardless)",
+    )
     args = parser.parse_args(argv)
     status = 0
     if not args.skip_throughput:
@@ -499,6 +621,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.faultsim_baseline, args.faultsim_min_ratio
         )
         status = status or faultsim_status
+    if args.service_baseline is not None:
+        service_status = run_service_guard(
+            args.service_baseline, args.service_min_ratio
+        )
+        status = status or service_status
     return status
 
 

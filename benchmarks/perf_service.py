@@ -1,19 +1,29 @@
-"""ATPG service benchmark: job latency across the three dedup tiers.
+"""ATPG service benchmark: dedup tiers, keep-alive throughput, saturation.
 
 Boots the :mod:`repro.service` server in-process against a *fresh* store
-root, then drives it over real HTTP three ways on the Table II quick set:
+root, then drives it over real HTTP:
 
-* **fresh** -- first submission of each circuit; the flow pipeline runs;
-* **cached** -- byte-identical resubmission; the answer must come from the
-  artifact store with zero stages executed;
-* **coalesced** -- duplicate submissions raced while the first is still
-  in flight; all must collapse onto one job id.
+* **fresh / cached / coalesced** -- the dedup-tier latencies per Table II
+  circuit, with every cached response compared byte-for-byte against its
+  fresh counterpart (the service adds transport, not variance);
+* **keep-alive vs close** -- a series of cached submissions over one
+  persistent connection versus one connection per request; the per-row
+  ``keepalive_speedup`` is the ratio of median per-request latency, the
+  headline number of the persistent-connection work;
+* **saturation** -- N threads, each with its own keep-alive client,
+  hammering cached submissions concurrently: requests/sec, nearest-rank
+  p50/p90/p99 latency, and a drop/corruption audit (every response must
+  be a well-formed ``done`` job document);
+* **backpressure** -- a second server with the queue high-water mark
+  forced to zero: fresh submissions must bounce with 429 + ``Retry-After``
+  while cached submissions keep flowing;
+* **restart** -- a third server over the *same* store root: the persistent
+  job index must list every pre-restart job and resubmissions must land
+  in the store-cached tier.
 
-Every cached response is compared byte-for-byte against its fresh
-counterpart (the service adds transport, not variance), and the server's
-own ``/v1/stats`` metrics -- queue depth peak, dedup hit counts and
-nearest-rank latency percentiles per tier -- are folded into the report as
-``service_meta``.  Results land in ``BENCH_service.json``.
+The server's own ``/v1/stats`` metrics -- dedup hit counts, HTTP
+connection counters, latency percentiles per tier -- are folded into the
+report as ``service_meta``.  Results land in ``BENCH_service.json``.
 
 Run from the repository root::
 
@@ -31,13 +41,15 @@ import json
 import os
 import platform
 import shutil
+import socket
 import statistics
 import tempfile
+import threading
 import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.experiments import TABLE2_CIRCUITS
-from repro.service import BackgroundServer, ServiceClient
+from repro.service import BackgroundServer, ServiceClient, ServiceError
 from repro.store.core import ArtifactStore
 
 QUICK_NAMES = ("dk16.ji.sd", "s510.jo.sr", "s820.jo.sd")
@@ -57,6 +69,11 @@ def _request(spec, total_seconds: float) -> Dict[str, object]:
     }
 
 
+def _percentile(sorted_values: List[float], q: float) -> float:
+    rank = max(0, min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
 def _timed_submit_and_wait(client: ServiceClient, request, timeout: float):
     """(job doc, wall seconds from POST to terminal status, result bytes)."""
     start = time.perf_counter()
@@ -67,14 +84,103 @@ def _timed_submit_and_wait(client: ServiceClient, request, timeout: float):
     return job, final, elapsed, result
 
 
+def _encode_post(request: Dict[str, object], close: bool) -> bytes:
+    body = json.dumps(request).encode("utf-8")
+    connection = "Connection: close\r\n" if close else ""
+    return (
+        f"POST /v1/jobs HTTP/1.1\r\nHost: bench\r\n{connection}"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode("ascii") + body
+
+
+def _read_http_response(sock: socket.socket, leftover: bytes = b""):
+    """(status, body, trailing) for one response off a raw socket."""
+    data = leftover
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("EOF mid-headers")
+        data += chunk
+    head, _, rest = data.partition(b"\r\n\r\n")
+    lines = head.split(b"\r\n")
+    status = int(lines[0].split()[1])
+    length = 0
+    for line in lines[1:]:
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("EOF mid-body")
+        rest += chunk
+    return status, rest[:length], rest[length:]
+
+
+def _raw_cached_series(
+    port: int, request: Dict[str, object], series: int, close_per_request: bool
+) -> List[float]:
+    """Per-request wall seconds for ``series`` cached submissions through
+    a minimal socket-level load generator (the benchmark's ``wrk``): the
+    same HTTP bytes either down one persistent connection or through a
+    fresh connect/close cycle per request.  ``http.client`` is not used
+    here on purpose -- its per-request Python overhead exceeds the whole
+    server round trip and would tax both modes equally, masking the
+    connection-discipline effect under test.  Every response is audited:
+    status 200, body present, cached/done disposition."""
+    raw = _encode_post(request, close=close_per_request)
+    samples: List[float] = []
+    reference: Optional[bytes] = None
+
+    def audit(status: int, body: bytes) -> None:
+        nonlocal reference
+        if status != 200 or b'"disposition": "cached"' not in body:
+            raise RuntimeError(
+                f"series expected a cached 200, got {status}: {body[:120]!r}"
+            )
+        if reference is None:
+            reference = body
+        elif body != reference:
+            raise RuntimeError("cached submit responses diverged mid-series")
+
+    if close_per_request:
+        for _ in range(series):
+            start = time.perf_counter()
+            sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            try:
+                sock.sendall(raw)
+                status, body, _ = _read_http_response(sock)
+            finally:
+                sock.close()
+            samples.append(time.perf_counter() - start)
+            audit(status, body)
+    else:
+        sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        leftover = b""
+        try:
+            for _ in range(series):
+                start = time.perf_counter()
+                sock.sendall(raw)
+                status, body, leftover = _read_http_response(sock, leftover)
+                samples.append(time.perf_counter() - start)
+                audit(status, body)
+        finally:
+            sock.close()
+    return samples
+
+
 def bench_circuit(
     client: ServiceClient,
+    port: int,
     spec,
     total_seconds: float,
     duplicates: int,
+    series: int,
     timeout: float,
 ) -> Dict[str, object]:
-    """One row: fresh run, coalesced duplicates, cached resubmission."""
+    """One row: fresh run, cached + coalesced tiers, keep-alive series."""
     request = _request(spec, total_seconds)
 
     fresh_job, fresh_final, fresh_s, fresh_bytes = _timed_submit_and_wait(
@@ -90,6 +196,41 @@ def bench_circuit(
         and cached_final["status"] == "done"
         and cached_bytes == fresh_bytes
     )
+
+    # Keep-alive vs Connection: close on the cached series -- same
+    # request, same dedup tier, only the connection discipline differs.
+    # Both modes warm up first, then the measurement runs as interleaved
+    # blocks (ka, close, ka, close, ...) and each mode reports the
+    # minimum of its per-block medians: a block polluted by unrelated
+    # machine activity (GC, another process stealing the one CPU) is
+    # discarded rather than averaged in, the same best-estimate rule
+    # pyperf uses.  Interleaving keeps slow drift on both sides of the
+    # ratio.
+    warmup = max(2, series // 10)
+    _raw_cached_series(port, request, warmup, False)
+    _raw_cached_series(port, request, warmup, True)
+    blocks = 4
+    block = max(1, series // blocks)
+    keepalive_medians: List[float] = []
+    close_medians: List[float] = []
+    for _ in range(blocks):
+        samples = _raw_cached_series(port, request, block, False)
+        keepalive_medians.append(statistics.median(samples))
+        samples = _raw_cached_series(port, request, block, True)
+        close_medians.append(statistics.median(samples))
+    keepalive_median = min(keepalive_medians)
+    close_median = min(close_medians)
+
+    # The reusing HTTP client, for reference: same series through
+    # ServiceClient's persistent HTTPConnection.
+    reuse_client = ServiceClient(port=port, timeout=timeout, keep_alive=True)
+    client_samples: List[float] = []
+    for _ in range(max(5, series // 4)):
+        start = time.perf_counter()
+        doc = reuse_client.submit(request)
+        client_samples.append(time.perf_counter() - start)
+        assert doc["disposition"] == "cached"
+    reuse_client.close()
 
     # Coalescing needs in-flight work: a longer budget is a different
     # fingerprint, so these duplicates race a genuinely fresh job.
@@ -108,6 +249,13 @@ def bench_circuit(
         "fresh_s": round(fresh_s, 4),
         "cached_s": round(cached_s, 4),
         "cache_speedup": round(fresh_s / max(cached_s, 1e-9), 1),
+        "keepalive_median_ms": round(keepalive_median * 1000, 3),
+        "close_median_ms": round(close_median * 1000, 3),
+        "keepalive_speedup": round(close_median / max(keepalive_median, 1e-9), 2),
+        "client_reuse_median_ms": round(
+            statistics.median(client_samples) * 1000, 3
+        ),
+        "series": blocks * block,
         "result_bytes": len(fresh_bytes),
         "fault_coverage": json.loads(fresh_bytes)["atpg"]["fault_coverage"],
         "fresh_ok": fresh_ok,
@@ -117,6 +265,127 @@ def bench_circuit(
     }
 
 
+def bench_saturation(
+    port: int,
+    request: Dict[str, object],
+    clients: int,
+    requests_each: int,
+    timeout: float,
+) -> Dict[str, object]:
+    """N threads x one keep-alive client each, all submitting one cached
+    request as fast as they can.  Audits every response."""
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    bad: List[str] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(slot: int) -> None:
+        client = ServiceClient(port=port, timeout=timeout, keep_alive=True)
+        barrier.wait()
+        for _ in range(requests_each):
+            start = time.perf_counter()
+            try:
+                job = client.submit(request)
+            except Exception as error:  # audited, not fatal
+                bad.append(f"{type(error).__name__}: {error}")
+                continue
+            latencies[slot].append(time.perf_counter() - start)
+            if job.get("disposition") != "cached" or job.get("status") != "done":
+                bad.append(
+                    f"bad response: {job.get('disposition')}/{job.get('status')}"
+                )
+        client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,), daemon=True)
+        for slot in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+
+    flat = sorted(sample for bucket in latencies for sample in bucket)
+    total = len(flat)
+    return {
+        "clients": clients,
+        "requests_each": requests_each,
+        "completed": total,
+        "dropped_or_corrupted": len(bad),
+        "errors": bad[:10],
+        "wall_s": round(wall, 4),
+        "requests_per_second": round(total / max(wall, 1e-9), 1),
+        "p50_ms": round(_percentile(flat, 0.50) * 1000, 3) if flat else None,
+        "p90_ms": round(_percentile(flat, 0.90) * 1000, 3) if flat else None,
+        "p99_ms": round(_percentile(flat, 0.99) * 1000, 3) if flat else None,
+        "max_ms": round(flat[-1] * 1000, 3) if flat else None,
+    }
+
+
+def bench_backpressure(
+    store_root: str, request: Dict[str, object], timeout: float
+) -> Dict[str, object]:
+    """A fully-shedding server (high water 0): fresh work must 429 with a
+    Retry-After, cached work must keep flowing."""
+    store = ArtifactStore(root=store_root)
+    with BackgroundServer(store=store, pool=1, queue_high_water=0) as server:
+        client = ServiceClient(port=server.port, timeout=timeout)
+        rejected = 0
+        retry_afters: List[float] = []
+        fresh_request = {**request, "tenant": "bench-backpressure"}
+        for _ in range(5):
+            try:
+                client.submit(fresh_request)
+            except ServiceError as error:
+                if error.status == 429:
+                    rejected += 1
+                    if error.retry_after is not None:
+                        retry_afters.append(error.retry_after)
+        cached = client.submit(request)
+        cached_served = (
+            cached["disposition"] == "cached" and cached["status"] == "done"
+        )
+        stats = client.stats()
+        return {
+            "queue_high_water": 0,
+            "fresh_attempts": 5,
+            "rejected_429": rejected,
+            "retry_after_s": retry_afters[:1],
+            "cached_served_while_shedding": cached_served,
+            "server_rejected_counter": stats["metrics"]["rejected"],
+        }
+
+
+def bench_restart(
+    store_root: str,
+    requests: List[Dict[str, object]],
+    expected_jobs: int,
+    timeout: float,
+) -> Dict[str, object]:
+    """A new server over the same root: the persistent index must list the
+    pre-restart jobs and resubmits must hit the store-cached tier."""
+    store = ArtifactStore(root=store_root)
+    with BackgroundServer(store=store, pool=1) as server:
+        client = ServiceClient(port=server.port, timeout=timeout)
+        listed = client.jobs()["jobs"]
+        restored = [doc for doc in listed if doc.get("restored")]
+        resubmit_dispositions = [
+            client.submit(request)["disposition"] for request in requests
+        ]
+        return {
+            "jobs_listed": len(listed),
+            "jobs_restored": len(restored),
+            "expected_at_least": expected_jobs,
+            "restored_all_listed": len(restored) >= expected_jobs,
+            "resubmit_dispositions": resubmit_dispositions,
+            "resubmits_all_cached": all(
+                disposition == "cached" for disposition in resubmit_dispositions
+            ),
+        }
+
+
 def run(args: argparse.Namespace) -> Dict[str, object]:
     from benchmarks.provenance import git_sha
 
@@ -124,29 +393,77 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
     owns_root = args.store_root is None
     store = ArtifactStore(root=root)
     rows: List[Dict[str, object]] = []
+    specs = _specs(args.full)
     try:
         with BackgroundServer(store=store, pool=args.pool) as server:
             client = ServiceClient(port=server.port, timeout=args.timeout)
             assert client.health() == {"ok": True}
-            for spec in _specs(args.full):
+            for spec in specs:
                 print(f"  {spec.name} ...", flush=True)
                 row = bench_circuit(
-                    client, spec, args.total_seconds, args.duplicates, args.timeout
+                    client,
+                    server.port,
+                    spec,
+                    args.total_seconds,
+                    args.duplicates,
+                    args.series,
+                    args.timeout,
                 )
                 rows.append(row)
                 print(
                     f"    fresh {row['fresh_s']}s, cached {row['cached_s']}s "
-                    f"({row['cache_speedup']}x), identical="
+                    f"({row['cache_speedup']}x), keep-alive "
+                    f"{row['keepalive_median_ms']}ms vs close "
+                    f"{row['close_median_ms']}ms "
+                    f"({row['keepalive_speedup']}x), identical="
                     f"{row['cached_bytes_identical']}, "
                     f"coalesced={row['coalesced_ok']}",
                     flush=True,
                 )
+            print(
+                f"  saturation: {args.saturation_clients} clients x "
+                f"{args.saturation_requests} requests ...",
+                flush=True,
+            )
+            saturation = bench_saturation(
+                server.port,
+                _request(specs[0], args.total_seconds),
+                args.saturation_clients,
+                args.saturation_requests,
+                args.timeout,
+            )
+            print(
+                f"    {saturation['requests_per_second']} req/s, p50 "
+                f"{saturation['p50_ms']}ms, p99 {saturation['p99_ms']}ms, "
+                f"bad {saturation['dropped_or_corrupted']}",
+                flush=True,
+            )
             stats = client.stats()
+
+        # The first server is *down* now -- these sections each boot
+        # their own over the same root.
+        print("  backpressure burst ...", flush=True)
+        backpressure = bench_backpressure(
+            root, _request(specs[0], args.total_seconds), args.timeout
+        )
+        print("  restart recovery ...", flush=True)
+        restart = bench_restart(
+            root,
+            [_request(spec, args.total_seconds) for spec in specs],
+            expected_jobs=len(specs),
+            timeout=args.timeout,
+        )
+        print(
+            f"    listed {restart['jobs_listed']} jobs after restart, "
+            f"resubmits cached: {restart['resubmits_all_cached']}",
+            flush=True,
+        )
     finally:
         if owns_root:
             shutil.rmtree(root, ignore_errors=True)
 
     cache_speedups = [row["cache_speedup"] for row in rows]
+    keepalive_speedups = [row["keepalive_speedup"] for row in rows]
     return {
         "meta": {
             "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -155,22 +472,36 @@ def run(args: argparse.Namespace) -> Dict[str, object]:
             "mode": "full" if args.full else "quick",
             "pool": args.pool,
             "duplicates": args.duplicates,
+            "series": args.series,
             "total_seconds": args.total_seconds,
             "git_sha": git_sha(),
             "store_root": None if owns_root else root,
         },
         "circuits": rows,
+        "saturation": saturation,
+        "backpressure": backpressure,
+        "restart": restart,
         "service_meta": {
             "queue_peak": stats["metrics"]["queue_peak"],
             "dedup": stats["metrics"]["dedup"],
             "latency_seconds": stats["metrics"]["latency_seconds"],
             "jobs": stats["jobs"],
+            "http": stats["http"],
             "store_session": stats["store"]["session"],
         },
         "summary": {
             "min_cache_speedup": min(cache_speedups),
             "median_cache_speedup": round(statistics.median(cache_speedups), 1),
             "max_cache_speedup": max(cache_speedups),
+            "min_keepalive_speedup": min(keepalive_speedups),
+            "median_keepalive_speedup": round(
+                statistics.median(keepalive_speedups), 2
+            ),
+            "max_keepalive_speedup": max(keepalive_speedups),
+            "saturation_rps": saturation["requests_per_second"],
+            "saturation_dropped_or_corrupted": saturation["dropped_or_corrupted"],
+            "backpressure_rejected_429": backpressure["rejected_429"],
+            "restart_resubmits_all_cached": restart["resubmits_all_cached"],
             "all_cached_bytes_identical": all(
                 row["cached_bytes_identical"] for row in rows
             ),
@@ -210,6 +541,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="racing duplicate submissions per circuit (default: 3)",
     )
     parser.add_argument(
+        "--series",
+        type=int,
+        default=60,
+        help="cached requests per keep-alive/close series (default: 60)",
+    )
+    parser.add_argument(
+        "--saturation-clients",
+        type=int,
+        default=8,
+        help="concurrent keep-alive clients in saturation mode (default: 8)",
+    )
+    parser.add_argument(
+        "--saturation-requests",
+        type=int,
+        default=50,
+        help="requests per saturation client (default: 50)",
+    )
+    parser.add_argument(
         "--total-seconds",
         type=float,
         default=2.0,
@@ -244,6 +593,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"median {summary['median_cache_speedup']}x / "
         f"max {summary['max_cache_speedup']}x"
     )
+    print(
+        f"keep-alive speedup over close: min {summary['min_keepalive_speedup']}x / "
+        f"median {summary['median_keepalive_speedup']}x / "
+        f"max {summary['max_keepalive_speedup']}x"
+    )
+    print(
+        f"saturation: {summary['saturation_rps']} req/s, "
+        f"dropped/corrupted {summary['saturation_dropped_or_corrupted']}"
+    )
+    print(f"backpressure 429s: {summary['backpressure_rejected_429']}")
+    print(f"restart resubmits cached: {summary['restart_resubmits_all_cached']}")
     print(f"cached bytes identical: {summary['all_cached_bytes_identical']}")
     print(f"dispositions correct: {summary['all_dispositions_correct']}")
     print(f"wrote {args.output}")

@@ -27,10 +27,15 @@ Commands:
 * ``serve`` — run the ATPG job service (``repro.service``): an HTTP/JSON
   API that accepts circuit specs, runs Fig. 6 flows on a worker pool,
   dedups in-flight and completed work against the store, and streams run
-  journals as NDJSON.  Options: ``--host``, ``--port``, ``--pool N``,
-  ``--tenant NAME`` (default namespace), ``--no-store``,
-  ``--gc-interval SECONDS`` + ``--max-bytes N`` / ``--tenant-max-bytes N``
-  (background store GC loop).
+  journals as NDJSON.  Connections are keep-alive by default and the job
+  table persists across restarts via an index under the store root.
+  Options: ``--host``, ``--port``, ``--pool N``, ``--tenant NAME``
+  (default namespace), ``--no-store``, ``--queue-high-water N``
+  (backpressure: 429 + Retry-After past that queue depth),
+  ``--idle-timeout SECONDS`` / ``--max-requests N`` (per-connection
+  keep-alive limits), ``--gc-interval SECONDS`` + ``--max-bytes N`` /
+  ``--tenant-max-bytes N`` (background store GC loop, also compacts the
+  job index).
 
 ``atpg`` and ``flow`` memoize their expensive stages against the artifact
 store (``~/.cache/repro-store``, override with ``REPRO_STORE_DIR``) and
@@ -391,6 +396,9 @@ def _serve_command(rest) -> int:
     gc_interval = None
     max_bytes = None
     tenant_max_bytes = None
+    queue_high_water = None
+    idle_timeout = None
+    max_requests = None
     index = 0
     try:
         while index < len(rest):
@@ -416,6 +424,15 @@ def _serve_command(rest) -> int:
             elif argument == "--tenant-max-bytes":
                 index += 1
                 tenant_max_bytes = int(rest[index])
+            elif argument == "--queue-high-water":
+                index += 1
+                queue_high_water = int(rest[index])
+            elif argument == "--idle-timeout":
+                index += 1
+                idle_timeout = float(rest[index])
+            elif argument == "--max-requests":
+                index += 1
+                max_requests = int(rest[index])
             elif argument == "--no-store":
                 use_store = False
             elif argument == "--store":
@@ -428,6 +445,10 @@ def _serve_command(rest) -> int:
         print(f"option {rest[index - 1]!r} needs a valid value", file=sys.stderr)
         return 2
     from repro.service import run_server
+    from repro.service.server import (
+        KEEPALIVE_IDLE_SECONDS,
+        MAX_REQUESTS_PER_CONNECTION,
+    )
 
     run_server(
         host,
@@ -438,6 +459,13 @@ def _serve_command(rest) -> int:
         gc_interval=gc_interval,
         gc_max_bytes=max_bytes,
         tenant_max_bytes=tenant_max_bytes,
+        queue_high_water=queue_high_water,
+        idle_timeout=(
+            KEEPALIVE_IDLE_SECONDS if idle_timeout is None else idle_timeout
+        ),
+        max_requests=(
+            MAX_REQUESTS_PER_CONNECTION if max_requests is None else max_requests
+        ),
     )
     return 0
 

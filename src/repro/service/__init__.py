@@ -4,8 +4,13 @@
 long-running service: clients POST circuit specs (Table II triples, BENCH
 netlists, toy structural Verilog, or builder JSON), the server runs the
 retime-for-testability flow on a bounded worker pool, and results are
-deduplicated three ways -- in-flight coalescing, store-cached completion,
-and the pipeline's own per-stage memoization underneath.  Progress streams
+deduplicated four ways -- in-flight coalescing, in-memory cached
+completions, store-cached completions, and the pipeline's own per-stage
+memoization underneath.  Connections are persistent (HTTP/1.1 keep-alive
+with sequential pipelining), the job table survives restarts through an
+append-only index under the store root, and a queue high-water mark turns
+overload into 429 + ``Retry-After`` instead of unbounded queueing.
+Progress streams
 back as NDJSON journal events; completed artifacts (derived test sets,
 BENCH netlists, full flow reports) are served straight from the
 content-addressed store.
@@ -26,13 +31,22 @@ Everything is standard library; the service adds no dependencies.
 """
 
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.jobs import Job, JobManager, ServiceMetrics, TERMINAL_STATUSES
+from repro.service.index import JobIndex, discover_indexes
+from repro.service.jobs import (
+    BackpressureError,
+    Job,
+    JobManager,
+    ServiceMetrics,
+    TERMINAL_STATUSES,
+)
 from repro.service.schema import JobRequest, SchemaError, parse_request
 from repro.service.server import BackgroundServer, ServiceServer, run_server
 
 __all__ = [
     "BackgroundServer",
+    "BackpressureError",
     "Job",
+    "JobIndex",
     "JobManager",
     "JobRequest",
     "SchemaError",
@@ -41,6 +55,7 @@ __all__ = [
     "ServiceMetrics",
     "ServiceServer",
     "TERMINAL_STATUSES",
+    "discover_indexes",
     "parse_request",
     "run_server",
 ]

@@ -1,0 +1,182 @@
+"""Persistent append-only job index for the ATPG service.
+
+The in-memory job table of :class:`~repro.service.jobs.JobManager` dies
+with the process; the artifacts it produced do not.  This module closes
+the gap: every job lifecycle transition appends one JSON line to a
+tenant-scoped ``jobs-index.jsonl`` under the store root, so a restarted
+server can list every job it (or a sibling sharing the root) ever ran,
+and a resubmission of any of them lands straight in the store-cached
+dedup tier.
+
+Format: one JSON object per line, ``{"event": "submit"|"end"|"snapshot",
+"id": ..., ...}``.  :meth:`JobIndex.load` folds the lines by job id (later
+lines update earlier ones), so the on-disk file is a log, not a table --
+appends are atomic on POSIX for sub-``PIPE_BUF`` lines opened with
+``O_APPEND``, which keeps two servers sharing one root safe without any
+locking on the hot path.  :meth:`JobIndex.compact` rewrites the log as one
+``snapshot`` line per surviving job under the store's file lock (GC calls
+it), bounding the file the same way ``keep_jobs`` bounds the in-memory
+table.
+
+A job that was still ``queued`` or ``running`` when its server died has a
+``submit`` line and no ``end`` line; :meth:`JobIndex.load` reports it with
+its recorded status and the restoring manager marks it ``lost`` -- honest
+bookkeeping, not a silent disappearance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from typing import Dict, List, Optional
+
+from repro.store.locks import FileLock, LOCKS_DIRNAME
+
+#: Compact when the log holds this many times more lines than live jobs.
+COMPACT_SLACK = 4
+
+
+class JobIndex:
+    """One append-only JSONL job index file (plus its compaction lock)."""
+
+    def __init__(self, path: str, lock_path: Optional[str] = None):
+        self.path = os.path.abspath(path)
+        self.lock_path = lock_path
+        self._lock = threading.Lock()  # serializes this process's appends
+
+    @classmethod
+    def for_store(cls, store) -> "JobIndex":
+        """The index of one :class:`~repro.store.core.ArtifactStore` view
+        (tenant-scoped: each tenant namespace gets its own file)."""
+        tenant = store.tenant or "shared"
+        lock_path = os.path.join(
+            store.root, LOCKS_DIRNAME, f"jobs-index-{tenant}.lock"
+        )
+        return cls(store.jobs_index_path, lock_path=lock_path)
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, entry: Dict[str, object]) -> None:
+        """Append one lifecycle event; whole-line, flushed, crash-safe.
+
+        The file is opened per append so a concurrent :meth:`compact`
+        (which replaces the file) can never strand this writer on an
+        unlinked inode.
+        """
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self._lock:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self) -> Dict[str, Dict[str, object]]:
+        """Fold the log into ``{job_id: merged_entry}`` (later lines win
+        per field).  Unparseable lines -- a torn write at a kill point --
+        are skipped, like the run journal's."""
+        jobs: Dict[str, Dict[str, object]] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return jobs
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(entry, dict) or not entry.get("id"):
+                continue
+            job_id = str(entry["id"])
+            merged = jobs.setdefault(job_id, {})
+            for key, value in entry.items():
+                if key == "event":
+                    continue
+                if value is not None or key not in merged:
+                    merged[key] = value
+        return jobs
+
+    def line_count(self) -> int:
+        try:
+            with open(self.path, "rb") as handle:
+                return sum(1 for _ in handle)
+        except OSError:
+            return 0
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self, keep: Optional[int] = None, force: bool = False) -> int:
+        """Rewrite the log as one ``snapshot`` line per job, newest last,
+        dropping all but the most recent ``keep`` jobs.  Runs under the
+        store-level file lock so two servers sharing the root cannot
+        interleave a rewrite; appends racing the ``os.replace`` land in
+        the new file (appenders reopen per line).  Returns the number of
+        jobs kept, or ``-1`` when the log is small enough to leave alone
+        (pass ``force=True`` to compact regardless)."""
+        lock = FileLock(self.lock_path) if self.lock_path else None
+        if lock is not None:
+            lock.acquire()
+        try:
+            jobs = self.load()
+            if not force and self.line_count() <= COMPACT_SLACK * max(len(jobs), 1):
+                return -1
+            ordered: List[Dict[str, object]] = sorted(
+                jobs.values(),
+                key=lambda doc: (doc.get("submitted") or 0.0, str(doc.get("id"))),
+            )
+            if keep is not None:
+                ordered = ordered[-keep:]
+            directory = os.path.dirname(self.path) or "."
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".index.tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    for doc in ordered:
+                        snapshot = dict(doc)
+                        snapshot["event"] = "snapshot"
+                        handle.write(json.dumps(snapshot, sort_keys=True) + "\n")
+                os.replace(tmp_path, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+            return len(ordered)
+        finally:
+            if lock is not None:
+                lock.release()
+
+
+def discover_indexes(root: str) -> List[JobIndex]:
+    """Every job index under one store root: shared plus all tenants."""
+    indexes = [
+        JobIndex(
+            os.path.join(root, "jobs-index.jsonl"),
+            lock_path=os.path.join(root, LOCKS_DIRNAME, "jobs-index-shared.lock"),
+        )
+    ]
+    tenants_dir = os.path.join(root, "tenants")
+    if os.path.isdir(tenants_dir):
+        for name in sorted(os.listdir(tenants_dir)):
+            candidate = os.path.join(tenants_dir, name, "jobs-index.jsonl")
+            if os.path.isfile(candidate):
+                indexes.append(
+                    JobIndex(
+                        candidate,
+                        lock_path=os.path.join(
+                            root, LOCKS_DIRNAME, f"jobs-index-{name}.lock"
+                        ),
+                    )
+                )
+    return indexes
+
+
+__all__ = ["COMPACT_SLACK", "JobIndex", "discover_indexes"]

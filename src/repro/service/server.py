@@ -1,24 +1,32 @@
 """The asyncio HTTP/JSON front end of the ATPG service.
 
 A deliberately small HTTP/1.1 server on ``asyncio.start_server`` -- no
-framework, no dependency, every connection ``Connection: close``.  The
-API surface::
+framework, no dependency -- speaking *persistent connections*: requests
+are served back-to-back on one socket with correct ``Connection`` /
+``Keep-Alive`` semantics, and the next request's head is parsed while the
+previous response is still draining (sequential pipelining: responses
+always go out in request order).  The API surface::
 
     GET    /healthz                      liveness probe
-    GET    /v1/stats                     pool / queue / dedup / latency / store
+    GET    /v1/stats                     pool / queue / dedup / latency / http / store
     POST   /v1/jobs                      submit a job document (see schema)
-    GET    /v1/jobs                      list known jobs
+    GET    /v1/jobs                      list known jobs (restarts included)
     GET    /v1/jobs/<id>                 one job (``?result=1`` inlines the result)
     DELETE /v1/jobs/<id>                 cancel (queued: now; running: next stage)
     GET    /v1/jobs/<id>/events          NDJSON stream of the run journal, live
     GET    /v1/jobs/<id>/artifacts/<n>   result | testset | atpg-testset | bench | journal
 
-``POST /v1/jobs`` answers 202 for fresh/coalesced submissions and 200 for
-store-cached ones; the body always carries ``disposition`` so clients can
-tell the tiers apart.  The events endpoint incrementally tails the job's
-journal file (:func:`~repro.store.journal.tail_journal`) while the flow is
-still writing it and finishes with a synthetic ``job_end`` event, so
-``curl`` shows live per-stage progress.
+``POST /v1/jobs`` answers 202 for fresh/coalesced submissions, 200 for
+cached ones (the body always carries ``disposition``), and 429 with a
+``Retry-After`` header when the job queue is past its high-water mark.
+Connection lifecycle: a connection closes after ``KEEPALIVE_IDLE_SECONDS``
+without a new request, after ``MAX_REQUESTS_PER_CONNECTION`` requests, on
+an explicit ``Connection: close``, or after an event stream (NDJSON has
+no length, so EOF is the terminator).  Framing violations -- a malformed
+request line, a non-integer or negative ``Content-Length``, a body cut
+short -- are answered with a well-formed 400 before the connection is
+released; they never silently drop the socket and never touch the
+listener.
 
 :class:`BackgroundServer` runs the whole stack (manager + server) on a
 daemon thread with its own event loop -- the harness tests, the benchmark
@@ -30,13 +38,15 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import signal
 import sys
 import threading
 import time
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
-from repro.service.jobs import Job, JobManager
+from repro.service.jobs import BackpressureError, Job, JobManager
 from repro.service.schema import SchemaError
 from repro.store.journal import tail_journal
 
@@ -46,6 +56,12 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 #: Poll interval of the event stream between journal reads.
 EVENT_POLL_SECONDS = 0.05
 
+#: Close a persistent connection after this long without a new request.
+KEEPALIVE_IDLE_SECONDS = 30.0
+
+#: Close a persistent connection after serving this many requests.
+MAX_REQUESTS_PER_CONNECTION = 1000
+
 _REASONS = {
     200: "OK",
     202: "Accepted",
@@ -54,34 +70,148 @@ _REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
 }
 
 _ARTIFACT_NAMES = ("result", "testset", "atpg-testset", "bench", "journal")
 
 
-class _BadRequest(Exception):
-    """Internal: maps straight to a 400 response."""
+class _FramingError(Exception):
+    """An HTTP framing violation: answered 400/413, then the connection
+    is released (the byte stream cannot be resynchronized)."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
 
 
-def _head(status: int, content_type: str, length: Optional[int] = None) -> bytes:
-    lines = [
-        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        f"Content-Type: {content_type}",
-        "Connection: close",
-    ]
-    if length is not None:
-        lines.append(f"Content-Length: {length}")
-    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+@dataclass
+class _HttpRequest:
+    """One parsed request off the wire."""
+
+    method: str
+    path: str
+    query: str
+    version: str
+    headers: Dict[str, str]
+    body: bytes
+
+    def wants_keepalive(self) -> bool:
+        token = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return "keep-alive" in token
+        return "close" not in token
+
+
+@dataclass
+class HttpStats:
+    """Connection-level counters surfaced under ``/v1/stats -> http``."""
+
+    connections_total: int = 0
+    connections_open: int = 0
+    requests_total: int = 0
+    keepalive_requests: int = 0  # requests after the first on a connection
+    pipelined_requests: int = 0  # next request fully parsed before response done
+    framing_errors: int = 0
+    idle_closed: int = 0
+    max_requests_closed: int = 0
+    rejected_429: int = 0
+    event_streams: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "connections_total": self.connections_total,
+            "connections_open": self.connections_open,
+            "requests_total": self.requests_total,
+            "keepalive_requests": self.keepalive_requests,
+            "pipelined_requests": self.pipelined_requests,
+            "framing_errors": self.framing_errors,
+            "idle_closed": self.idle_closed,
+            "max_requests_closed": self.max_requests_closed,
+            "rejected_429": self.rejected_429,
+            "event_streams": self.event_streams,
+        }
+
+
+class _Responder:
+    """Response writer for one request, carrying its keep-alive verdict."""
+
+    def __init__(self, server: "ServiceServer", writer: asyncio.StreamWriter,
+                 keep: bool, remaining: int):
+        self.server = server
+        self.writer = writer
+        self.keep = keep
+        self.remaining = remaining
+
+    def _head(
+        self,
+        status: int,
+        content_type: str,
+        length: Optional[int],
+        extra: Optional[Dict[str, str]] = None,
+    ) -> bytes:
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+        ]
+        if length is not None:
+            lines.append(f"Content-Length: {length}")
+        if extra:
+            lines.extend(f"{name}: {value}" for name, value in extra.items())
+        if self.keep and length is not None:
+            lines.append("Connection: keep-alive")
+            lines.append(
+                f"Keep-Alive: timeout={int(self.server.idle_timeout)}, "
+                f"max={self.remaining}"
+            )
+        else:
+            self.keep = False
+            lines.append("Connection: close")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+    def json(
+        self, status: int, doc: Dict, extra: Optional[Dict[str, str]] = None
+    ) -> None:
+        try:
+            body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+            self.writer.write(self._head(status, "application/json", len(body), extra))
+            self.writer.write(body)
+        except (ConnectionError, OSError):
+            self.keep = False
+
+    def raw(self, status: int, content_type: str, data: bytes) -> None:
+        try:
+            self.writer.write(self._head(status, content_type, len(data)))
+            self.writer.write(data)
+        except (ConnectionError, OSError):
+            self.keep = False
+
+    def stream_head(self, status: int, content_type: str) -> None:
+        """A length-less streaming response: always terminates the
+        connection (EOF is the framing)."""
+        self.keep = False
+        self.writer.write(self._head(status, content_type, None))
 
 
 class ServiceServer:
     """One listening socket over one :class:`JobManager`."""
 
-    def __init__(self, manager: JobManager, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        manager: JobManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        idle_timeout: float = KEEPALIVE_IDLE_SECONDS,
+        max_requests: int = MAX_REQUESTS_PER_CONNECTION,
+    ):
         self.manager = manager
         self.host = host
         self.port = port
+        self.idle_timeout = max(0.05, float(idle_timeout))
+        self.max_requests = max(1, int(max_requests))
+        self.http = HttpStats()
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> None:
@@ -99,121 +229,291 @@ class ServiceServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """One persistent connection: a sequential request loop with
+        read-ahead pipelining and per-request keep-alive bookkeeping."""
+        self.http.connections_total += 1
+        self.http.connections_open += 1
+        pending: Optional[asyncio.Task] = None
+        # Idle enforcement is a lazily-rescheduled watchdog timer, not a
+        # per-request ``asyncio.wait_for`` -- the timeout machinery costs
+        # more than a whole cached round trip, and it is only ever needed
+        # when a client goes quiet.  The watchdog fires at the deadline,
+        # reschedules itself if activity moved the deadline forward, and
+        # cancels the in-flight read when the connection really is idle.
+        loop = asyncio.get_running_loop()
+        idle = {"deadline": loop.time() + self.idle_timeout, "fired": False}
+        timer: Optional[asyncio.TimerHandle] = None
+
+        def _watchdog() -> None:
+            nonlocal timer
+            remaining = idle["deadline"] - loop.time()
+            if remaining > 0:
+                timer = loop.call_later(remaining, _watchdog)
+                return
+            idle["fired"] = True
+            timer = None
+            if pending is not None:
+                pending.cancel()
+
         try:
-            await self._process(reader, writer)
-        except (_BadRequest, asyncio.IncompleteReadError, ValueError) as error:
-            self._try_json(writer, 400, {"error": str(error) or "bad request"})
+            served = 0
+            while True:
+                if pending is None:
+                    pending = asyncio.create_task(self._read_request(reader))
+                idle["deadline"] = loop.time() + self.idle_timeout
+                if timer is None:
+                    timer = loop.call_later(self.idle_timeout, _watchdog)
+                try:
+                    request = await pending
+                except asyncio.CancelledError:
+                    if not idle["fired"]:
+                        raise
+                    self.http.idle_closed += 1
+                    break
+                except _FramingError as error:
+                    # A malformed frame cannot be resynchronized, but the
+                    # client still deserves an answer: a well-formed 400
+                    # (or 413) on a connection we then release cleanly.
+                    self.http.framing_errors += 1
+                    responder = _Responder(self, writer, False, 0)
+                    responder.json(error.status, {"error": str(error)})
+                    break
+                finally:
+                    if pending is not None and pending.done():
+                        pending = None
+                if request is None:
+                    break  # clean EOF between requests
+                served += 1
+                self.http.requests_total += 1
+                if served > 1:
+                    self.http.keepalive_requests += 1
+                streaming = self._is_event_stream(request)
+                keep = (
+                    request.wants_keepalive()
+                    and served < self.max_requests
+                    and not streaming
+                )
+                if request.wants_keepalive() and served >= self.max_requests:
+                    self.http.max_requests_closed += 1
+                responder = _Responder(
+                    self, writer, keep, self.max_requests - served
+                )
+                if keep:
+                    # Sequential pipelining: parse the next request while
+                    # this response is being written and drained.
+                    pending = asyncio.create_task(self._read_request(reader))
+                try:
+                    await self._route(request, responder)
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                except Exception as error:  # one request fails, the loop survives
+                    crash = _Responder(self, writer, False, 0)
+                    crash.json(
+                        500, {"error": f"{type(error).__name__}: {error}"}
+                    )
+                    break
+                if pending is not None and not pending.cancelled() and (
+                    pending.done() or len(getattr(reader, "_buffer", b"")) > 0
+                ):
+                    # The next request's bytes were already here before
+                    # this response finished: the client pipelined.
+                    self.http.pipelined_requests += 1
+                if not responder.keep:
+                    break
+                await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
-        except Exception as error:  # never let one connection kill the loop
-            self._try_json(writer, 500, {"error": f"{type(error).__name__}: {error}"})
         finally:
+            if timer is not None:
+                timer.cancel()
+            if pending is not None:
+                pending.cancel()
+                try:
+                    await pending
+                except (
+                    asyncio.CancelledError,
+                    _FramingError,
+                    ConnectionError,
+                    Exception,
+                ):
+                    pass
+            self.http.connections_open -= 1
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
 
-    def _try_json(self, writer: asyncio.StreamWriter, status: int, doc: Dict) -> None:
-        try:
-            body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
-            writer.write(_head(status, "application/json", len(body)) + body)
-        except (ConnectionError, OSError):
-            pass
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[_HttpRequest]:
+        """Parse one request head + body; ``None`` on clean EOF.
 
-    async def _process(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        request_line = await reader.readline()
-        if not request_line:
-            return
-        parts = request_line.decode("latin-1").split()
-        if len(parts) != 3:
-            raise _BadRequest("malformed request line")
-        method, target, _version = parts
+        Every way the frame can be wrong -- a garbled request line, a
+        header without a colon, a non-integer or negative
+        ``Content-Length``, a body the peer never finished sending --
+        raises :class:`_FramingError`, which the connection loop answers
+        with a well-formed 400 instead of dropping the socket.
+        """
+        try:
+            # One await for the whole head: request line + headers arrive
+            # in a single read instead of one coroutine hop per line.
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None  # clean EOF between requests
+            raise _FramingError("connection closed mid-headers") from error
+        except (asyncio.LimitOverrunError, ValueError) as error:
+            raise _FramingError(f"request head too long: {error}") from error
+        lines = head[:-4].decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _FramingError("malformed request line")
+        method, target, version = parts
         headers: Dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
+        for line in lines[1:]:
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _FramingError(f"malformed header line {line[:64]!r}")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length") or 0)
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise _FramingError("chunked request bodies are not supported")
+        raw_length = headers.get("content-length")
+        length = 0
+        if raw_length is not None:
+            try:
+                length = int(raw_length)
+            except ValueError:
+                raise _FramingError(
+                    f"Content-Length is not an integer: {raw_length!r}"
+                ) from None
+            if length < 0:
+                raise _FramingError(f"Content-Length is negative: {raw_length}")
         if length > MAX_BODY_BYTES:
-            self._try_json(writer, 413, {"error": "request body too large"})
-            return
-        body = await reader.readexactly(length) if length else b""
+            raise _FramingError("request body too large", status=413)
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as error:
+                raise _FramingError(
+                    f"truncated request body: got {len(error.partial)} of "
+                    f"{length} bytes"
+                ) from error
+        else:
+            body = b""
         path, _, query = target.partition("?")
-        await self._route(method.upper(), path, query, body, writer)
+        return _HttpRequest(method.upper(), path, query, version, headers, body)
+
+    @staticmethod
+    def _is_event_stream(request: _HttpRequest) -> bool:
+        segments = [s for s in request.path.split("/") if s]
+        return (
+            request.method == "GET"
+            and len(segments) == 4
+            and segments[:2] == ["v1", "jobs"]
+            and segments[3] == "events"
+        )
 
     # -- routing -------------------------------------------------------------
 
-    async def _route(
-        self,
-        method: str,
-        path: str,
-        query: str,
-        body: bytes,
-        writer: asyncio.StreamWriter,
-    ) -> None:
+    async def _route(self, request: _HttpRequest, respond: _Responder) -> None:
+        method, path, query = request.method, request.path, request.query
         segments = [s for s in path.split("/") if s]
         if path == "/healthz" and method == "GET":
-            self._try_json(writer, 200, {"ok": True})
+            respond.json(200, {"ok": True})
             return
         if path == "/v1/stats" and method == "GET":
-            self._try_json(writer, 200, self.manager.stats())
+            doc = self.manager.stats()
+            doc["http"] = self.http.as_dict()
+            doc["http"]["idle_timeout"] = self.idle_timeout
+            doc["http"]["max_requests_per_connection"] = self.max_requests
+            respond.json(200, doc)
             return
         if path == "/v1/jobs":
             if method == "POST":
-                await self._submit(body, writer)
+                await self._submit(request.body, respond)
             elif method == "GET":
                 jobs = [job.as_dict() for job in self.manager.jobs.values()]
-                self._try_json(writer, 200, {"jobs": jobs})
+                respond.json(200, {"jobs": jobs})
             else:
-                self._try_json(writer, 405, {"error": f"{method} not allowed"})
+                respond.json(405, {"error": f"{method} not allowed"})
             return
         if len(segments) >= 3 and segments[:2] == ["v1", "jobs"]:
             job = self.manager.get(segments[2])
             if job is None:
-                self._try_json(writer, 404, {"error": f"no job {segments[2]!r}"})
+                respond.json(404, {"error": f"no job {segments[2]!r}"})
                 return
             if len(segments) == 3:
                 if method == "GET":
                     include = "result=1" in query or "result=true" in query
-                    self._try_json(writer, 200, job.as_dict(include_result=include))
+                    respond.json(200, job.as_dict(include_result=include))
                 elif method == "DELETE":
                     self.manager.cancel(job.id)
-                    self._try_json(writer, 200, job.as_dict())
+                    respond.json(200, job.as_dict())
                 else:
-                    self._try_json(writer, 405, {"error": f"{method} not allowed"})
+                    respond.json(405, {"error": f"{method} not allowed"})
                 return
             if segments[3] == "events" and len(segments) == 4 and method == "GET":
-                await self._stream_events(writer, job)
+                await self._stream_events(respond, job)
                 return
             if segments[3] == "artifacts" and len(segments) == 5 and method == "GET":
-                self._artifact(writer, job, segments[4])
+                if job.result is None and job.status == "done":
+                    # A restored job's payload reloads from the store.
+                    await asyncio.to_thread(self.manager.load_result, job)
+                self._artifact(respond, job, segments[4])
                 return
-        self._try_json(writer, 404, {"error": f"no route for {method} {path}"})
+        respond.json(404, {"error": f"no route for {method} {path}"})
 
-    async def _submit(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+    async def _submit(self, body: bytes, respond: _Responder) -> None:
         try:
-            payload = json.loads(body.decode("utf-8")) if body else None
-        except (json.JSONDecodeError, UnicodeDecodeError) as error:
-            raise _BadRequest(f"request body is not JSON: {error}") from error
-        try:
-            job, disposition = await self.manager.submit(payload)
+            # Raw bytes, not a decoded document: byte-identical resubmits
+            # (the cached-tier workload) skip JSON parsing and
+            # fingerprinting inside the manager's parse cache.
+            job, disposition = await self.manager.submit(raw=body)
         except SchemaError as error:
-            self._try_json(writer, 400, {"error": str(error)})
+            respond.json(400, {"error": str(error)})
+            return
+        except BackpressureError as error:
+            self.http.rejected_429 += 1
+            respond.json(
+                429,
+                {
+                    "error": str(error),
+                    "queue_depth": error.queue_depth,
+                    "queue_high_water": error.high_water,
+                    "retry_after": error.retry_after,
+                },
+                extra={"Retry-After": str(int(math.ceil(error.retry_after)))},
+            )
+            return
+        if disposition == "cached" and job.terminal:
+            # A terminal job's submit response never changes: serialize
+            # once, then every further cached hit is a buffer write.
+            body = job.submit_response_cache
+            if body is None:
+                doc = job.as_dict()
+                doc["disposition"] = "cached"
+                body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+                job.submit_response_cache = body
+            respond.raw(200, "application/json", body)
             return
         doc = job.as_dict()
         doc["disposition"] = disposition
-        self._try_json(writer, 200 if disposition == "cached" else 202, doc)
+        respond.json(202, doc)
 
     # -- event streaming -----------------------------------------------------
 
-    async def _stream_events(self, writer: asyncio.StreamWriter, job: Job) -> None:
-        """NDJSON-tail the job's journal until the job is terminal."""
-        writer.write(_head(200, "application/x-ndjson"))
+    async def _stream_events(self, respond: _Responder, job: Job) -> None:
+        """NDJSON-tail the job's journal until the job is terminal.
+
+        Runs inline in the connection task -- there is no detached tail
+        task to leak: a mid-stream client disconnect surfaces as a
+        ``ConnectionError`` from ``drain`` and unwinds this coroutine and
+        the connection with it.
+        """
+        self.http.event_streams += 1
+        writer = respond.writer
+        respond.stream_head(200, "application/x-ndjson")
         await writer.drain()
         offset = 0
 
@@ -250,46 +550,44 @@ class ServiceServer:
 
     # -- artifacts -----------------------------------------------------------
 
-    def _artifact(self, writer: asyncio.StreamWriter, job: Job, name: str) -> None:
+    def _artifact(self, respond: _Responder, job: Job, name: str) -> None:
         if name not in _ARTIFACT_NAMES:
-            self._try_json(
-                writer,
+            respond.json(
                 404,
                 {"error": f"unknown artifact {name!r}; one of {_ARTIFACT_NAMES}"},
             )
             return
         if name == "journal":
             if job.journal_path is None:
-                self._try_json(writer, 404, {"error": "job has no journal"})
+                respond.json(404, {"error": "job has no journal"})
                 return
             try:
                 with open(job.journal_path, "rb") as handle:
                     data = handle.read()
             except OSError as error:
-                self._try_json(writer, 404, {"error": str(error)})
+                respond.json(404, {"error": str(error)})
                 return
-            writer.write(_head(200, "application/x-ndjson", len(data)) + data)
+            respond.raw(200, "application/x-ndjson", data)
             return
         if job.result is None:
-            self._try_json(
-                writer, 409, {"error": f"job {job.id} is {job.status}, not done"}
+            respond.json(
+                409, {"error": f"job {job.id} is {job.status}, not done"}
             )
             return
         if name == "result":
             body = (json.dumps(job.result, sort_keys=True) + "\n").encode("utf-8")
-            writer.write(_head(200, "application/json", len(body)) + body)
+            respond.raw(200, "application/json", body)
             return
-        field = {
+        field_name = {
             "testset": "derived_testset",
             "atpg-testset": "atpg_testset",
             "bench": "hard_bench",
         }[name]
-        text = job.result.get(field)
+        text = job.result.get(field_name)
         if not isinstance(text, str):
-            self._try_json(writer, 404, {"error": f"result has no {field!r}"})
+            respond.json(404, {"error": f"result has no {field_name!r}"})
             return
-        data = text.encode("utf-8")
-        writer.write(_head(200, "text/plain; charset=utf-8", len(data)) + data)
+        respond.raw(200, "text/plain; charset=utf-8", text.encode("utf-8"))
 
 
 # -- entry points ------------------------------------------------------------
@@ -304,10 +602,20 @@ async def _serve_forever(
     gc_interval: Optional[float],
     gc_max_bytes: Optional[int],
     tenant_max_bytes: Optional[int],
+    queue_high_water: Optional[int],
+    idle_timeout: float,
+    max_requests: int,
 ) -> None:
-    manager = JobManager(store=store, pool=pool, default_tenant=default_tenant)
+    manager = JobManager(
+        store=store,
+        pool=pool,
+        default_tenant=default_tenant,
+        queue_high_water=queue_high_water,
+    )
     await manager.start()
-    server = ServiceServer(manager, host, port)
+    server = ServiceServer(
+        manager, host, port, idle_timeout=idle_timeout, max_requests=max_requests
+    )
     await server.start()
     print(f"listening on http://{server.host}:{server.port}", file=sys.stderr, flush=True)
 
@@ -325,6 +633,7 @@ async def _serve_forever(
             await asyncio.to_thread(
                 store.gc, gc_max_bytes, (), tenant_max_bytes
             )
+            await asyncio.to_thread(manager.compact_indexes)
 
     gc_task = asyncio.create_task(gc_loop()) if gc_interval else None
     try:
@@ -346,14 +655,21 @@ def run_server(
     gc_interval: Optional[float] = None,
     gc_max_bytes: Optional[int] = None,
     tenant_max_bytes: Optional[int] = None,
+    queue_high_water: Optional[int] = None,
+    idle_timeout: float = KEEPALIVE_IDLE_SECONDS,
+    max_requests: int = MAX_REQUESTS_PER_CONNECTION,
 ) -> None:
     """Run the service in the foreground until SIGINT/SIGTERM.
 
     ``store="default"`` resolves the process-wide store (honouring
     ``REPRO_STORE_DIR`` / ``REPRO_STORE_DISABLE``); pass ``None`` for a
-    storeless server (no dedup across restarts, no journals).
-    ``gc_interval`` starts a background GC loop over the shared root --
-    the same loop a fleet would run, pin-safe by construction.
+    storeless server (no dedup across restarts, no journals, no
+    persistent job index).  ``gc_interval`` starts a background GC loop
+    over the shared root -- the same loop a fleet would run, pin-safe by
+    construction -- which also compacts the persistent job indexes.
+    ``queue_high_water`` arms backpressure: fresh submissions past that
+    queue depth answer 429 + ``Retry-After`` instead of queueing without
+    bound.
     """
     if store == "default":
         from repro.store.core import default_store
@@ -369,6 +685,9 @@ def run_server(
             gc_interval,
             gc_max_bytes,
             tenant_max_bytes,
+            queue_high_water,
+            idle_timeout,
+            max_requests,
         )
     )
 
@@ -393,6 +712,9 @@ class BackgroundServer:
         host: str = "127.0.0.1",
         port: int = 0,
         default_tenant: Optional[str] = None,
+        queue_high_water: Optional[int] = None,
+        idle_timeout: float = KEEPALIVE_IDLE_SECONDS,
+        max_requests: int = MAX_REQUESTS_PER_CONNECTION,
     ):
         self.store = store
         self.pool = pool
@@ -400,7 +722,11 @@ class BackgroundServer:
         self.port: Optional[int] = None
         self._port_request = port
         self.default_tenant = default_tenant
+        self.queue_high_water = queue_high_water
+        self.idle_timeout = idle_timeout
+        self.max_requests = max_requests
         self.manager: Optional[JobManager] = None
+        self.server: Optional[ServiceServer] = None
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._error: Optional[BaseException] = None
@@ -429,12 +755,22 @@ class BackgroundServer:
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
         manager = JobManager(
-            store=self.store, pool=self.pool, default_tenant=self.default_tenant
+            store=self.store,
+            pool=self.pool,
+            default_tenant=self.default_tenant,
+            queue_high_water=self.queue_high_water,
         )
         await manager.start()
-        server = ServiceServer(manager, self.host, self._port_request)
+        server = ServiceServer(
+            manager,
+            self.host,
+            self._port_request,
+            idle_timeout=self.idle_timeout,
+            max_requests=self.max_requests,
+        )
         await server.start()
         self.manager = manager
+        self.server = server
         self.port = server.port
         self._ready.set()
         try:
@@ -461,7 +797,10 @@ class BackgroundServer:
 
 __all__ = [
     "BackgroundServer",
+    "HttpStats",
     "ServiceServer",
     "run_server",
+    "KEEPALIVE_IDLE_SECONDS",
     "MAX_BODY_BYTES",
+    "MAX_REQUESTS_PER_CONNECTION",
 ]

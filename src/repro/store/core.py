@@ -178,6 +178,12 @@ class ArtifactStore:
         return os.path.join(self._tenant_root, "journals")
 
     @property
+    def jobs_index_path(self) -> str:
+        """The service's persistent job index for this tenant namespace
+        (version-independent, like journals: jobs outlive schema bumps)."""
+        return os.path.join(self._tenant_root, "jobs-index.jsonl")
+
+    @property
     def checkpoint_dir(self) -> str:
         return os.path.join(self.version_dir, "checkpoints")
 

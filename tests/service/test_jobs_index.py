@@ -1,0 +1,227 @@
+"""Persistent job index and backpressure: restarts, 429s, compaction.
+
+The acceptance demo of the index: run jobs against one store root, kill
+the server, start a new one on the same root -- ``GET /v1/jobs`` still
+lists everything, a job that died mid-flight reads ``lost``, resubmits of
+finished work land in the store-cached tier, and artifacts of restored
+jobs reload lazily.  Plus the :class:`JobIndex` unit behaviours (fold,
+compact, torn lines) and the queue high-water mark turning overload into
+429 + ``Retry-After`` while cached traffic keeps flowing.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.service import BackgroundServer, JobIndex, ServiceClient, ServiceError
+from repro.service.index import discover_indexes
+from repro.store.core import ArtifactStore
+from tests.service.test_service_e2e import TINY_REQUEST
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(root=str(tmp_path / "store"))
+
+
+class TestJobIndexUnit:
+    def test_fold_later_lines_win(self, tmp_path):
+        index = JobIndex(str(tmp_path / "idx.jsonl"))
+        index.append({"event": "submit", "id": "j1", "status": "queued", "key": "k"})
+        index.append({"event": "end", "id": "j1", "status": "done", "finished": 5.0})
+        index.append({"event": "submit", "id": "j2", "status": "queued", "key": "k2"})
+        jobs = index.load()
+        assert set(jobs) == {"j1", "j2"}
+        assert jobs["j1"]["status"] == "done"
+        assert jobs["j1"]["key"] == "k"  # earlier fields survive the fold
+        assert jobs["j1"]["finished"] == 5.0
+        assert jobs["j2"]["status"] == "queued"
+
+    def test_torn_line_skipped(self, tmp_path):
+        path = str(tmp_path / "idx.jsonl")
+        index = JobIndex(path)
+        index.append({"event": "submit", "id": "j1", "status": "queued"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "end", "id": "j1", "stat')  # torn write
+        assert index.load()["j1"]["status"] == "queued"
+
+    def test_compact_folds_and_bounds(self, tmp_path):
+        index = JobIndex(str(tmp_path / "idx.jsonl"))
+        for number in range(6):
+            job_id = f"j{number}"
+            index.append(
+                {"event": "submit", "id": job_id, "status": "queued",
+                 "submitted": float(number)}
+            )
+            index.append({"event": "end", "id": job_id, "status": "done"})
+        assert index.line_count() == 12
+        kept = index.compact(keep=4, force=True)
+        assert kept == 4
+        assert index.line_count() == 4
+        jobs = index.load()
+        assert set(jobs) == {"j2", "j3", "j4", "j5"}  # newest survive
+        assert all(doc["status"] == "done" for doc in jobs.values())
+        # Below the slack threshold nothing rewrites without force.
+        assert index.compact(keep=4) == -1
+
+    def test_append_survives_concurrent_compact_replace(self, tmp_path):
+        index = JobIndex(str(tmp_path / "idx.jsonl"))
+        index.append({"event": "submit", "id": "j1", "status": "done",
+                      "submitted": 1.0})
+        index.compact(force=True)
+        index.append({"event": "submit", "id": "j2", "status": "done",
+                      "submitted": 2.0})  # lands in the replaced file
+        assert set(index.load()) == {"j1", "j2"}
+
+
+class TestRestart:
+    def test_jobs_survive_restart_and_resubmit_is_cached(self, store):
+        with BackgroundServer(store=store, pool=1) as server:
+            client = ServiceClient(port=server.port)
+            job = client.submit(TINY_REQUEST)
+            assert job["disposition"] == "fresh"
+            client.wait(job["id"], timeout=120)
+            result = client.artifact(job["id"], "result")
+            job_id = job["id"]
+
+        with BackgroundServer(store=ArtifactStore(root=store.root), pool=1) as server:
+            client = ServiceClient(port=server.port)
+            listed = {doc["id"]: doc for doc in client.jobs()["jobs"]}
+            assert job_id in listed
+            assert listed[job_id]["status"] == "done"
+            assert listed[job_id]["restored"] is True
+            assert client.stats()["metrics"]["restored"] >= 1
+            # The restored job's artifact reloads lazily from the store...
+            assert client.artifact(job_id, "result") == result
+            # ...and a resubmit of the same work hits the cached tier.
+            again = client.submit(TINY_REQUEST)
+            assert again["disposition"] == "cached"
+            assert client.artifact(again["id"], "result") == result
+            # New ids continue past the restored ones -- no collisions.
+            assert again["id"] != job_id
+            assert again["id"] not in listed
+
+    def test_live_job_restores_as_lost(self, store):
+        index = JobIndex.for_store(store)
+        index.append(
+            {"event": "submit", "id": "j00007", "key": "deadbeef",
+             "label": "interrupted", "tenant": None, "status": "running",
+             "dedup": "fresh", "submitted": 123.0}
+        )
+        with BackgroundServer(store=store, pool=1) as server:
+            client = ServiceClient(port=server.port)
+            doc = client.job("j00007")
+            assert doc["status"] == "lost"
+            assert doc["restored"] is True
+            assert "restart" in doc["error"]
+            # Terminal: a lost job cannot be waited into another state.
+            assert client.wait("j00007", timeout=5)["status"] == "lost"
+            # Ids resume past the restored one.
+            fresh = client.submit(TINY_REQUEST)
+            assert int(fresh["id"][1:]) > 7
+
+    def test_tenant_indexes_are_scoped(self, store):
+        request = {**TINY_REQUEST, "tenant": "team-a"}
+        with BackgroundServer(store=store, pool=1) as server:
+            client = ServiceClient(port=server.port)
+            job = client.submit(request)
+            client.wait(job["id"], timeout=120)
+        tenant_index = os.path.join(
+            store.root, "tenants", "team-a", "jobs-index.jsonl"
+        )
+        assert os.path.isfile(tenant_index)
+        paths = [index.path for index in discover_indexes(store.root)]
+        assert tenant_index in paths
+        # And a restart over the root picks the tenant job up too.
+        with BackgroundServer(store=ArtifactStore(root=store.root), pool=1) as server:
+            client = ServiceClient(port=server.port)
+            listed = {doc["id"]: doc for doc in client.jobs()["jobs"]}
+            assert listed[job["id"]]["tenant"] == "team-a"
+
+    def test_gc_compacts_indexes(self, store):
+        with BackgroundServer(store=store, pool=1) as server:
+            client = ServiceClient(port=server.port)
+            job = client.submit(TINY_REQUEST)
+            client.wait(job["id"], timeout=120)
+            # Cached resubmits are deliberately NOT indexed (serving
+            # records, not work) -- the log holds submit + end lines for
+            # the one fresh job only.
+            for _ in range(12):
+                assert client.submit(TINY_REQUEST)["disposition"] == "cached"
+            manager = server.manager
+            report = manager.compact_indexes(force=True)
+            index_path = store.jobs_index_path
+            assert report[index_path] >= 1
+            index = JobIndex(index_path)
+            assert index.line_count() == report[index_path]
+            with open(index_path, encoding="utf-8") as handle:
+                events = {json.loads(line)["event"] for line in handle}
+            assert events == {"snapshot"}
+
+
+class TestBackpressure:
+    def test_fresh_submits_past_high_water_get_429(self, store):
+        # High water 0: every fresh submission is shed immediately.
+        with BackgroundServer(store=store, pool=1, queue_high_water=0) as server:
+            client = ServiceClient(port=server.port)
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(TINY_REQUEST)
+            error = excinfo.value
+            assert error.status == 429
+            assert error.retry_after is not None and error.retry_after >= 1.0
+            stats = client.stats()
+            assert stats["queue_high_water"] == 0
+            assert stats["metrics"]["rejected"] == 1
+            assert stats["http"]["rejected_429"] == 1
+
+    def test_retry_after_header_is_integral_seconds(self, store):
+        import http.client
+
+        with BackgroundServer(store=store, pool=1, queue_high_water=0) as server:
+            connection = http.client.HTTPConnection("127.0.0.1", server.port)
+            try:
+                connection.request(
+                    "POST", "/v1/jobs", json.dumps(TINY_REQUEST).encode(),
+                    {"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                assert response.status == 429
+                retry_after = response.getheader("Retry-After")
+                assert retry_after is not None
+                assert int(retry_after) >= 1
+                doc = json.loads(response.read())
+                assert doc["queue_high_water"] == 0
+            finally:
+                connection.close()
+
+    def test_cached_and_coalesced_bypass_backpressure(self, store):
+        # Warm the store with an unbounded server first.
+        with BackgroundServer(store=store, pool=1) as server:
+            client = ServiceClient(port=server.port)
+            job = client.submit(TINY_REQUEST)
+            client.wait(job["id"], timeout=120)
+            result = client.artifact(job["id"], "result")
+        # A fully-shedding server still answers cached work.
+        with BackgroundServer(
+            store=ArtifactStore(root=store.root), pool=1, queue_high_water=0
+        ) as server:
+            client = ServiceClient(port=server.port)
+            cached = client.submit(TINY_REQUEST)
+            assert cached["disposition"] == "cached"
+            assert client.artifact(cached["id"], "result") == result
+            other = {**TINY_REQUEST, "tenant": "team-x"}
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(other)
+            assert excinfo.value.status == 429
+
+    def test_client_submit_retries_on_429(self, store):
+        # retries exhausted -> the 429 propagates (with retry_after).
+        with BackgroundServer(store=store, pool=1, queue_high_water=0) as server:
+            client = ServiceClient(port=server.port)
+            before = client.stats()["metrics"]["rejected"]
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(TINY_REQUEST, retries=2)
+            assert excinfo.value.status == 429
+            # Three attempts hit the server: original plus two retries.
+            assert client.stats()["metrics"]["rejected"] == before + 3

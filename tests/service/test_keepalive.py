@@ -1,0 +1,320 @@
+"""HTTP/1.1 connection behaviour: keep-alive, pipelining, framing, streams.
+
+These tests talk to the server at the socket level (plus through
+:class:`ServiceClient` for the reuse/reconnect paths), because the
+properties under test live *below* the JSON API: does one TCP connection
+carry many requests, do pipelined requests come back in order, does a
+mangled frame get a well-formed 400 instead of a dropped socket, does an
+event-stream consumer that dies mid-stream leave anything running behind.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.service import BackgroundServer, ServiceClient
+from tests.service.test_service_e2e import TABLE2_REQUEST, TINY_REQUEST
+
+
+def _connect(server, timeout=30.0):
+    sock = socket.create_connection(("127.0.0.1", server.port), timeout=timeout)
+    sock.settimeout(timeout)
+    return sock
+
+
+def _read_response(sock, leftover=b""):
+    """One HTTP response off a raw socket: (status, headers, body,
+    trailing).  ``trailing`` holds bytes past this response (the start of
+    a pipelined successor) -- pass it back in as ``leftover``."""
+    data = leftover
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError(f"EOF mid-headers after {len(data)} bytes")
+        data += chunk
+    head, _, rest = data.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers["content-length"])
+    body = rest
+    while len(body) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("EOF mid-body")
+        body += chunk
+    return status, headers, body[:length], body[length:]
+
+
+def _get(path, version="HTTP/1.1", extra=""):
+    return (
+        f"GET {path} {version}\r\nHost: x\r\n{extra}\r\n".encode("ascii")
+    )
+
+
+class TestKeepAlive:
+    def test_many_requests_one_connection(self):
+        with BackgroundServer(store=None, pool=1) as server:
+            client = ServiceClient(port=server.port)
+            for _ in range(10):
+                assert client.health() == {"ok": True}
+            stats = client.stats()
+            http = stats["http"]
+            assert http["connections_total"] == 1
+            assert http["requests_total"] == 11
+            assert http["keepalive_requests"] == 10
+            assert client.reconnects == 0
+
+    def test_connection_close_mode_opens_per_request(self):
+        with BackgroundServer(store=None, pool=1) as server:
+            client = ServiceClient(port=server.port, keep_alive=False)
+            for _ in range(3):
+                client.health()
+            http = client.stats()["http"]
+            assert http["connections_total"] == 4
+            assert http["keepalive_requests"] == 0
+
+    def test_keepalive_headers_present(self):
+        with BackgroundServer(store=None, pool=1) as server:
+            sock = _connect(server)
+            try:
+                sock.sendall(_get("/healthz"))
+                status, headers, body, _ = _read_response(sock)
+                assert status == 200
+                assert headers["connection"] == "keep-alive"
+                assert "timeout=" in headers["keep-alive"]
+                assert "max=" in headers["keep-alive"]
+                # The connection is genuinely reusable.
+                sock.sendall(_get("/healthz"))
+                status, _, _, _ = _read_response(sock)
+                assert status == 200
+            finally:
+                sock.close()
+
+    def test_pipelined_requests_answered_in_order(self):
+        with BackgroundServer(store=None, pool=1) as server:
+            sock = _connect(server)
+            try:
+                # Two requests in one segment, before reading anything.
+                sock.sendall(_get("/healthz") + _get("/v1/stats"))
+                first = _read_response(sock)
+                second = _read_response(sock, leftover=first[3])
+                assert first[0] == 200 and b'"ok": true' in first[2]
+                assert second[0] == 200 and b'"pool"' in second[2]
+            finally:
+                sock.close()
+            client = ServiceClient(port=server.port)
+            assert client.stats()["http"]["pipelined_requests"] >= 1
+
+    def test_http10_defaults_to_close(self):
+        with BackgroundServer(store=None, pool=1) as server:
+            sock = _connect(server)
+            try:
+                sock.sendall(_get("/healthz", version="HTTP/1.0"))
+                status, headers, _, trailing = _read_response(sock)
+                assert status == 200
+                assert headers["connection"] == "close"
+                assert trailing == b""
+                assert sock.recv(1024) == b""  # server closed
+            finally:
+                sock.close()
+
+    def test_explicit_connection_close_honoured(self):
+        with BackgroundServer(store=None, pool=1) as server:
+            sock = _connect(server)
+            try:
+                sock.sendall(_get("/healthz", extra="Connection: close\r\n"))
+                status, headers, _, _ = _read_response(sock)
+                assert status == 200
+                assert headers["connection"] == "close"
+                assert sock.recv(1024) == b""
+            finally:
+                sock.close()
+
+    def test_max_requests_cap_closes_and_client_recovers(self):
+        with BackgroundServer(store=None, pool=1, max_requests=2) as server:
+            client = ServiceClient(port=server.port)
+            for _ in range(6):
+                assert client.health() == {"ok": True}
+            http = client.stats()["http"]
+            # Every connection served exactly two requests then closed
+            # (announced via Connection: close, so no stale replays).
+            assert http["max_requests_closed"] >= 2
+            assert http["connections_total"] >= 3
+            assert client.reconnects == 0
+
+    def test_idle_timeout_closes_and_client_reconnects(self):
+        with BackgroundServer(store=None, pool=1, idle_timeout=0.2) as server:
+            client = ServiceClient(port=server.port)
+            assert client.health() == {"ok": True}
+            time.sleep(0.8)  # server idle-closes the kept connection
+            assert client.health() == {"ok": True}  # transparent replay
+            assert client.reconnects == 1
+            http = client.stats()["http"]
+            assert http["idle_closed"] >= 1
+
+
+class TestFraming:
+    def _expect_400(self, server, raw, needle):
+        sock = _connect(server)
+        try:
+            sock.sendall(raw)
+            try:
+                sock.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+            status, headers, body, _ = _read_response(sock)
+            assert status == 400
+            assert headers["connection"] == "close"
+            assert needle in body
+            assert sock.recv(1024) == b""
+        finally:
+            sock.close()
+
+    def test_non_integer_content_length_is_400(self):
+        with BackgroundServer(store=None, pool=1) as server:
+            self._expect_400(
+                server,
+                b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: banana\r\n\r\n",
+                b"not an integer",
+            )
+
+    def test_negative_content_length_is_400(self):
+        with BackgroundServer(store=None, pool=1) as server:
+            self._expect_400(
+                server,
+                b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: -5\r\n\r\n",
+                b"negative",
+            )
+
+    def test_truncated_body_is_400(self):
+        with BackgroundServer(store=None, pool=1) as server:
+            self._expect_400(
+                server,
+                b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 500\r\n\r\n{\"circuit\":",
+                b"truncated",
+            )
+
+    def test_malformed_request_line_is_400(self):
+        with BackgroundServer(store=None, pool=1) as server:
+            self._expect_400(server, b"HELLO\r\n\r\n", b"request line")
+
+    def test_oversized_body_is_413(self):
+        from repro.service.server import MAX_BODY_BYTES
+
+        with BackgroundServer(store=None, pool=1) as server:
+            sock = _connect(server)
+            try:
+                sock.sendall(
+                    b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\n"
+                    + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+                )
+                status, _, _, _ = _read_response(sock)
+                assert status == 413
+            finally:
+                sock.close()
+
+    def test_framing_error_counted_not_crashed(self):
+        with BackgroundServer(store=None, pool=1) as server:
+            self._expect_400(
+                server,
+                b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: nope\r\n\r\n",
+                b"integer",
+            )
+            # The listener survives and keeps serving.
+            client = ServiceClient(port=server.port)
+            assert client.health() == {"ok": True}
+            assert client.stats()["http"]["framing_errors"] == 1
+
+    def test_bad_json_with_good_framing_keeps_connection(self):
+        """A request-level error (valid frame, invalid payload) answers
+        400 *without* sacrificing the connection."""
+        with BackgroundServer(store=None, pool=1) as server:
+            sock = _connect(server)
+            try:
+                body = b"this is not json"
+                sock.sendall(
+                    b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                status, headers, _, _ = _read_response(sock)
+                assert status == 400
+                assert headers["connection"] == "keep-alive"
+                sock.sendall(_get("/healthz"))
+                assert _read_response(sock)[0] == 200
+            finally:
+                sock.close()
+
+
+class TestEventStreams:
+    def test_slow_consumer_still_gets_full_stream(self, tmp_path):
+        from repro.store.core import ArtifactStore
+
+        store = ArtifactStore(root=str(tmp_path / "store"))
+        with BackgroundServer(store=store, pool=1) as server:
+            client = ServiceClient(port=server.port)
+            job = client.submit(TABLE2_REQUEST)
+            sock = _connect(server)
+            try:
+                sock.sendall(_get(f"/v1/jobs/{job['id']}/events"))
+                # Read tiny chunks with deliberate pauses: the server must
+                # tolerate a consumer far slower than the producer.
+                data = b""
+                while True:
+                    try:
+                        chunk = sock.recv(256)
+                    except socket.timeout:
+                        pytest.fail("stream stalled for a slow consumer")
+                    if not chunk:
+                        break
+                    data += chunk
+                    time.sleep(0.02)
+            finally:
+                sock.close()
+            lines = [l for l in data.split(b"\n") if l.startswith(b"{")]
+            assert any(b'"job_end"' in line for line in lines)
+            assert any(b'"stage_start"' in line for line in lines)
+            final = client.wait(job["id"], timeout=120)
+            assert final["status"] == "done"
+
+    def test_midstream_disconnect_leaks_nothing(self, tmp_path):
+        from repro.store.core import ArtifactStore
+
+        store = ArtifactStore(root=str(tmp_path / "store"))
+        with BackgroundServer(store=store, pool=1) as server:
+            client = ServiceClient(port=server.port)
+            job = client.submit(TABLE2_REQUEST)
+            sock = _connect(server)
+            sock.sendall(_get(f"/v1/jobs/{job['id']}/events"))
+            sock.recv(256)  # stream established
+            sock.close()  # consumer dies mid-stream
+            final = client.wait(job["id"], timeout=120)
+            assert final["status"] == "done"
+            # The dead stream's connection unwinds: within a grace
+            # period only the client's own keep-alive connection is open,
+            # so the journal tail did not outlive its consumer.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if client.stats()["http"]["connections_open"] <= 1:
+                    break
+                time.sleep(0.05)
+            assert client.stats()["http"]["connections_open"] <= 1
+            assert client.stats()["http"]["event_streams"] == 1
+
+    def test_storeless_stream_is_terminal_event_only(self):
+        with BackgroundServer(store=None, pool=1) as server:
+            client = ServiceClient(port=server.port)
+            job = client.submit(TINY_REQUEST)
+            client.wait(job["id"], timeout=120)
+            events = list(client.events(job["id"]))
+            assert [e["event"] for e in events] == ["job_end"]
+            assert events[-1]["status"] == "done"

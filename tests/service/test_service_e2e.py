@@ -68,19 +68,18 @@ class TestEndToEnd:
             bench = client.artifact(first["id"], "bench")
             assert bench.startswith(b"#")
 
-            # Identical second POST: served from the store, no stages run.
+            # Identical second POST: idempotent -- the canonical done job
+            # comes back from the in-memory tier, no stages run.
             second = client.submit(TABLE2_REQUEST)
             assert second["disposition"] == "cached"
             assert second["status"] == "done"
-            assert second["id"] != first["id"]
-            cached_kinds = [e["event"] for e in client.events(second["id"])]
-            assert "stage_start" not in cached_kinds
-            assert cached_kinds == ["job_end"]
+            assert second["id"] == first["id"]
             assert client.artifact(second["id"], "result") == result
             assert client.artifact(second["id"], "testset") == testset
 
             stats = client.stats()
             assert stats["metrics"]["dedup"]["cached"] == 1
+            assert stats["metrics"]["dedup"]["cached_memory"] == 1
             assert stats["metrics"]["latency_seconds"]["fresh"]["count"] == 1
 
         # Bit-identity: the service's derived test set equals a direct
@@ -146,8 +145,14 @@ class TestStorelessAndFormats:
             assert client.artifact(job["id"], "testset")
             # No journal => the stream is just the terminal event.
             assert [e["event"] for e in client.events(job["id"])] == ["job_end"]
-            # And an identical resubmit has nowhere to dedup from.
-            assert client.submit(TINY_REQUEST)["disposition"] == "fresh"
+            # An identical resubmit dedups against the in-memory job
+            # table even with no store behind the server -- idempotent,
+            # so the canonical job comes back.
+            repeat = client.submit(TINY_REQUEST)
+            assert repeat["disposition"] == "cached"
+            assert repeat["id"] == job["id"]
+            stats = client.stats()
+            assert stats["metrics"]["dedup"]["cached_memory"] == 1
 
     def test_builder_and_verilog_formats_run(self, store):
         from repro.circuit import parse_bench, write_verilog
@@ -248,4 +253,11 @@ class TestValidationOverTheWire:
             assert stats["pool"] == 3
             assert stats["queue_depth"] == 0
             assert stats["store"]["root"] == store.root
-            assert set(stats["metrics"]["dedup"]) == {"coalesced", "cached"}
+            assert set(stats["metrics"]["dedup"]) == {
+                "coalesced",
+                "cached",
+                "cached_memory",
+            }
+            assert stats["queue_high_water"] is None
+            assert stats["metrics"]["rejected"] == 0
+            assert stats["http"]["connections_total"] >= 1
